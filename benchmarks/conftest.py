@@ -1,0 +1,74 @@
+"""Shared fields and prebuilt indexes for the benchmark suite.
+
+Benchmarks time single queries at representative Qinterval settings; the
+full sweep harness that regenerates each paper figure end to end is
+``python -m repro.bench <figure>``.  Fields are sized so the whole suite
+runs in minutes while preserving the paper's relative ordering.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import IAllIndex, IHilbertIndex, LinearScanIndex
+from repro.field import DEMField
+from repro.synth import (
+    fractal_dem_heights,
+    lyon_like,
+    monotonic_field,
+    roseburg_like,
+)
+
+METHODS = {
+    "LinearScan": LinearScanIndex,
+    "I-All": IAllIndex,
+    "I-Hilbert": IHilbertIndex,
+}
+
+
+def build_indexes(field):
+    return {name: cls(field) for name, cls in METHODS.items()}
+
+
+@pytest.fixture(scope="session")
+def terrain_indexes():
+    """Fig. 8a workload (terrain DEM), 256² cells."""
+    return build_indexes(roseburg_like(cells_per_side=256))
+
+
+@pytest.fixture(scope="session")
+def noise_indexes():
+    """Fig. 8b workload (urban noise TIN), ~4600 triangles."""
+    return build_indexes(lyon_like(num_sites=2300))
+
+
+@pytest.fixture(scope="session")
+def fractal_indexes():
+    """Fig. 11 workload: fractal DEMs at rough/smooth H, 256² cells."""
+    return {
+        h: build_indexes(DEMField(fractal_dem_heights(
+            256, h, seed=int(h * 10))))
+        for h in (0.1, 0.9)
+    }
+
+
+@pytest.fixture(scope="session")
+def monotonic_indexes():
+    """Fig. 12 workload (w = x + y), 256² cells."""
+    return build_indexes(monotonic_field(256))
+
+
+def query_for(index, qinterval: float, position: float = 0.4):
+    """Deterministic query of relative length ``qinterval``."""
+    from repro.core import ValueQuery
+
+    vr = index.field.value_range
+    span = vr.hi - vr.lo
+    lo = vr.lo + position * span * (1.0 - qinterval)
+    return ValueQuery(lo, lo + qinterval * span)
+
+
+def run_cold_query(index, query):
+    """One cold query (the benchmarked operation)."""
+    index.clear_caches()
+    return index.query(query)

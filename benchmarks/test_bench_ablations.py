@@ -1,0 +1,58 @@
+"""Benchmarks for the DESIGN.md ablations: curve choice and grouping.
+
+Full sweeps: ``python -m repro.bench ablation-curve`` and
+``python -m repro.bench ablation-cost``.
+"""
+
+import pytest
+
+from repro.core import (
+    CostBasedGrouping,
+    IHilbertIndex,
+    IntervalQuadtreeIndex,
+    ThresholdGrouping,
+)
+from repro.synth import roseburg_like
+
+from conftest import query_for, run_cold_query
+
+
+@pytest.fixture(scope="module")
+def terrain_field():
+    return roseburg_like(cells_per_side=128)
+
+
+@pytest.mark.parametrize("curve", ["hilbert", "zorder", "gray"])
+def test_curve_ablation_query(benchmark, terrain_field, curve):
+    index = IHilbertIndex(terrain_field, curve=curve)
+    query = query_for(index, 0.02)
+    benchmark.group = "ablation: linearization curve"
+    result = benchmark(run_cold_query, index, query)
+    assert result.candidate_count > 0
+
+
+@pytest.mark.parametrize("grouping", ["paper-normalized", "fig5-literal",
+                                      "threshold"])
+def test_grouping_ablation_query(benchmark, terrain_field, grouping):
+    span = terrain_field.value_range.length
+    if grouping == "paper-normalized":
+        index = IHilbertIndex(terrain_field)
+    elif grouping == "fig5-literal":
+        index = IHilbertIndex(
+            terrain_field,
+            grouping=CostBasedGrouping(unit=1.0, avg_query=0.0))
+    else:
+        index = IHilbertIndex(
+            terrain_field, grouping=ThresholdGrouping(0.1 * span))
+    query = query_for(index, 0.02)
+    benchmark.group = "ablation: subfield grouping policy"
+    result = benchmark(run_cold_query, index, query)
+    assert result.candidate_count > 0
+
+
+def test_interval_quadtree_query(benchmark, terrain_field):
+    index = IntervalQuadtreeIndex(terrain_field)
+    query = query_for(index, 0.02)
+    benchmark.group = "ablation: subfield grouping policy"
+    result = benchmark(run_cold_query, index, query)
+    assert result.candidate_count > 0

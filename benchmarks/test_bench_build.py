@@ -1,0 +1,32 @@
+"""Benchmark: index construction cost (paper §3.1, build side).
+
+LinearScan only materializes the record file; I-All bulk-packs one
+interval per cell; I-Hilbert linearizes, groups, and packs subfields.
+"""
+
+import pytest
+
+from repro.core import IAllIndex, IHilbertIndex, LinearScanIndex
+from repro.synth import roseburg_like
+
+from conftest import METHODS
+
+
+@pytest.fixture(scope="module")
+def terrain_field():
+    return roseburg_like(cells_per_side=128)
+
+
+@pytest.mark.parametrize("method", list(METHODS))
+def test_build(benchmark, terrain_field, method):
+    benchmark.group = "index build (128x128 terrain)"
+    index = benchmark(METHODS[method], terrain_field)
+    assert len(index.store) == terrain_field.num_cells
+
+
+def test_build_iall_dynamic(benchmark):
+    """Dynamic R* insertion path (the non-bulk build)."""
+    field = roseburg_like(cells_per_side=32)
+    benchmark.group = "index build dynamic (32x32 terrain)"
+    index = benchmark(lambda: IAllIndex(field, bulk=False))
+    assert len(index.tree) == field.num_cells

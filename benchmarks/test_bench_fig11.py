@@ -1,0 +1,20 @@
+"""Benchmark: paper Fig. 11 — fractal DEMs across roughness H.
+
+Full sweep: ``python -m repro.bench fig11``.
+"""
+
+import pytest
+
+from conftest import METHODS, query_for, run_cold_query
+
+
+@pytest.mark.parametrize("roughness", [0.1, 0.9])
+@pytest.mark.parametrize("qinterval", [0.0, 0.05])
+@pytest.mark.parametrize("method", list(METHODS))
+def test_fig11_query(benchmark, fractal_indexes, method, roughness,
+                     qinterval):
+    index = fractal_indexes[roughness][method]
+    query = query_for(index, qinterval)
+    benchmark.group = f"fig11 H={roughness} Qinterval={qinterval}"
+    result = benchmark(run_cold_query, index, query)
+    assert result.candidate_count >= 0

@@ -1,0 +1,18 @@
+"""Benchmark: paper Fig. 12 — the monotonic field w = x + y.
+
+Full sweep: ``python -m repro.bench fig12``.
+"""
+
+import pytest
+
+from conftest import METHODS, query_for, run_cold_query
+
+
+@pytest.mark.parametrize("qinterval", [0.0, 0.03, 0.06])
+@pytest.mark.parametrize("method", list(METHODS))
+def test_fig12_query(benchmark, monotonic_indexes, method, qinterval):
+    index = monotonic_indexes[method]
+    query = query_for(index, qinterval)
+    benchmark.group = f"fig12 monotonic Qinterval={qinterval}"
+    result = benchmark(run_cold_query, index, query)
+    assert result.candidate_count >= 0

@@ -1,0 +1,18 @@
+"""Benchmark: paper Fig. 8a — value queries on a terrain DEM.
+
+Full sweep: ``python -m repro.bench fig8a``.
+"""
+
+import pytest
+
+from conftest import METHODS, query_for, run_cold_query
+
+
+@pytest.mark.parametrize("qinterval", [0.0, 0.04, 0.10])
+@pytest.mark.parametrize("method", list(METHODS))
+def test_fig8a_query(benchmark, terrain_indexes, method, qinterval):
+    index = terrain_indexes[method]
+    query = query_for(index, qinterval)
+    benchmark.group = f"fig8a terrain Qinterval={qinterval}"
+    result = benchmark(run_cold_query, index, query)
+    assert result.candidate_count >= 0

@@ -1,0 +1,18 @@
+"""Benchmark: paper Fig. 8b — value queries on the urban noise TIN.
+
+Full sweep: ``python -m repro.bench fig8b``.
+"""
+
+import pytest
+
+from conftest import METHODS, query_for, run_cold_query
+
+
+@pytest.mark.parametrize("qinterval", [0.0, 0.04, 0.10])
+@pytest.mark.parametrize("method", list(METHODS))
+def test_fig8b_query(benchmark, noise_indexes, method, qinterval):
+    index = noise_indexes[method]
+    query = query_for(index, qinterval)
+    benchmark.group = f"fig8b noise TIN Qinterval={qinterval}"
+    result = benchmark(run_cold_query, index, query)
+    assert result.candidate_count >= 0

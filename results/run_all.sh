@@ -1,0 +1,19 @@
+#!/bin/bash
+set -x
+cd /root/repo
+python -m repro.bench fig10 > results/fig10.txt 2>&1
+python -m repro.bench fig7 > results/fig7.txt 2>&1
+python -m repro.bench fig8b > results/fig8b_cold.txt 2>&1
+python -m repro.bench fig8b --warm > results/fig8b_warm.txt 2>&1
+python -m repro.bench fig12 > results/fig12_cold.txt 2>&1
+python -m repro.bench fig12 --warm > results/fig12_warm.txt 2>&1
+python -m repro.bench fig8a > results/fig8a_cold.txt 2>&1
+python -m repro.bench fig8a --warm > results/fig8a_warm.txt 2>&1
+python -m repro.bench ablation-cost --full > results/ablation_cost.txt 2>&1
+python -m repro.bench ablation-curve --full > results/ablation_curve.txt 2>&1
+python -m repro.bench ablation-pagesize > results/ablation_pagesize.txt 2>&1
+python -m repro.bench methods-extra > results/methods_extra.txt 2>&1
+python -m repro.bench scale > results/scale.txt 2>&1
+python -m repro.bench fig11 > results/fig11_cold.txt 2>&1
+python -m repro.bench fig11 --warm > results/fig11_warm.txt 2>&1
+echo DONE > results/FINAL_DONE

@@ -1,0 +1,165 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+A small database-style front end over the library:
+
+* ``build``  — index a field (``.npy`` height grid or TIN ``.npz``) with
+  I-Hilbert and save the index directory;
+* ``query``  — run a field value query against a saved index;
+* ``info``   — describe a saved index;
+* ``point``  — conventional (Q1) query on a ``.npy`` height grid.
+
+Examples::
+
+    python -m repro build terrain.npy terrain-index/
+    python -m repro query terrain-index/ 300 320 --regions
+    python -m repro info terrain-index/
+    python -m repro point terrain.npy 30.5 99.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .core import (
+    IHilbertIndex,
+    PointIndex,
+    ValueQuery,
+    load_index,
+    save_index,
+)
+from .field import DEMField, TINField
+
+
+def _load_field(path: Path):
+    """Load a field from ``.npy`` (DEM heights) or ``.npz`` (TIN)."""
+    if path.suffix == ".npy":
+        return DEMField(np.load(path))
+    if path.suffix == ".npz":
+        data = np.load(path)
+        for key in ("points", "values"):
+            if key not in data:
+                raise SystemExit(
+                    f"{path}: TIN archives need 'points' and 'values' "
+                    f"arrays (optional 'triangles')")
+        triangles = data["triangles"] if "triangles" in data else None
+        return TINField(data["points"], data["values"],
+                        triangles=triangles)
+    raise SystemExit(
+        f"{path}: unsupported field file (use .npy heights or .npz TIN)")
+
+
+def cmd_build(args) -> int:
+    """Build an I-Hilbert index over a field file and save it."""
+    field = _load_field(Path(args.field))
+    index = IHilbertIndex(field, curve=args.curve)
+    save_index(index, args.index_dir)
+    info = index.describe()
+    print(f"indexed {info['cells']} cells into {info['subfields']} "
+          f"subfields ({info['data_pages']} data pages, "
+          f"{info['index_pages']} index pages)")
+    print(f"saved to {args.index_dir}")
+    return 0
+
+
+def cmd_query(args) -> int:
+    """Run a field value query against a saved index."""
+    index = load_index(args.index_dir)
+    query = ValueQuery(args.lo, args.hi)
+    mode = "regions" if args.regions else "area"
+    result = index.query(query, estimate=mode)
+    print(f"candidates: {result.candidate_count}")
+    print(f"answer area: {result.area:.4f}")
+    print(f"I/O: {result.io.page_reads} pages "
+          f"({result.io.random_reads} random, "
+          f"{result.io.sequential_reads} sequential)")
+    if args.regions and result.regions is not None:
+        print(f"regions: {len(result.regions)}")
+        for region in result.regions[:args.max_regions]:
+            coords = ", ".join(f"({x:.3f},{y:.3f})"
+                               for x, y in region.polygon)
+            print(f"  cell {region.cell_id}: area={region.area:.4f} "
+                  f"[{coords}]")
+    return 0
+
+
+def cmd_info(args) -> int:
+    """Print a JSON description of a saved index."""
+    index = load_index(args.index_dir)
+    sizes = [sf.num_cells for sf in index.subfields]
+    extents = [sf.hi - sf.lo for sf in index.subfields]
+    payload = {
+        "method": index.name,
+        "field_type": index.field_type.__name__,
+        "cells": len(index.store),
+        "data_pages": index.store.num_pages,
+        "index_pages": index.index_disk.num_pages,
+        "subfields": len(index.subfields),
+        "cells_per_subfield_mean": (sum(sizes) / len(sizes)
+                                    if sizes else 0),
+        "interval_extent_mean": (sum(extents) / len(extents)
+                                 if extents else 0),
+        "tree_height": index.tree.height,
+    }
+    print(json.dumps(payload, indent=1))
+    return 0
+
+
+def cmd_point(args) -> int:
+    """Answer a conventional (Q1) point query on a field file."""
+    field = _load_field(Path(args.field))
+    index = PointIndex(field)
+    value = index.value_at(args.x, args.y)
+    if value is None:
+        print("point is outside the field domain")
+        return 1
+    print(f"F({args.x}, {args.y}) = {value:.6f}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and dispatch to a subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Field value indexing (EDBT 2002 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="build and save an I-Hilbert "
+                                         "index over a field file")
+    build.add_argument("field", help=".npy heights or .npz TIN")
+    build.add_argument("index_dir", help="output index directory")
+    build.add_argument("--curve", default="hilbert",
+                       choices=["hilbert", "zorder", "gray"])
+    build.set_defaults(func=cmd_build)
+
+    query = sub.add_parser("query", help="run a value query against a "
+                                         "saved index")
+    query.add_argument("index_dir")
+    query.add_argument("lo", type=float)
+    query.add_argument("hi", type=float)
+    query.add_argument("--regions", action="store_true",
+                       help="materialize exact answer polygons")
+    query.add_argument("--max-regions", type=int, default=10,
+                       help="polygons to print with --regions")
+    query.set_defaults(func=cmd_query)
+
+    info = sub.add_parser("info", help="describe a saved index")
+    info.add_argument("index_dir")
+    info.set_defaults(func=cmd_info)
+
+    point = sub.add_parser("point", help="conventional (Q1) point query")
+    point.add_argument("field", help=".npy heights or .npz TIN")
+    point.add_argument("x", type=float)
+    point.add_argument("y", type=float)
+    point.set_defaults(func=cmd_point)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

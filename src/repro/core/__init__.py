@@ -1,0 +1,71 @@
+"""The paper's contribution: value-domain access methods for fields."""
+
+from .base import ValueIndex
+from .cost import (
+    CostBasedGrouping,
+    GroupingPolicy,
+    ThresholdGrouping,
+    group_cells,
+)
+from .grouped import GroupedIntervalIndex
+from .iall import IAllIndex
+from .ihilbert import IHilbertIndex, default_curve_order, linearize
+from .iquadtree import IntervalQuadtreeIndex
+from .intervaltree import ITreeIndex
+from .linearscan import LinearScanIndex
+from .multiband import (
+    MultiBandResult,
+    complement_bands,
+    intersect_bands,
+    normalize_bands,
+    union_query,
+)
+from .multifield import MultiFieldResult, conjunctive_query
+from .persist import PersistError, load_index, save_index
+from .planner import CostConstants, Plan, PlannedIndex
+from .statistics import FieldStatistics
+from .pointindex import PointIndex
+from .query import QueryResult, ValueQuery
+from .subfield import Subfield
+
+METHODS = {
+    "LinearScan": LinearScanIndex,
+    "I-All": IAllIndex,
+    "I-Hilbert": IHilbertIndex,
+    "I-Quadtree": IntervalQuadtreeIndex,
+}
+
+__all__ = [
+    "CostBasedGrouping",
+    "GroupedIntervalIndex",
+    "GroupingPolicy",
+    "FieldStatistics",
+    "IAllIndex",
+    "ITreeIndex",
+    "IHilbertIndex",
+    "IntervalQuadtreeIndex",
+    "LinearScanIndex",
+    "METHODS",
+    "MultiBandResult",
+    "MultiFieldResult",
+    "complement_bands",
+    "intersect_bands",
+    "normalize_bands",
+    "union_query",
+    "CostConstants",
+    "PersistError",
+    "Plan",
+    "PlannedIndex",
+    "load_index",
+    "save_index",
+    "PointIndex",
+    "QueryResult",
+    "Subfield",
+    "ThresholdGrouping",
+    "ValueIndex",
+    "ValueQuery",
+    "conjunctive_query",
+    "default_curve_order",
+    "group_cells",
+    "linearize",
+]

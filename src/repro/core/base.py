@@ -1,0 +1,117 @@
+"""Common machinery of the three access methods.
+
+Every method stores the field's cell records in a paged
+:class:`~repro.storage.records.RecordStore` and answers a value query in
+the paper's two steps: *filter* (produce candidate cell records whose
+interval intersects the query) and *estimate* (compute answer regions from
+the candidates).  Subclasses only implement the filtering step; storage,
+I/O accounting and estimation are shared, which guarantees the comparison
+between methods is apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Literal
+
+import numpy as np
+
+from ..field.base import Field
+from ..field.extraction import extract_regions, total_area
+from ..storage import DiskManager, IOStats, PAGE_SIZE, RecordStore
+from .query import QueryResult, ValueQuery
+
+EstimateMode = Literal["none", "area", "regions"]
+
+
+class ValueIndex(abc.ABC):
+    """Base class for field-value access methods.
+
+    Parameters
+    ----------
+    field:
+        The continuous field to index.  Its cell records are copied into
+        paged storage at construction; queries run purely from pages.
+    cache_pages:
+        Buffer-pool capacity for the data file (0 = every access hits the
+        simulated disk, the paper's cold setting).
+    stats:
+        Optional shared I/O counter (a private one is created otherwise).
+    page_size:
+        Page size of the simulated store (default 4 KiB, the paper's).
+    """
+
+    #: Human-readable method name, as used in the paper's plots.
+    name: str = "method"
+
+    def __init__(self, field: Field, cache_pages: int = 0,
+                 stats: IOStats | None = None,
+                 page_size: int = PAGE_SIZE) -> None:
+        self.field = field
+        self.field_type = type(field)
+        self.stats = stats if stats is not None else IOStats()
+        self.page_size = page_size
+        self.data_disk = DiskManager(stats=self.stats, name="data",
+                                     page_size=page_size)
+        self.store = RecordStore(self.data_disk, field.record_dtype,
+                                 cache_pages=cache_pages)
+
+    # -- query pipeline ----------------------------------------------------
+
+    def query(self, query: ValueQuery,
+              estimate: EstimateMode = "area") -> QueryResult:
+        """Run one field value query and return its result.
+
+        ``estimate`` selects the estimation step output: ``"none"`` stops
+        after filtering (candidates only), ``"area"`` computes the total
+        answer area with the vectorized closed form, ``"regions"``
+        additionally materializes exact answer polygons.
+        """
+        before = self.stats.snapshot()
+        candidates = self._candidates(query.lo, query.hi)
+        result = QueryResult(query=query,
+                             candidate_count=int(len(candidates)))
+        if estimate == "area":
+            result.area = self.field_type.estimate_area(
+                candidates, query.lo, query.hi)
+        elif estimate == "regions":
+            regions = extract_regions(self.field_type, candidates,
+                                      query.lo, query.hi)
+            result.regions = regions
+            result.area = total_area(regions)
+        elif estimate != "none":
+            raise ValueError(f"unknown estimate mode: {estimate!r}")
+        result.io = self.stats.diff(before)
+        return result
+
+    def clear_caches(self) -> None:
+        """Drop caches and forget disk positions (cold-query setting)."""
+        self.store.pool.clear()
+        self.data_disk.reset_head()
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def data_pages(self) -> int:
+        """Pages occupied by the cell records."""
+        return self.store.num_pages
+
+    @property
+    def index_pages(self) -> int:
+        """Pages occupied by index structures (0 for a plain scan)."""
+        return 0
+
+    def describe(self) -> dict:
+        """Build-time summary used by reports and tests."""
+        return {
+            "method": self.name,
+            "cells": len(self.store),
+            "data_pages": self.data_pages,
+            "index_pages": self.index_pages,
+        }
+
+    # -- to implement ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def _candidates(self, lo: float, hi: float) -> np.ndarray:
+        """Records of every cell whose value interval intersects [lo, hi]."""

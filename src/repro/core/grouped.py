@@ -1,0 +1,195 @@
+"""Shared engine of the grouped (subfield-based) access methods.
+
+I-Hilbert and the Interval-Quadtree baseline differ only in *how* they
+decide the clustering order and the group boundaries; everything else —
+the physically clustered cell file, the 1-D R*-tree over subfield
+intervals, the two-step query — is identical and lives here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..field.base import Field
+from ..geometry import Rect
+from ..rstar import RStarTree
+from ..storage import DiskManager, IOStats, PAGE_SIZE
+from .base import ValueIndex
+from .subfield import Subfield
+
+
+class GroupedIntervalIndex(ValueIndex):
+    """Value index over clustered cell groups (subfields).
+
+    Parameters
+    ----------
+    field:
+        Field to index.
+    order:
+        Permutation of cell indices: the physical storage order of the
+        cell records (e.g. ascending Hilbert value of cell centers).
+    groups:
+        Inclusive ``(start, end)`` ranges over ``order`` — one subfield
+        each.  Ranges must tile ``[0, num_cells)`` without gaps.
+    """
+
+    name = "Grouped"
+
+    def __init__(self, field: Field, order: np.ndarray,
+                 groups: list[tuple[int, int]], cache_pages: int = 0,
+                 stats: IOStats | None = None,
+                 page_size: int = PAGE_SIZE) -> None:
+        super().__init__(field, cache_pages=cache_pages, stats=stats,
+                         page_size=page_size)
+        order = np.asarray(order, dtype=np.int64)
+        records = field.cell_records()
+        if len(order) != len(records):
+            raise ValueError(
+                f"permutation of length {len(order)} does not cover "
+                f"{len(records)} cells")
+        self._validate_groups(groups, len(records))
+        self.order = order
+        self.store.extend(records[order])
+
+        vmins = records["vmin"][order].astype(np.float64)
+        vmaxs = records["vmax"][order].astype(np.float64)
+        self.subfields: list[Subfield] = []
+        rects: list[Rect] = []
+        for sf_id, (start, end) in enumerate(groups):
+            lo = float(vmins[start:end + 1].min())
+            hi = float(vmaxs[start:end + 1].max())
+            self.subfields.append(Subfield(sf_id, lo, hi, start, end))
+            rects.append(Rect.from_interval(lo, hi))
+
+        self.index_disk = DiskManager(stats=self.stats, name="sf-tree",
+                                      page_size=page_size)
+        self.tree = RStarTree(dim=1, disk=self.index_disk,
+                              cache_pages=cache_pages)
+        self.tree.bulk_load(rects, range(len(rects)))
+        self.tree.flush()
+
+    # -- reporting ----------------------------------------------------------
+
+    @property
+    def index_pages(self) -> int:
+        return self.index_disk.num_pages
+
+    @property
+    def num_subfields(self) -> int:
+        """Number of subfields the field was divided into."""
+        return len(self.subfields)
+
+    def describe(self) -> dict:
+        info = super().describe()
+        sizes = [sf.num_cells for sf in self.subfields]
+        extents = [sf.hi - sf.lo for sf in self.subfields]
+        info.update({
+            "subfields": len(self.subfields),
+            "cells_per_subfield": (sum(sizes) / len(sizes)
+                                   if sizes else 0.0),
+            "mean_interval_extent": (sum(extents) / len(extents)
+                                     if extents else 0.0),
+        })
+        return info
+
+    def clear_caches(self) -> None:
+        super().clear_caches()
+        self.tree.pool.clear()
+        self.index_disk.reset_head()
+
+    # -- dynamic maintenance ---------------------------------------------------
+
+    def update_cell(self, cell_id: int, new_record) -> None:
+        """Replace one cell's record (e.g. after a new measurement).
+
+        The record is rewritten in place in the clustered file; the
+        owning subfield's interval is recomputed exactly from its member
+        cells, and when it changed, the subfield's entry migrates in the
+        1-D R*-tree (delete + insert) — the index stays exact under
+        updates.
+        """
+        rid = self._rid_of_cell(cell_id)
+        self.store.update(rid, new_record)
+        sf = self._subfield_of_rid(rid)
+        block = self.store.read_range(sf.ptr_start, sf.ptr_end)
+        new_lo = float(block["vmin"].astype(np.float64).min())
+        new_hi = float(block["vmax"].astype(np.float64).max())
+        if new_lo == sf.lo and new_hi == sf.hi:
+            return
+        self.tree.delete(Rect.from_interval(sf.lo, sf.hi), sf.sf_id)
+        self.tree.insert(Rect.from_interval(new_lo, new_hi), sf.sf_id)
+        self.tree.flush()
+        self.subfields[sf.sf_id] = Subfield(
+            sf.sf_id, new_lo, new_hi, sf.ptr_start, sf.ptr_end)
+
+    def _rid_of_cell(self, cell_id: int) -> int:
+        if not 0 <= cell_id < len(self.order):
+            raise IndexError(f"cell id {cell_id} out of range")
+        if getattr(self, "_inverse_order", None) is None:
+            inverse = np.empty(len(self.order), dtype=np.int64)
+            inverse[self.order] = np.arange(len(self.order))
+            self._inverse_order = inverse
+        return int(self._inverse_order[cell_id])
+
+    def _subfield_of_rid(self, rid: int) -> Subfield:
+        lo, hi = 0, len(self.subfields) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.subfields[mid].ptr_end < rid:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self.subfields[lo]
+
+    # -- the two-step query (paper §3.2) --------------------------------------
+
+    def _candidates(self, lo: float, hi: float) -> np.ndarray:
+        # Step 1 (filtering): subfields whose interval intersects the query.
+        sf_ids = self.tree.search(Rect.from_interval(lo, hi))
+        if len(sf_ids) == 0:
+            return np.empty(0, dtype=self.store.dtype)
+        # Step 2 (estimation input): fetch the clustered cell ranges.
+        # Selected subfields that sit on overlapping or adjacent pages are
+        # coalesced into one sequential burst, so each page is read once —
+        # the access pattern the (ptr_start, ptr_end) layout is built for.
+        per_page = self.store.records_per_page
+        page_ranges = sorted(
+            (self.subfields[s].ptr_start // per_page,
+             self.subfields[s].ptr_end // per_page)
+            for s in sf_ids)
+        runs: list[list[int]] = []
+        for first, last in page_ranges:
+            if runs and first <= runs[-1][1] + 1:
+                runs[-1][1] = max(runs[-1][1], last)
+            else:
+                runs.append([first, last])
+        chunks = []
+        for first, last in runs:
+            for page_no in range(first, last + 1):
+                block = self.store.read_page(page_no)
+                mask = ((block["vmin"].astype(np.float64) <= hi)
+                        & (block["vmax"].astype(np.float64) >= lo))
+                if mask.any():
+                    chunks.append(block[mask])
+        if not chunks:
+            return np.empty(0, dtype=self.store.dtype)
+        if len(chunks) == 1:
+            return chunks[0]
+        return np.concatenate(chunks)
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def _validate_groups(groups: list[tuple[int, int]], n: int) -> None:
+        if not groups and n:
+            raise ValueError("no groups for a non-empty field")
+        expected = 0
+        for start, end in groups:
+            if start != expected or end < start:
+                raise ValueError(
+                    f"groups must tile [0, {n}) contiguously; got "
+                    f"({start}, {end}) where {expected} was expected")
+            expected = end + 1
+        if expected != n:
+            raise ValueError(
+                f"groups cover [0, {expected}) but the field has {n} cells")

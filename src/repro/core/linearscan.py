@@ -1,0 +1,44 @@
+"""The 'LinearScan' baseline (paper §2.2.2).
+
+No index: every value query reads every cell page front to back and tests
+each cell's interval against the query.  All reads are sequential, so the
+method is not as catastrophic as its asymptotics suggest — the paper (and
+our Fig. 11 reproduction) shows it *beating* I-All at high selectivity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..field.base import Field
+from ..storage import IOStats, PAGE_SIZE
+from .base import ValueIndex
+
+
+class LinearScanIndex(ValueIndex):
+    """Full-scan access method over the cell record file."""
+
+    name = "LinearScan"
+
+    def __init__(self, field: Field, cache_pages: int = 0,
+                 stats: IOStats | None = None,
+                 page_size: int = PAGE_SIZE) -> None:
+        super().__init__(field, cache_pages=cache_pages, stats=stats,
+                         page_size=page_size)
+        self.store.extend(field.cell_records())
+
+    def _candidates(self, lo: float, hi: float) -> np.ndarray:
+        matches = []
+        for page in self.store.scan():
+            # Compare in float64: float32 records vs. a float64 query
+            # bound would otherwise round the bound to float32 (NEP 50),
+            # disagreeing with the R*-tree's float64 arithmetic.
+            mask = ((page["vmin"].astype(np.float64) <= hi)
+                    & (page["vmax"].astype(np.float64) >= lo))
+            if mask.any():
+                matches.append(page[mask])
+        if not matches:
+            return np.empty(0, dtype=self.store.dtype)
+        if len(matches) == 1:
+            return matches[0]
+        return np.concatenate(matches)

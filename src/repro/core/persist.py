@@ -1,0 +1,176 @@
+"""Saving and loading built value indexes.
+
+A grouped index (I-Hilbert, Interval Quadtree) is fully described by its
+clustered cell file, its subfield list, and its R*-tree pages; all three
+serialize to a directory so an index built once can be reloaded — field
+data not required — and queried immediately.
+
+Layout of the index directory::
+
+    meta.json     dtype, counts, subfields, tree shape, field type
+    data.pages    DiskManager snapshot of the cell record file
+    tree.pages    DiskManager snapshot of the subfield R*-tree
+    order.npy     the cell permutation (for provenance/debugging)
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..field.dem import DEMField
+from ..field.tin import TINField
+from ..field.volume import VolumeField
+from ..storage import DiskManager, IOStats, RecordStore
+from ..storage.snapshot import load_disk, save_disk
+from .grouped import GroupedIntervalIndex
+from .subfield import Subfield
+
+#: Field classes reconstructible by name (record semantics only).
+FIELD_TYPES = {
+    "DEMField": DEMField,
+    "TINField": TINField,
+    "VolumeField": VolumeField,
+}
+
+_FORMAT_VERSION = 1
+
+
+class PersistError(Exception):
+    """Raised for malformed or incompatible index directories."""
+
+
+def _dtype_from_descr(descr: list) -> np.dtype:
+    """Rebuild a structured dtype from its JSON-roundtripped descr."""
+    fields = []
+    for entry in descr:
+        if len(entry) == 2:
+            fields.append((entry[0], entry[1]))
+        else:
+            fields.append((entry[0], entry[1], tuple(entry[2])))
+    return np.dtype(fields)
+
+
+def save_index(index: GroupedIntervalIndex, directory: str | Path) -> None:
+    """Serialize a grouped index into ``directory`` (created if needed)."""
+    field_name = index.field_type.__name__
+    if field_name not in FIELD_TYPES:
+        raise PersistError(
+            f"cannot persist indexes over {field_name}: estimation "
+            f"semantics would not be reconstructible")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    if index.tree._dirty:
+        index.tree.flush()
+    save_disk(index.data_disk, directory / "data.pages")
+    save_disk(index.index_disk, directory / "tree.pages")
+    np.save(directory / "order.npy", index.order)
+    meta = {
+        "format": _FORMAT_VERSION,
+        "method": index.name,
+        "field_type": field_name,
+        "record_dtype": index.store.dtype.descr,
+        "record_count": len(index.store),
+        "store_page_ids": list(index.store.page_ids),
+        "subfields": [[sf.lo, sf.hi, sf.ptr_start, sf.ptr_end]
+                      for sf in index.subfields],
+        "tree": {
+            "dim": index.tree.dim,
+            "capacity": index.tree.capacity,
+            "root_id": index.tree._root_id,
+            "height": index.tree._height,
+            "count": index.tree._count,
+            "node_ids": sorted(index.tree._nodes),
+        },
+    }
+    with open(directory / "meta.json", "w") as fh:
+        json.dump(meta, fh, indent=1)
+
+
+def load_index(directory: str | Path, cache_pages: int = 0,
+               stats: IOStats | None = None) -> GroupedIntervalIndex:
+    """Reload an index saved by :func:`save_index`.
+
+    The returned object answers queries exactly like the original (same
+    records, same subfields, same tree pages); it carries no in-memory
+    field, so ``index.field`` is None.
+    """
+    directory = Path(directory)
+    meta_path = directory / "meta.json"
+    if not meta_path.exists():
+        raise PersistError(f"{directory}: no meta.json — not an index "
+                           f"directory")
+    with open(meta_path) as fh:
+        meta = json.load(fh)
+    if meta.get("format") != _FORMAT_VERSION:
+        raise PersistError(
+            f"{directory}: unsupported index format {meta.get('format')}")
+    try:
+        field_type = FIELD_TYPES[meta["field_type"]]
+    except KeyError:
+        raise PersistError(
+            f"{directory}: unknown field type "
+            f"{meta['field_type']!r}") from None
+
+    index = GroupedIntervalIndex.__new__(GroupedIntervalIndex)
+    index.name = meta["method"]
+    index.field = None
+    index.field_type = field_type
+    index.stats = stats if stats is not None else IOStats()
+
+    # Cell record file.
+    index.data_disk = load_disk(directory / "data.pages",
+                                stats=index.stats, name="data")
+    index.page_size = index.data_disk.page_size
+    dtype = _dtype_from_descr(meta["record_dtype"])
+    store = RecordStore.__new__(RecordStore)
+    store.disk = index.data_disk
+    store.dtype = dtype
+    store.records_per_page = index.data_disk.page_size // dtype.itemsize
+    from ..storage import BufferPool
+    store.pool = BufferPool(index.data_disk, capacity=cache_pages)
+    store._page_ids = list(meta["store_page_ids"])
+    store._count = meta["record_count"]
+    store._tail = np.empty(store.records_per_page, dtype=dtype)
+    store._tail_len = store._count % store.records_per_page
+    store._tail_has_page = store._tail_len > 0
+    if store._tail_len:
+        tail_page = store.read_page(len(store._page_ids) - 1)
+        store._tail[:store._tail_len] = tail_page
+    index.store = store
+
+    # Subfields.
+    index.order = np.load(directory / "order.npy")
+    index.subfields = [
+        Subfield(sf_id, lo, hi, int(start), int(end))
+        for sf_id, (lo, hi, start, end) in enumerate(meta["subfields"])
+    ]
+
+    # Subfield R*-tree.
+    from ..rstar import RStarTree
+    from ..rstar.node import Node
+    index.index_disk = load_disk(directory / "tree.pages",
+                                 stats=index.stats, name="sf-tree")
+    tree_meta = meta["tree"]
+    tree = RStarTree.__new__(RStarTree)
+    tree.dim = tree_meta["dim"]
+    tree.disk = index.index_disk
+    tree.capacity = tree_meta["capacity"]
+    from ..rstar.tree import MIN_FILL_FRACTION, REINSERT_FRACTION
+    tree.min_fill = max(2, int(MIN_FILL_FRACTION * tree.capacity))
+    tree.reinsert_count = max(1, int(REINSERT_FRACTION * tree.capacity))
+    tree.pool = BufferPool(index.index_disk, capacity=cache_pages)
+    tree._nodes = {}
+    for node_id in tree_meta["node_ids"]:
+        data = index.index_disk._pages[node_id]
+        tree._nodes[node_id] = Node.from_bytes(node_id, data, tree.dim)
+    tree._root_id = tree_meta["root_id"]
+    tree._height = tree_meta["height"]
+    tree._count = tree_meta["count"]
+    tree._dirty = False
+    tree._reinserted_levels = set()
+    index.tree = tree
+    index.data_disk.stats.reset()
+    return index

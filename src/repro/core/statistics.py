@@ -1,0 +1,108 @@
+"""Value-distribution statistics and selectivity estimation.
+
+Database optimizers decide between access paths from summary statistics,
+not by executing the query.  This module summarizes a field's cell
+intervals into two cumulative histograms (of low endpoints and of high
+endpoints); the count of cells intersecting ``[lo, hi]`` is then
+
+    n  −  #(vmin > hi)  −  #(vmax < lo)
+
+each term answered by one histogram lookup.  The estimator feeds the
+planner and the reports; its accuracy is tested against exact counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..field.base import Field
+
+
+@dataclass(frozen=True)
+class FieldStatistics:
+    """Compressed summary of a field's cell-interval distribution."""
+
+    num_cells: int
+    value_lo: float
+    value_hi: float
+    #: Histogram grid (bin edges), length ``bins + 1``.
+    edges: np.ndarray
+    #: cum_low[k] = number of cells with vmin <= edges[k].
+    cum_low: np.ndarray
+    #: cum_high[k] = number of cells with vmax <= edges[k].
+    cum_high: np.ndarray
+    mean_interval_extent: float
+
+    @classmethod
+    def from_field(cls, field: Field, bins: int = 64) -> "FieldStatistics":
+        """Collect statistics from a field's cell records."""
+        records = field.cell_records()
+        return cls.from_intervals(
+            records["vmin"].astype(np.float64),
+            records["vmax"].astype(np.float64), bins=bins)
+
+    @classmethod
+    def from_intervals(cls, vmins: np.ndarray, vmaxs: np.ndarray,
+                       bins: int = 64) -> "FieldStatistics":
+        """Collect statistics from raw interval endpoint arrays."""
+        if bins < 1:
+            raise ValueError(f"bins must be >= 1, got {bins}")
+        vmins = np.asarray(vmins, dtype=np.float64)
+        vmaxs = np.asarray(vmaxs, dtype=np.float64)
+        if len(vmins) != len(vmaxs):
+            raise ValueError("endpoint arrays must have equal length")
+        if len(vmins) == 0:
+            raise ValueError("no intervals to summarize")
+        lo = float(vmins.min())
+        hi = float(vmaxs.max())
+        edges = np.linspace(lo, hi, bins + 1)
+        cum_low = np.searchsorted(np.sort(vmins), edges, side="right")
+        cum_high = np.searchsorted(np.sort(vmaxs), edges, side="right")
+        return cls(
+            num_cells=len(vmins),
+            value_lo=lo,
+            value_hi=hi,
+            edges=edges,
+            cum_low=cum_low.astype(np.float64),
+            cum_high=cum_high.astype(np.float64),
+            mean_interval_extent=float((vmaxs - vmins).mean()),
+        )
+
+    # -- estimation --------------------------------------------------------
+
+    def _cum(self, table: np.ndarray, value: float) -> float:
+        """Interpolated count of endpoints <= ``value``."""
+        if value < self.edges[0]:
+            return 0.0
+        if value >= self.edges[-1]:
+            return float(table[-1])
+        return float(np.interp(value, self.edges, table))
+
+    def estimate_candidates(self, lo: float, hi: float) -> float:
+        """Estimated number of cells whose interval intersects [lo, hi]."""
+        if lo > hi:
+            raise ValueError(f"empty query: lo={lo} > hi={hi}")
+        n = float(self.num_cells)
+        # Cells entirely above the query: vmin > hi.
+        above = n - self._cum(self.cum_low, hi)
+        # Cells entirely below the query: vmax < lo.
+        below = self._cum(self.cum_high, lo)
+        return max(0.0, n - above - below)
+
+    def estimate_selectivity(self, lo: float, hi: float) -> float:
+        """Estimated candidate fraction in [0, 1]."""
+        return self.estimate_candidates(lo, hi) / self.num_cells
+
+    def describe(self) -> dict:
+        """Summary used in reports."""
+        span = self.value_hi - self.value_lo
+        return {
+            "cells": self.num_cells,
+            "value_range": (self.value_lo, self.value_hi),
+            "mean_interval_extent": self.mean_interval_extent,
+            "relative_interval_extent": (self.mean_interval_extent / span
+                                         if span > 0 else 0.0),
+            "bins": len(self.edges) - 1,
+        }

@@ -1,0 +1,44 @@
+"""Subfields: contiguous runs of linearized cells with similar values.
+
+A subfield (paper §3) is described by its value interval and by the
+``(ptr_start, ptr_end)`` pair of record ids delimiting its cells in the
+clustered cell file — exactly the leaf-entry layout of paper Fig. 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geometry import Interval
+
+
+@dataclass(frozen=True, slots=True)
+class Subfield:
+    """One subfield of a grouped value index."""
+
+    sf_id: int
+    lo: float
+    hi: float
+    ptr_start: int   # first cell rid (inclusive)
+    ptr_end: int     # last cell rid (inclusive)
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"empty subfield interval [{self.lo}, {self.hi}]")
+        if self.ptr_start > self.ptr_end:
+            raise ValueError(
+                f"empty cell range [{self.ptr_start}, {self.ptr_end}]")
+
+    @property
+    def num_cells(self) -> int:
+        """Number of cells the subfield covers."""
+        return self.ptr_end - self.ptr_start + 1
+
+    @property
+    def interval(self) -> Interval:
+        """The subfield's value interval."""
+        return Interval(self.lo, self.hi)
+
+    def intersects(self, lo: float, hi: float) -> bool:
+        """True when the subfield may contain values in ``[lo, hi]``."""
+        return self.lo <= hi and lo <= self.hi

@@ -1,0 +1,27 @@
+"""Space-filling curves: Hilbert (2-D and n-D), Z-order, Gray code."""
+
+from .base import SpaceFillingCurve
+from .clustering import average_clusters, count_runs, region_runs
+from .graycode import GrayCodeCurve, gray_decode, gray_encode
+from .hilbert import HilbertCurve2D, HilbertCurveND
+from .zorder import ZOrderCurve
+
+CURVES = {
+    "hilbert": HilbertCurve2D,
+    "zorder": ZOrderCurve,
+    "gray": GrayCodeCurve,
+}
+
+__all__ = [
+    "CURVES",
+    "GrayCodeCurve",
+    "HilbertCurve2D",
+    "HilbertCurveND",
+    "SpaceFillingCurve",
+    "ZOrderCurve",
+    "average_clusters",
+    "count_runs",
+    "gray_decode",
+    "gray_encode",
+    "region_runs",
+]

@@ -1,0 +1,71 @@
+"""Common interface for space-filling curves.
+
+A curve of a given *order* visits every point of a ``2^order``-per-side grid
+exactly once (paper §3.1.2).  Implementations provide both directions
+(coordinates → curve index and back) plus a vectorized index computation
+used to linearize hundreds of thousands of cell centroids at build time.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class SpaceFillingCurve(abc.ABC):
+    """Bijection between grid coordinates and a 1-D visiting order."""
+
+    #: Short name used in reports and ablation tables.
+    name: str = "curve"
+
+    def __init__(self, order: int, dim: int = 2) -> None:
+        if order < 1:
+            raise ValueError(f"curve order must be >= 1, got {order}")
+        if dim < 1:
+            raise ValueError(f"curve dimension must be >= 1, got {dim}")
+        self.order = order
+        self.dim = dim
+
+    @property
+    def side(self) -> int:
+        """Grid points per side, ``2^order``."""
+        return 1 << self.order
+
+    @property
+    def size(self) -> int:
+        """Total number of grid points, ``2^(order*dim)``."""
+        return 1 << (self.order * self.dim)
+
+    @abc.abstractmethod
+    def index(self, coords: tuple[int, ...]) -> int:
+        """Curve position of one grid point."""
+
+    @abc.abstractmethod
+    def coords(self, index: int) -> tuple[int, ...]:
+        """Grid point at one curve position."""
+
+    def indices(self, coords: np.ndarray) -> np.ndarray:
+        """Curve positions for an ``(n, dim)`` integer coordinate array.
+
+        The default implementation loops; subclasses override with
+        vectorized arithmetic where it matters (2-D Hilbert, Z-order).
+        """
+        coords = np.asarray(coords)
+        return np.fromiter(
+            (self.index(tuple(int(c) for c in row)) for row in coords),
+            dtype=np.int64, count=len(coords))
+
+    def _check_coords(self, coords: tuple[int, ...]) -> None:
+        if len(coords) != self.dim:
+            raise ValueError(
+                f"expected {self.dim} coordinates, got {len(coords)}")
+        for c in coords:
+            if not 0 <= c < self.side:
+                raise ValueError(
+                    f"coordinate {c} outside grid [0, {self.side})")
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.size:
+            raise ValueError(
+                f"index {index} outside curve range [0, {self.size})")

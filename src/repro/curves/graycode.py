@@ -1,0 +1,58 @@
+"""Gray-code curve (Faloutsos 1989), third curve of the paper's trio.
+
+The curve visits grid points in the rank order of the Gray code of their
+bit-interleaved coordinates: consecutive curve positions differ in exactly
+one bit of the interleaved word, i.e. they are neighbors along one axis at
+some resolution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import SpaceFillingCurve
+from .zorder import ZOrderCurve
+
+
+def gray_encode(value: int) -> int:
+    """Binary-reflected Gray code of ``value``."""
+    return value ^ (value >> 1)
+
+
+def gray_decode(code: int) -> int:
+    """Rank of a binary-reflected Gray code."""
+    value = 0
+    while code:
+        value ^= code
+        code >>= 1
+    return value
+
+
+class GrayCodeCurve(SpaceFillingCurve):
+    """Orders points by the Gray-code rank of their Morton code."""
+
+    name = "gray"
+
+    def __init__(self, order: int, dim: int = 2) -> None:
+        super().__init__(order, dim)
+        self._morton = ZOrderCurve(order, dim)
+
+    def index(self, coords: tuple[int, ...]) -> int:
+        self._check_coords(coords)
+        return gray_decode(self._morton.index(coords))
+
+    def coords(self, index: int) -> tuple[int, ...]:
+        self._check_index(index)
+        return self._morton.coords(gray_encode(index))
+
+    def indices(self, coords: np.ndarray) -> np.ndarray:
+        """Vectorized Gray-code ranks for an ``(n, dim)`` array."""
+        morton = self._morton.indices(coords)
+        # Vectorized Gray decode: prefix XOR over bit shifts.
+        value = morton.copy()
+        shift = 1
+        bits = self.order * self.dim
+        while shift < bits:
+            value ^= value >> shift
+            shift <<= 1
+        return value

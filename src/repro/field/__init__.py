@@ -1,0 +1,62 @@
+"""Continuous field data model: DEM grids, TINs, interpolation, estimation."""
+
+from .base import Field
+from .delaunay import triangulate
+from .dem import DEM_RECORD_DTYPE, DEMField
+from .extraction import AnswerRegion, extract_regions, total_area
+from .isolines import (
+    IsolineSegment,
+    extract_isolines,
+    total_length,
+    triangle_level_segment,
+)
+from .interpolation import (
+    barycentric_coordinates,
+    bilinear,
+    inverse_distance,
+    linear_triangle,
+    nearest,
+    plane_coefficients,
+    triangle_band_fraction,
+    triangle_fraction_below,
+)
+from .temporal import TemporalField
+from .tin import TIN_RECORD_DTYPE, TINField
+from .vector import VectorField, triangle_min_magnitude
+from .volume import (
+    VOLUME_RECORD_DTYPE,
+    VolumeField,
+    tetrahedron_band_fraction,
+    tetrahedron_fraction_below,
+)
+
+__all__ = [
+    "AnswerRegion",
+    "IsolineSegment",
+    "VOLUME_RECORD_DTYPE",
+    "VectorField",
+    "VolumeField",
+    "extract_isolines",
+    "tetrahedron_band_fraction",
+    "tetrahedron_fraction_below",
+    "total_length",
+    "triangle_level_segment",
+    "triangle_min_magnitude",
+    "DEMField",
+    "DEM_RECORD_DTYPE",
+    "Field",
+    "TINField",
+    "TemporalField",
+    "TIN_RECORD_DTYPE",
+    "barycentric_coordinates",
+    "bilinear",
+    "extract_regions",
+    "inverse_distance",
+    "linear_triangle",
+    "nearest",
+    "plane_coefficients",
+    "total_area",
+    "triangle_band_fraction",
+    "triangle_fraction_below",
+    "triangulate",
+]

@@ -1,0 +1,223 @@
+"""Bowyer–Watson Delaunay triangulation, from scratch.
+
+Builds the TIN substrate without external geometry libraries.  Points are
+inserted incrementally: the triangle containing the new point is found by
+*walking* across edge neighbors, the conflicting cavity is flooded via the
+in-circumcircle test, and the cavity is retriangulated around the point.
+Expected cost is near O(n·√n) on random inputs, fast enough for the
+paper-scale TINs (~10⁴ points).
+
+``triangulate(points)`` returns index triples with counter-clockwise
+orientation; ties (cocircular quadruples) resolve arbitrarily but the
+Delaunay property (no point strictly inside any circumcircle) always holds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+Edge = tuple[int, int]
+
+
+def _orient(ax, ay, bx, by, cx, cy) -> float:
+    """Twice the signed area of triangle abc (>0 = counter-clockwise)."""
+    return (bx - ax) * (cy - ay) - (cx - ax) * (by - ay)
+
+
+def _in_circumcircle(pts, tri: tuple[int, int, int], px: float,
+                     py: float) -> bool:
+    """True when (px, py) lies strictly inside tri's circumcircle."""
+    ax, ay = pts[tri[0]]
+    bx, by = pts[tri[1]]
+    cx, cy = pts[tri[2]]
+    adx, ady = ax - px, ay - py
+    bdx, bdy = bx - px, by - py
+    cdx, cdy = cx - px, cy - py
+    det = ((adx * adx + ady * ady) * (bdx * cdy - cdx * bdy)
+           - (bdx * bdx + bdy * bdy) * (adx * cdy - cdx * ady)
+           + (cdx * cdx + cdy * cdy) * (adx * bdy - bdx * ady))
+    return det > 0.0
+
+
+class _Mesh:
+    """Triangle soup with edge-adjacency, supporting cavity surgery."""
+
+    def __init__(self, pts: list[tuple[float, float]]) -> None:
+        self.pts = pts
+        self.triangles: dict[int, tuple[int, int, int]] = {}
+        self.edge_map: dict[Edge, list[int]] = {}
+        self._next_id = 0
+
+    @staticmethod
+    def _edge(a: int, b: int) -> Edge:
+        return (a, b) if a < b else (b, a)
+
+    def add(self, tri: tuple[int, int, int]) -> int:
+        a, b, c = tri
+        ax, ay = self.pts[a]
+        bx, by = self.pts[b]
+        cx, cy = self.pts[c]
+        if _orient(ax, ay, bx, by, cx, cy) < 0:
+            tri = (a, c, b)
+        tid = self._next_id
+        self._next_id += 1
+        self.triangles[tid] = tri
+        for e in self._edges(tri):
+            self.edge_map.setdefault(e, []).append(tid)
+        return tid
+
+    def remove(self, tid: int) -> None:
+        tri = self.triangles.pop(tid)
+        for e in self._edges(tri):
+            owners = self.edge_map[e]
+            owners.remove(tid)
+            if not owners:
+                del self.edge_map[e]
+
+    def neighbors(self, tid: int) -> list[int]:
+        result = []
+        for e in self._edges(self.triangles[tid]):
+            for other in self.edge_map[e]:
+                if other != tid:
+                    result.append(other)
+        return result
+
+    def _edges(self, tri: tuple[int, int, int]) -> list[Edge]:
+        a, b, c = tri
+        return [self._edge(a, b), self._edge(b, c), self._edge(c, a)]
+
+    def contains(self, tid: int, px: float, py: float,
+                 eps: float = 1e-12) -> bool:
+        a, b, c = self.triangles[tid]
+        ax, ay = self.pts[a]
+        bx, by = self.pts[b]
+        cx, cy = self.pts[c]
+        return (_orient(ax, ay, bx, by, px, py) >= -eps
+                and _orient(bx, by, cx, cy, px, py) >= -eps
+                and _orient(cx, cy, ax, ay, px, py) >= -eps)
+
+    def walk(self, start: int, px: float, py: float) -> int:
+        """Locate the triangle containing (px, py) by edge walking."""
+        tid = start
+        visited = set()
+        for _step in range(4 * len(self.triangles) + 16):
+            if tid in visited:
+                break
+            visited.add(tid)
+            tri = self.triangles[tid]
+            a, b, c = tri
+            moved = False
+            for u, v in ((a, b), (b, c), (c, a)):
+                ux, uy = self.pts[u]
+                vx, vy = self.pts[v]
+                if _orient(ux, uy, vx, vy, px, py) < -1e-12:
+                    owners = self.edge_map[self._edge(u, v)]
+                    nxt = [t for t in owners if t != tid]
+                    if nxt:
+                        tid = nxt[0]
+                        moved = True
+                        break
+            if not moved:
+                return tid
+        # Degenerate walk (can happen on near-collinear input): fall back
+        # to an exhaustive scan, which is always correct.
+        for cand, _tri in self.triangles.items():
+            if self.contains(cand, px, py):
+                return cand
+        raise ValueError(f"point ({px}, {py}) outside the triangulation")
+
+
+def _conflicts(pts, tri: tuple[int, int, int], px: float, py: float,
+               first_super: int) -> bool:
+    """Does p invalidate this triangle (symbolic super-vertex handling)?
+
+    Super-triangle vertices act as points at infinity: the circumcircle
+    of a triangle with one infinite vertex degenerates to the half-plane
+    left of its finite (CCW) edge.  This keeps hull slivers with enormous
+    circumcircles exact, where a numeric incircle test against far-away
+    super coordinates loses.
+    """
+    a, b, c = tri
+    supers = (a >= first_super) + (b >= first_super) + (c >= first_super)
+    if supers == 0:
+        return _in_circumcircle(pts, tri, px, py)
+    if supers == 1:
+        if a >= first_super:
+            u, v = b, c
+        elif b >= first_super:
+            u, v = c, a
+        else:
+            u, v = a, b
+        return _orient(pts[u][0], pts[u][1], pts[v][0], pts[v][1],
+                       px, py) > 0.0
+    # Two infinite vertices: the region is an unbounded corner wedge of
+    # the super triangle; no finite point invalidates it.
+    return False
+
+
+def triangulate(points: np.ndarray) -> np.ndarray:
+    """Delaunay triangulation of ``(n, 2)`` points.
+
+    Returns an ``(m, 3)`` int array of CCW vertex-index triples covering
+    the convex hull.  Requires at least 3 non-collinear points.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError(f"expected (n, 2) points, got shape {points.shape}")
+    n = len(points)
+    if n < 3:
+        raise ValueError(f"need at least 3 points, got {n}")
+
+    lo = points.min(axis=0)
+    hi = points.max(axis=0)
+    span = float(max(hi[0] - lo[0], hi[1] - lo[1], 1e-9))
+    cx, cy = (lo + hi) / 2.0
+    # Super-triangle comfortably containing every point.
+    pts: list[tuple[float, float]] = [tuple(p) for p in points]
+    s0 = len(pts)
+    pts.append((cx - 20.0 * span, cy - 10.0 * span))
+    pts.append((cx + 20.0 * span, cy - 10.0 * span))
+    pts.append((cx, cy + 20.0 * span))
+
+    mesh = _Mesh(pts)
+    last = mesh.add((s0, s0 + 1, s0 + 2))
+
+    order = np.argsort(
+        points[:, 0] * 1e-3 + points[:, 1])  # mild spatial locality
+    for idx in order:
+        px, py = pts[idx]
+        container = mesh.walk(last, px, py)
+        # Flood the cavity of triangles whose circumcircle contains p.
+        cavity = {container}
+        frontier = [container]
+        while frontier:
+            tid = frontier.pop()
+            for nb in mesh.neighbors(tid):
+                if nb in cavity:
+                    continue
+                if _conflicts(pts, mesh.triangles[nb], px, py, s0):
+                    cavity.add(nb)
+                    frontier.append(nb)
+        # Boundary edges appear in exactly one cavity triangle.
+        edge_count: dict[Edge, int] = {}
+        edge_orient: dict[Edge, tuple[int, int]] = {}
+        for tid in cavity:
+            a, b, c = mesh.triangles[tid]
+            for u, v in ((a, b), (b, c), (c, a)):
+                e = mesh._edge(u, v)
+                edge_count[e] = edge_count.get(e, 0) + 1
+                edge_orient[e] = (u, v)
+        for tid in cavity:
+            mesh.remove(tid)
+        last = container  # will be replaced below
+        for e, count in edge_count.items():
+            if count != 1:
+                continue
+            u, v = edge_orient[e]
+            last = mesh.add((u, v, int(idx)))
+
+    result = [tri for tri in mesh.triangles.values()
+              if all(v < s0 for v in tri)]
+    if not result:
+        raise ValueError("degenerate input: all points collinear")
+    return np.array(result, dtype=np.int64)

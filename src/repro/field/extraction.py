@@ -1,0 +1,66 @@
+"""The estimation step: exact answer regions inside candidate cells.
+
+Implements algorithm ``Estimate`` from paper §3.2.  After the filtering
+step hands back candidate cell records, each cell's linear sub-triangles
+are clipped against the value band ``[lo, hi]``; the resulting polygons
+(and their total area) are the regions where the field satisfies the
+query.  Clipping is exact because linear interpolation makes the value an
+affine function over each sub-triangle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry import clip_to_value_band, polygon_area
+from .base import Field
+from .interpolation import plane_coefficients
+
+
+@dataclass(frozen=True)
+class AnswerRegion:
+    """One polygonal piece of the answer to a field value query."""
+
+    cell_id: int
+    polygon: tuple[tuple[float, float], ...]
+    area: float
+
+
+def extract_regions(field_type: type[Field], records: np.ndarray,
+                    lo: float, hi: float) -> list[AnswerRegion]:
+    """Exact polygonal answer regions for the given candidate records.
+
+    ``field_type`` supplies the record-to-triangles decomposition
+    (``DEMField`` or ``TINField``).  Degenerate (zero-area) pieces are
+    dropped unless the whole cell is flat and inside the band, in which
+    case the full triangle is reported.
+    """
+    regions: list[AnswerRegion] = []
+    for record in records:
+        cell_id = int(record["cell_id"])
+        for points, values in field_type.record_triangles(record):
+            vmin = min(values)
+            vmax = max(values)
+            if vmax < lo or vmin > hi:
+                continue
+            if vmin == vmax:
+                # Flat triangle fully inside the band.
+                poly = tuple(points)
+                regions.append(
+                    AnswerRegion(cell_id, poly, polygon_area(points)))
+                continue
+            a, b, c = plane_coefficients(points, values)
+            clipped = clip_to_value_band(
+                points, lambda p: a * p[0] + b * p[1] + c, lo, hi)
+            area = polygon_area(clipped)
+            if len(clipped) >= 3 and area > 0.0:
+                regions.append(
+                    AnswerRegion(cell_id, tuple(clipped), area))
+    return regions
+
+
+def total_area(regions: list[AnswerRegion]) -> float:
+    """Sum of region areas."""
+    return sum(region.area for region in regions)

@@ -1,0 +1,148 @@
+"""Interpolation functions over cells.
+
+The paper assumes a *linear* interpolation in its examples and experiments
+(§2.2, §4); we implement it exactly (barycentric over triangles), plus the
+common alternatives (bilinear, nearest neighbor, inverse-distance) so the
+model layer matches the paper's "arbitrary interpolation methods" framing.
+
+Also provided is the closed-form *area fraction* of a linearly interpolated
+triangle below a threshold — the vectorized kernel of the estimation step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+Point2 = tuple[float, float]
+
+
+def plane_coefficients(points, values) -> tuple[float, float, float]:
+    """Coefficients ``(a, b, c)`` with ``v(x, y) = a·x + b·y + c``.
+
+    ``points`` is a 3×2 triangle; raises for degenerate triangles.
+    """
+    (x0, y0), (x1, y1), (x2, y2) = points
+    v0, v1, v2 = values
+    det = (x1 - x0) * (y2 - y0) - (x2 - x0) * (y1 - y0)
+    if det == 0.0:
+        raise ValueError("degenerate triangle has no interpolation plane")
+    a = ((v1 - v0) * (y2 - y0) - (v2 - v0) * (y1 - y0)) / det
+    b = ((v2 - v0) * (x1 - x0) - (v1 - v0) * (x2 - x0)) / det
+    c = v0 - a * x0 - b * y0
+    return (a, b, c)
+
+
+def linear_triangle(point: Point2, points, values) -> float:
+    """Barycentric (linear) interpolation inside a triangle."""
+    a, b, c = plane_coefficients(points, values)
+    return a * point[0] + b * point[1] + c
+
+
+def barycentric_coordinates(point: Point2, points) -> tuple[float, float,
+                                                            float]:
+    """Barycentric coordinates of ``point`` w.r.t. a triangle."""
+    (x0, y0), (x1, y1), (x2, y2) = points
+    det = (x1 - x0) * (y2 - y0) - (x2 - x0) * (y1 - y0)
+    if det == 0.0:
+        raise ValueError("degenerate triangle")
+    l1 = ((point[0] - x0) * (y2 - y0) - (x2 - x0) * (point[1] - y0)) / det
+    l2 = ((x1 - x0) * (point[1] - y0) - (point[0] - x0) * (y1 - y0)) / det
+    return (1.0 - l1 - l2, l1, l2)
+
+
+def bilinear(point: Point2, origin: Point2, size: float,
+             corner_values) -> float:
+    """Bilinear interpolation on a square cell.
+
+    ``corner_values`` are ``(v00, v10, v11, v01)`` at the corners
+    (x0,y0), (x0+s,y0), (x0+s,y0+s), (x0,y0+s).
+    """
+    u = (point[0] - origin[0]) / size
+    v = (point[1] - origin[1]) / size
+    v00, v10, v11, v01 = corner_values
+    return ((1 - u) * (1 - v) * v00 + u * (1 - v) * v10
+            + u * v * v11 + (1 - u) * v * v01)
+
+
+def nearest(point: Point2, points, values) -> float:
+    """Value of the nearest sample point."""
+    pts = np.asarray(points, dtype=float)
+    vals = np.asarray(values, dtype=float)
+    d2 = ((pts - np.asarray(point)) ** 2).sum(axis=1)
+    return float(vals[np.argmin(d2)])
+
+
+def inverse_distance(point: Point2, points, values,
+                     power: float = 2.0) -> float:
+    """Shepard inverse-distance-weighted interpolation."""
+    pts = np.asarray(points, dtype=float)
+    vals = np.asarray(values, dtype=float)
+    d2 = ((pts - np.asarray(point)) ** 2).sum(axis=1)
+    hit = d2 < 1e-24
+    if hit.any():
+        return float(vals[np.argmax(hit)])
+    weights = d2 ** (-power / 2.0)
+    return float((weights * vals).sum() / weights.sum())
+
+
+def triangle_fraction_below(v0, v1, v2, threshold):
+    """Area fraction of a linear triangle where ``value <= threshold``.
+
+    All arguments may be numpy arrays (vectorized over triangles).  For a
+    linear function with vertex values ``v0 <= v1 <= v2`` the sub-level
+    area fraction is the classic piecewise quadratic:
+
+    * 0 below ``v0``;
+    * ``(t−v0)² / ((v1−v0)(v2−v0))`` between ``v0`` and ``v1``;
+    * ``1 − (v2−t)² / ((v2−v1)(v2−v0))`` between ``v1`` and ``v2``;
+    * 1 above ``v2``.
+    """
+    v = np.sort(np.stack([np.asarray(v0, dtype=float),
+                          np.asarray(v1, dtype=float),
+                          np.asarray(v2, dtype=float)]), axis=0)
+    lo, mid, hi = v[0], v[1], v[2]
+    t = np.asarray(threshold, dtype=float)
+    span = hi - lo
+    flat = span <= 0.0
+    # Avoid divide-by-zero on flat triangles; they are handled separately.
+    span = np.where(flat, 1.0, span)
+    low_seg = mid - lo
+    high_seg = hi - mid
+    # Branches with empty segments are masked out below; silence the
+    # overflow/invalid noise their dummy denominators can produce.
+    with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+        frac_low = np.where(
+            low_seg > 0.0,
+            (t - lo) ** 2 / np.where(low_seg > 0, low_seg, 1.0) / span,
+            np.inf)
+        frac_high = 1.0 - np.where(
+            high_seg > 0.0,
+            (hi - t) ** 2 / np.where(high_seg > 0, high_seg, 1.0) / span,
+            np.inf)
+    result = np.where(t <= mid, frac_low, frac_high)
+    # Degenerate segments: when t is in an empty segment the other branch
+    # applies; clamp handles the boundaries exactly.
+    result = np.where(t <= mid,
+                      np.where(low_seg > 0.0, result, 0.0),
+                      np.where(high_seg > 0.0, result, 1.0))
+    result = np.clip(result, 0.0, 1.0)
+    result = np.where(t < lo, 0.0, result)
+    result = np.where(t >= hi, 1.0, result)
+    # A completely flat triangle is fully below iff its value <= t.
+    result = np.where(flat, (t >= lo).astype(float), result)
+    return result
+
+
+def triangle_band_fraction(v0, v1, v2, lo, hi):
+    """Area fraction of a linear triangle where ``lo <= value <= hi``."""
+    below_hi = triangle_fraction_below(v0, v1, v2, hi)
+    below_lo = triangle_fraction_below(v0, v1, v2, lo)
+    frac = below_hi - below_lo
+    # Flat triangles sitting exactly on the band boundary: fraction_below
+    # uses a half-open convention (value <= t), so a flat triangle at
+    # exactly ``lo`` would be counted in both terms and cancel; include it.
+    v = np.stack([np.asarray(v0, float), np.asarray(v1, float),
+                  np.asarray(v2, float)])
+    flat = (v.max(axis=0) - v.min(axis=0)) <= 0.0
+    inside_flat = flat & (v[0] >= lo) & (v[0] <= hi)
+    return np.where(inside_flat, 1.0, np.clip(frac, 0.0, 1.0))

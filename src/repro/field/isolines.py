@@ -1,0 +1,96 @@
+"""Isoline extraction through the value index (paper §2.3's use case).
+
+The related work the paper builds on (van Kreveld's TIN isolines, interval
+trees for isosurfaces) extracts the level set ``F(x) = w`` by finding the
+cells whose interval contains ``w`` — exactly an exact-match field value
+query.  This module turns candidate cell records into line segments: on
+each linear sub-triangle the level set is the segment where the
+interpolation plane crosses ``w``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import Field
+
+Point2 = tuple[float, float]
+
+
+@dataclass(frozen=True)
+class IsolineSegment:
+    """One straight piece of an isoline, inside one cell."""
+
+    cell_id: int
+    start: Point2
+    end: Point2
+
+    @property
+    def length(self) -> float:
+        """Euclidean length of the segment."""
+        return float(np.hypot(self.end[0] - self.start[0],
+                              self.end[1] - self.start[1]))
+
+
+def triangle_level_segment(points, values, level: float
+                           ) -> tuple[Point2, Point2] | None:
+    """Level-set segment of a linear triangle, or None.
+
+    Returns the two crossing points where the plane equals ``level``;
+    degenerate cases (level outside the triangle's range, or a flat
+    triangle exactly at the level) return None — flat regions are area
+    features, not lines.
+    """
+    vmin = min(values)
+    vmax = max(values)
+    if level < vmin or level > vmax or vmin == vmax:
+        return None
+    crossings: list[Point2] = []
+    for a in range(3):
+        b = (a + 1) % 3
+        va, vb = values[a], values[b]
+        if va == vb:
+            if va == level:
+                # An entire edge lies on the level: report it directly.
+                return (tuple(points[a]), tuple(points[b]))
+            continue
+        t = (level - va) / (vb - va)
+        if 0.0 <= t <= 1.0:
+            pa, pb = points[a], points[b]
+            crossings.append((pa[0] + t * (pb[0] - pa[0]),
+                              pa[1] + t * (pb[1] - pa[1])))
+    # Deduplicate crossings that coincide at a shared vertex.
+    unique: list[Point2] = []
+    for p in crossings:
+        if all(abs(p[0] - q[0]) > 1e-12 or abs(p[1] - q[1]) > 1e-12
+               for q in unique):
+            unique.append(p)
+    if len(unique) < 2:
+        return None
+    return (unique[0], unique[1])
+
+
+def extract_isolines(field_type: type[Field], records: np.ndarray,
+                     level: float) -> list[IsolineSegment]:
+    """Isoline segments at ``level`` from candidate cell records.
+
+    ``records`` should come from an exact-match value query
+    (``ValueQuery.exact(level)``) so only contributing cells are
+    processed — the access-method acceleration the paper's related work
+    section describes.
+    """
+    segments: list[IsolineSegment] = []
+    for record in records:
+        cell_id = int(record["cell_id"])
+        for points, values in field_type.record_triangles(record):
+            piece = triangle_level_segment(points, values, level)
+            if piece is not None:
+                segments.append(IsolineSegment(cell_id, *piece))
+    return segments
+
+
+def total_length(segments: list[IsolineSegment]) -> float:
+    """Sum of segment lengths."""
+    return sum(segment.length for segment in segments)

@@ -1,0 +1,124 @@
+"""Spatio-temporal fields (paper §2.1's ``R4``/``R3`` domain with time).
+
+The paper's formal model allows a temporal coordinate ("R4 for 3-D
+spatial and 1-D temporal domain").  A :class:`TemporalField` stacks DEM
+snapshots taken at regular time steps and interpolates linearly in time
+as well as space, which makes the space-time block ``cell × time-step``
+exactly a 3-D linear cell — so the whole machinery of
+:class:`~repro.field.volume.VolumeField` (Kuhn tetrahedra, closed-form
+measures, 3-D Hilbert linearization) applies with the third axis being
+time.  Value queries then return *space-time volume*: "how much
+area-time was hotter than 30°?"; time slices recover plain 2-D fields.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import Interval
+from .dem import DEMField
+from .volume import VolumeField
+
+
+class TemporalField(VolumeField):
+    """A time series of co-registered DEM snapshots.
+
+    Parameters
+    ----------
+    snapshots:
+        ``(steps, rows+1, cols+1)`` vertex values; ``snapshots[t]`` is
+        the field sampled at time ``t0 + t·dt``.  At least two snapshots
+        are required (time interpolation needs an interval).
+    t0, dt:
+        Timestamp of the first snapshot and the step between snapshots.
+    """
+
+    def __init__(self, snapshots: np.ndarray, t0: float = 0.0,
+                 dt: float = 1.0) -> None:
+        snapshots = np.asarray(snapshots, dtype=np.float32)
+        if snapshots.ndim != 3 or snapshots.shape[0] < 2:
+            raise ValueError(
+                f"snapshots must be (steps>=2, rows+1, cols+1), got "
+                f"shape {snapshots.shape}")
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        # VolumeField's z axis is time: samples[k, j, i] = snapshot k.
+        super().__init__(snapshots)
+        self.t0 = float(t0)
+        self.dt = float(dt)
+
+    # -- time handling -----------------------------------------------------
+
+    @property
+    def num_steps(self) -> int:
+        """Number of snapshots."""
+        return self.nz + 1
+
+    @property
+    def time_range(self) -> Interval:
+        """Covered time span ``[t0, t0 + (steps-1)·dt]``."""
+        return Interval(self.t0, self.t0 + self.nz * self.dt)
+
+    def _to_grid_time(self, t: float) -> float:
+        grid_t = (t - self.t0) / self.dt
+        if not 0.0 <= grid_t <= self.nz:
+            raise ValueError(
+                f"time {t} outside the covered range "
+                f"{self.time_range.as_tuple()}")
+        return grid_t
+
+    def value_at_time(self, x: float, y: float, t: float) -> float:
+        """Interpolated value at a space-time point."""
+        return self.value_at(x, y, self._to_grid_time(t))
+
+    def snapshot_at(self, t: float) -> DEMField:
+        """2-D field at time ``t`` (linear blend of the two snapshots)."""
+        grid_t = self._to_grid_time(t)
+        k = min(int(grid_t), self.nz - 1)
+        frac = grid_t - k
+        blended = ((1.0 - frac) * self.samples[k]
+                   + frac * self.samples[k + 1])
+        return DEMField(blended)
+
+    def step_field(self, step: int) -> DEMField:
+        """2-D field of one stored snapshot."""
+        if not 0 <= step < self.num_steps:
+            raise IndexError(
+                f"step {step} out of range [0, {self.num_steps})")
+        return DEMField(self.samples[step])
+
+    # -- temporal analytics ---------------------------------------------------
+
+    def duration_in_band(self, x: float, y: float, lo: float,
+                         hi: float) -> float:
+        """Total time the value at ``(x, y)`` spends inside ``[lo, hi]``.
+
+        Uses the snapshot-blend model (spatial interpolation first, then
+        linear in time): the value at a fixed point is piecewise linear
+        in time, so the in-band duration is exact per time step.  Note
+        the volume queries use the Kuhn tetrahedral interpolant instead;
+        the two linear schemes share all sample values and cell
+        intervals but can differ slightly at generic interior points.
+        """
+        total = 0.0
+        for k in range(self.nz):
+            v0 = self._value_in_snapshot(x, y, k)
+            v1 = self._value_in_snapshot(x, y, k + 1)
+            total += _segment_time_in_band(v0, v1, lo, hi) * self.dt
+        return total
+
+    def _value_in_snapshot(self, x: float, y: float, k: int) -> float:
+        return self.step_field(k).value_at(x, y)
+
+
+def _segment_time_in_band(v0: float, v1: float, lo: float,
+                          hi: float) -> float:
+    """Fraction of a unit time step a linear value spends in [lo, hi]."""
+    if v0 == v1:
+        return 1.0 if lo <= v0 <= hi else 0.0
+    # Times at which the line v(t) = v0 + t (v1 - v0) crosses the band.
+    t_at_lo = (lo - v0) / (v1 - v0)
+    t_at_hi = (hi - v0) / (v1 - v0)
+    t_enter = min(t_at_lo, t_at_hi)
+    t_exit = max(t_at_lo, t_at_hi)
+    return max(0.0, min(1.0, t_exit) - max(0.0, t_enter))

@@ -1,0 +1,197 @@
+"""Vector fields — the paper's future work (§5: "extend our method to
+process value queries in vector field databases such as wind").
+
+A :class:`VectorField` holds two co-registered scalar components (u, v)
+on one DEM grid, each linearly interpolated.  Two query families are
+supported:
+
+* **component queries** — conjunctions of per-component bands, answered
+  exactly through :func:`repro.core.multifield.conjunctive_query`;
+* **magnitude queries** — "where is the wind speed between 10 and 15
+  m/s?".  The magnitude of a linearly interpolated vector is *not*
+  linear, but over each sub-triangle it is a convex function of
+  position, so:
+
+  - its maximum is attained at a vertex, and
+  - its minimum is the distance from the origin to the triangle spanned
+    by the three vertex vectors in (u, v) *value* space —
+
+  which yields **exact** per-cell magnitude intervals.  The estimation
+  step refines candidate sub-triangles by recursive subdivision with
+  interval-based accept/reject, converging to the exact answer area.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import Interval
+from .dem import DEMField
+
+#: Default subdivision depth of the magnitude-area refinement.
+DEFAULT_REFINE_DEPTH = 6
+
+
+def segment_min_distance(px, py, qx, qy) -> np.ndarray:
+    """Vectorized distance from the origin to segments ``p–q``."""
+    dx = qx - px
+    dy = qy - py
+    length2 = dx * dx + dy * dy
+    with np.errstate(invalid="ignore", divide="ignore"):
+        t = np.where(length2 > 0.0,
+                     -(px * dx + py * dy) / np.where(length2 > 0.0,
+                                                     length2, 1.0),
+                     0.0)
+    t = np.clip(t, 0.0, 1.0)
+    cx = px + t * dx
+    cy = py + t * dy
+    return np.hypot(cx, cy)
+
+
+def triangle_min_magnitude(us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+    """Minimum of ``|w|`` over triangles in (u, v) value space.
+
+    ``us``/``vs`` are ``(n, 3)`` vertex components.  The minimum is 0
+    when the origin lies inside the value-space triangle, otherwise the
+    distance to the nearest edge.
+    """
+    us = np.asarray(us, dtype=np.float64)
+    vs = np.asarray(vs, dtype=np.float64)
+    d01 = segment_min_distance(us[:, 0], vs[:, 0], us[:, 1], vs[:, 1])
+    d12 = segment_min_distance(us[:, 1], vs[:, 1], us[:, 2], vs[:, 2])
+    d20 = segment_min_distance(us[:, 2], vs[:, 2], us[:, 0], vs[:, 0])
+    edge_min = np.minimum(np.minimum(d01, d12), d20)
+    # Origin inside the triangle -> the minimum magnitude is zero.
+    c1 = _cross(us[:, 0], vs[:, 0], us[:, 1], vs[:, 1])
+    c2 = _cross(us[:, 1], vs[:, 1], us[:, 2], vs[:, 2])
+    c3 = _cross(us[:, 2], vs[:, 2], us[:, 0], vs[:, 0])
+    inside = ((c1 >= 0) & (c2 >= 0) & (c3 >= 0)) | \
+             ((c1 <= 0) & (c2 <= 0) & (c3 <= 0))
+    return np.where(inside, 0.0, edge_min)
+
+
+def _cross(ax, ay, bx, by):
+    return ax * by - bx * ay
+
+
+class VectorField:
+    """A 2-component vector field on a regular grid (e.g. wind).
+
+    Parameters
+    ----------
+    u_samples, v_samples:
+        ``(rows+1, cols+1)`` vertex grids of the two components.
+    cell_size:
+        Spatial edge length of one square cell.
+    """
+
+    def __init__(self, u_samples: np.ndarray, v_samples: np.ndarray,
+                 cell_size: float = 1.0) -> None:
+        u_samples = np.asarray(u_samples, dtype=np.float64)
+        v_samples = np.asarray(v_samples, dtype=np.float64)
+        if u_samples.shape != v_samples.shape:
+            raise ValueError(
+                f"component shape mismatch: {u_samples.shape} vs "
+                f"{v_samples.shape}")
+        self.u = DEMField(u_samples, cell_size=cell_size)
+        self.v = DEMField(v_samples, cell_size=cell_size)
+
+    @property
+    def num_cells(self) -> int:
+        """Number of cells (shared by both components)."""
+        return self.u.num_cells
+
+    def components_at(self, x: float, y: float) -> tuple[float, float]:
+        """Interpolated ``(u, v)`` at a point."""
+        return (self.u.value_at(x, y), self.v.value_at(x, y))
+
+    def magnitude_at(self, x: float, y: float) -> float:
+        """Interpolated vector magnitude at a point."""
+        u, v = self.components_at(x, y)
+        return float(np.hypot(u, v))
+
+    def direction_at(self, x: float, y: float) -> float:
+        """Vector direction (radians, CCW from +x) at a point."""
+        u, v = self.components_at(x, y)
+        return float(np.arctan2(v, u))
+
+    def magnitude_intervals(self) -> np.ndarray:
+        """Exact per-cell ``[min |w|, max |w|]``, shape ``(n, 2)``.
+
+        Per sub-triangle: max at a vertex (convexity), min by distance
+        from the origin to the value-space triangle; the cell interval is
+        the union over its two sub-triangles.
+        """
+        u_rec = self.u.cell_records()
+        v_rec = self.v.cell_records()
+        uc = u_rec["corners"].astype(np.float64)
+        vc = v_rec["corners"].astype(np.float64)
+        mags = np.hypot(uc, vc)
+        vmax = mags.max(axis=1)
+        lower = triangle_min_magnitude(uc[:, [0, 1, 2]], vc[:, [0, 1, 2]])
+        upper = triangle_min_magnitude(uc[:, [0, 2, 3]], vc[:, [0, 2, 3]])
+        vmin = np.minimum(lower, upper)
+        return np.column_stack([vmin, vmax])
+
+    def magnitude_range(self) -> Interval:
+        """Interval covering every magnitude in the field."""
+        intervals = self.magnitude_intervals()
+        return Interval(float(intervals[:, 0].min()),
+                        float(intervals[:, 1].max()))
+
+    def magnitude_candidates(self, lo: float, hi: float) -> np.ndarray:
+        """Cell ids whose magnitude interval intersects ``[lo, hi]``."""
+        intervals = self.magnitude_intervals()
+        mask = (intervals[:, 0] <= hi) & (intervals[:, 1] >= lo)
+        return np.nonzero(mask)[0]
+
+    def magnitude_area(self, lo: float, hi: float,
+                       depth: int = DEFAULT_REFINE_DEPTH) -> float:
+        """Area (cell units) where ``lo <= |w| <= hi``.
+
+        Candidate sub-triangles are refined by recursive bisection: a
+        triangle whose magnitude interval lies inside the band is
+        accepted whole, a disjoint one rejected, others split into four;
+        at the depth limit the midpoint decides.  Error is bounded by
+        the total area of still-ambiguous leaves, which shrinks
+        geometrically with ``depth``.
+        """
+        if lo > hi:
+            raise ValueError(f"empty band: lo={lo} > hi={hi}")
+        u_rec = self.u.cell_records()
+        v_rec = self.v.cell_records()
+        candidates = self.magnitude_candidates(lo, hi)
+        total = 0.0
+        for cid in candidates:
+            uc = u_rec["corners"][cid].astype(np.float64)
+            vc = v_rec["corners"][cid].astype(np.float64)
+            for idx in ((0, 1, 2), (0, 2, 3)):
+                total += 0.5 * _refine_triangle(
+                    uc[list(idx)], vc[list(idx)], lo, hi, depth)
+        return total
+
+
+def _refine_triangle(us: np.ndarray, vs: np.ndarray, lo: float,
+                     hi: float, depth: int) -> float:
+    """Fraction of a (value-space linear) triangle inside the band."""
+    mags = np.hypot(us, vs)
+    tmax = mags.max()
+    tmin = float(triangle_min_magnitude(us[None, :], vs[None, :])[0])
+    if tmin > hi or tmax < lo:
+        return 0.0
+    if tmin >= lo and tmax <= hi:
+        return 1.0
+    if depth == 0:
+        center = (np.hypot(us.mean(), vs.mean()))
+        return 1.0 if lo <= center <= hi else 0.0
+    m01u, m01v = (us[0] + us[1]) / 2, (vs[0] + vs[1]) / 2
+    m12u, m12v = (us[1] + us[2]) / 2, (vs[1] + vs[2]) / 2
+    m20u, m20v = (us[2] + us[0]) / 2, (vs[2] + vs[0]) / 2
+    children = (
+        (np.array([us[0], m01u, m20u]), np.array([vs[0], m01v, m20v])),
+        (np.array([m01u, us[1], m12u]), np.array([m01v, vs[1], m12v])),
+        (np.array([m20u, m12u, us[2]]), np.array([m20v, m12v, vs[2]])),
+        (np.array([m01u, m12u, m20u]), np.array([m01v, m12v, m20v])),
+    )
+    return sum(_refine_triangle(cu, cv, lo, hi, depth - 1)
+               for cu, cv in children) / 4.0

@@ -1,0 +1,72 @@
+"""1-D value intervals — the unit the paper indexes.
+
+An :class:`Interval` is the one-dimensional MBR of all values (explicit and
+interpolated) inside a cell or subfield.  The paper's *interval size*
+convention (§3.1.2) is ``max − min + 1`` so that a constant cell still has
+size 1; the additive unit is configurable because the experiments normalize
+value space to ``[0, 1]`` where a unit of 1 would swamp the geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """Closed interval ``[lo, hi]`` on the value domain."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval: lo={self.lo} > hi={self.hi}")
+
+    @classmethod
+    def of(cls, *values: float) -> "Interval":
+        """Smallest interval covering every given value."""
+        if not values:
+            raise ValueError("Interval.of() needs at least one value")
+        return cls(min(values), max(values))
+
+    @property
+    def length(self) -> float:
+        """Geometric extent ``hi − lo``."""
+        return self.hi - self.lo
+
+    def size(self, unit: float = 1.0) -> float:
+        """Paper's interval size ``max − min + unit`` (§3.1.2)."""
+        return self.hi - self.lo + unit
+
+    def contains(self, value: float) -> bool:
+        """True when ``lo <= value <= hi``."""
+        return self.lo <= value <= self.hi
+
+    def intersects(self, other: "Interval") -> bool:
+        """True when the closed intervals share at least one point."""
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    def intersection(self, other: "Interval") -> "Interval | None":
+        """Common sub-interval, or None when disjoint."""
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            return None
+        return Interval(lo, hi)
+
+    def union(self, other: "Interval") -> "Interval":
+        """Smallest interval covering both operands."""
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def expanded(self, value: float) -> "Interval":
+        """Smallest interval covering self and ``value``."""
+        if value < self.lo:
+            return Interval(value, self.hi)
+        if value > self.hi:
+            return Interval(self.lo, value)
+        return self
+
+    def as_tuple(self) -> tuple[float, float]:
+        """``(lo, hi)`` pair, for serialization."""
+        return (self.lo, self.hi)

@@ -1,0 +1,15 @@
+"""R*-tree access method (Beckmann et al.), page-backed and I/O-accounted."""
+
+from .node import Node, entry_dtype, node_capacity
+from .split import choose_split_axis, choose_split_index, rstar_split
+from .tree import RStarTree
+
+__all__ = [
+    "Node",
+    "RStarTree",
+    "choose_split_axis",
+    "choose_split_index",
+    "entry_dtype",
+    "node_capacity",
+    "rstar_split",
+]

@@ -1,0 +1,96 @@
+"""R*-tree nodes and their on-page representation.
+
+A node occupies exactly one 4 KiB page.  Entries are ``(Rect, id)`` pairs:
+in internal nodes the id is a child page id, in leaves it is an opaque
+data id (a cell rid for I-All, a subfield id for I-Hilbert).  The byte
+layout is a small header followed by a packed numpy record array, so node
+capacity — and therefore tree height — derives honestly from the page size.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ..geometry import Rect
+
+#: Node header: leaf flag (1 byte), pad, entry count (uint32).
+_HEADER = struct.Struct("<B3xI")
+
+
+def entry_dtype(dim: int) -> np.dtype:
+    """Record dtype of one serialized entry for a ``dim``-D tree."""
+    return np.dtype([("lows", np.float64, (dim,)),
+                     ("highs", np.float64, (dim,)),
+                     ("id", np.int64)])
+
+
+def node_capacity(page_size: int, dim: int) -> int:
+    """Maximum entries per node for the given page size."""
+    cap = (page_size - _HEADER.size) // entry_dtype(dim).itemsize
+    if cap < 4:
+        raise ValueError(
+            f"page size {page_size} too small for a {dim}-D node")
+    return cap
+
+
+class Node:
+    """One R*-tree node (in memory)."""
+
+    __slots__ = ("page_id", "is_leaf", "entries")
+
+    def __init__(self, page_id: int, is_leaf: bool,
+                 entries: list[tuple[Rect, int]] | None = None) -> None:
+        self.page_id = page_id
+        self.is_leaf = is_leaf
+        self.entries: list[tuple[Rect, int]] = entries if entries else []
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def mbr(self) -> Rect:
+        """Bounding box of every entry (node must be non-empty)."""
+        if not self.entries:
+            raise ValueError("MBR of an empty node")
+        box = self.entries[0][0]
+        for rect, _unused in self.entries[1:]:
+            box = box.union(rect)
+        return box
+
+    def to_bytes(self, page_size: int, dim: int) -> bytes:
+        """Serialize into one page image."""
+        records = np.empty(len(self.entries), dtype=entry_dtype(dim))
+        for i, (rect, ident) in enumerate(self.entries):
+            records[i] = (rect.lows, rect.highs, ident)
+        payload = _HEADER.pack(1 if self.is_leaf else 0,
+                               len(self.entries)) + records.tobytes()
+        if len(payload) > page_size:
+            raise ValueError(
+                f"node with {len(self.entries)} entries overflows the page")
+        return payload
+
+    @classmethod
+    def read_arrays(cls, data: bytes, dim: int) -> tuple[bool, np.ndarray]:
+        """Fast path: ``(is_leaf, entry record array)`` without objects.
+
+        Search traversals use this to test intersections vectorized
+        instead of materializing per-entry :class:`~repro.geometry.Rect`
+        objects.
+        """
+        leaf_flag, count = _HEADER.unpack_from(data, 0)
+        records = np.frombuffer(data, dtype=entry_dtype(dim),
+                                count=count, offset=_HEADER.size)
+        return bool(leaf_flag), records
+
+    @classmethod
+    def from_bytes(cls, page_id: int, data: bytes, dim: int) -> "Node":
+        """Deserialize a page image back into a node."""
+        leaf_flag, count = _HEADER.unpack_from(data, 0)
+        records = np.frombuffer(data, dtype=entry_dtype(dim),
+                                count=count, offset=_HEADER.size)
+        entries = [
+            (Rect(tuple(rec["lows"]), tuple(rec["highs"])), int(rec["id"]))
+            for rec in records
+        ]
+        return cls(page_id, bool(leaf_flag), entries)

@@ -1,0 +1,79 @@
+"""The R* split: axis selection by margin, distribution by overlap.
+
+Implements the topological split of Beckmann et al. (SIGMOD 1990), the
+index structure the paper uses for interval MBRs (§3).  Given an
+overflowing entry list, :func:`rstar_split` returns the two entry groups.
+"""
+
+from __future__ import annotations
+
+from ..geometry import Rect
+
+Entry = tuple[Rect, int]
+
+
+def _group_mbr(entries: list[Entry]) -> Rect:
+    box = entries[0][0]
+    for rect, _unused in entries[1:]:
+        box = box.union(rect)
+    return box
+
+
+def _distributions(entries: list[Entry], min_fill: int):
+    """Yield every (first-group, second-group) split position."""
+    for k in range(min_fill, len(entries) - min_fill + 1):
+        yield entries[:k], entries[k:]
+
+
+def choose_split_axis(entries: list[Entry], min_fill: int, dim: int) -> int:
+    """Axis whose sorted distributions have the least total margin."""
+    best_axis = 0
+    best_margin = float("inf")
+    for axis in range(dim):
+        margin = 0.0
+        for key in (_low_key(axis), _high_key(axis)):
+            ordered = sorted(entries, key=key)
+            for left, right in _distributions(ordered, min_fill):
+                margin += _group_mbr(left).margin()
+                margin += _group_mbr(right).margin()
+        if margin < best_margin:
+            best_margin = margin
+            best_axis = axis
+    return best_axis
+
+
+def choose_split_index(entries: list[Entry], min_fill: int,
+                       axis: int) -> tuple[list[Entry], list[Entry]]:
+    """Distribution on ``axis`` with minimal overlap (ties: minimal area)."""
+    best: tuple[list[Entry], list[Entry]] | None = None
+    best_overlap = float("inf")
+    best_area = float("inf")
+    for key in (_low_key(axis), _high_key(axis)):
+        ordered = sorted(entries, key=key)
+        for left, right in _distributions(ordered, min_fill):
+            left_mbr = _group_mbr(left)
+            right_mbr = _group_mbr(right)
+            overlap = left_mbr.intersection_area(right_mbr)
+            area = left_mbr.area() + right_mbr.area()
+            if (overlap < best_overlap
+                    or (overlap == best_overlap and area < best_area)):
+                best_overlap = overlap
+                best_area = area
+                best = (list(left), list(right))
+    assert best is not None
+    return best
+
+
+def rstar_split(entries: list[Entry], min_fill: int,
+                dim: int) -> tuple[list[Entry], list[Entry]]:
+    """Split an overflowing entry list into two R*-quality groups."""
+    axis = choose_split_axis(entries, min_fill, dim)
+    return choose_split_index(entries, min_fill, axis)
+
+
+def _low_key(axis: int):
+    return lambda entry: (entry[0].lows[axis], entry[0].highs[axis])
+
+
+def _high_key(axis: int):
+    return lambda entry: (entry[0].highs[axis], entry[0].lows[axis])

@@ -1,0 +1,20 @@
+"""Simulated paged storage: disk manager, buffer pool, record files."""
+
+from .buffer import BufferPool
+from .disk import DiskManager, PAGE_SIZE, PageError
+from .records import RecordStore
+from .snapshot import SnapshotError, load_disk, save_disk
+from .stats import CostModelParams, IOStats
+
+__all__ = [
+    "BufferPool",
+    "CostModelParams",
+    "DiskManager",
+    "IOStats",
+    "PAGE_SIZE",
+    "PageError",
+    "RecordStore",
+    "SnapshotError",
+    "load_disk",
+    "save_disk",
+]

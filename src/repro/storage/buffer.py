@@ -1,0 +1,64 @@
+"""LRU buffer pool in front of a :class:`~repro.storage.disk.DiskManager`.
+
+The pool caches decoded page bytes; a hit is charged to
+``IOStats.cache_hits`` instead of a disk read.  Experiments that want cold
+queries call :meth:`BufferPool.clear` between queries.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from .disk import DiskManager
+
+
+class BufferPool:
+    """Write-through LRU cache of pages.
+
+    Parameters
+    ----------
+    disk:
+        Backing file.
+    capacity:
+        Maximum number of cached pages; ``0`` disables caching entirely,
+        turning every access into a disk read.
+    """
+
+    def __init__(self, disk: DiskManager, capacity: int = 128) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.disk = disk
+        self.capacity = capacity
+        self._frames: OrderedDict[int, bytes] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def read(self, page_id: int) -> bytes:
+        """Return page bytes, from cache when resident."""
+        if page_id in self._frames:
+            self._frames.move_to_end(page_id)
+            self.disk.stats.cache_hits += 1
+            return self._frames[page_id]
+        data = self.disk.read(page_id)
+        self._admit(page_id, data)
+        return data
+
+    def write(self, page_id: int, data: bytes) -> None:
+        """Write through to disk and refresh the cached copy."""
+        self.disk.write(page_id, data)
+        if page_id in self._frames or self.capacity:
+            # Re-read nothing: the disk normalizes padding, so mirror that.
+            self._admit(page_id, self.disk._pages[page_id])
+
+    def clear(self) -> None:
+        """Drop every cached frame (simulates a cold cache)."""
+        self._frames.clear()
+
+    def _admit(self, page_id: int, data: bytes) -> None:
+        if not self.capacity:
+            return
+        self._frames[page_id] = data
+        self._frames.move_to_end(page_id)
+        while len(self._frames) > self.capacity:
+            self._frames.popitem(last=False)

@@ -1,0 +1,112 @@
+"""A simulated disk of fixed-size pages.
+
+Each :class:`DiskManager` models one file of 4 KiB pages (the page size used
+in the paper's experiments, §4).  Reads and writes are accounted in an
+:class:`~repro.storage.stats.IOStats` object; a read is classified as
+sequential when it targets the page directly after the previously read page
+of the same file.
+"""
+
+from __future__ import annotations
+
+from .stats import IOStats
+
+#: Page size used throughout the system; matches the paper's 4 KB pages.
+PAGE_SIZE = 4096
+
+
+class PageError(Exception):
+    """Raised for out-of-range page ids or oversized payloads."""
+
+
+class DiskManager:
+    """An in-memory array of pages with I/O accounting.
+
+    Parameters
+    ----------
+    stats:
+        Counter object to charge reads/writes to.  Several files may share
+        one ``IOStats`` so an experiment reports a single aggregate.
+    name:
+        Label used in error messages and debugging output.
+    page_size:
+        Page capacity in bytes; defaults to :data:`PAGE_SIZE`.
+    """
+
+    #: Forward gaps up to this many pages count as streaming past (the
+    #: skipped pages cost transfer time) rather than a full random seek.
+    NEAR_WINDOW = 16
+
+    def __init__(self, stats: IOStats | None = None, name: str = "disk",
+                 page_size: int = PAGE_SIZE,
+                 near_window: int | None = None) -> None:
+        self.stats = stats if stats is not None else IOStats()
+        self.name = name
+        self.page_size = page_size
+        self.near_window = (self.NEAR_WINDOW if near_window is None
+                            else near_window)
+        self._pages: list[bytes] = []
+        self._last_read: int | None = None
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    @property
+    def num_pages(self) -> int:
+        """Number of allocated pages."""
+        return len(self._pages)
+
+    def allocate(self) -> int:
+        """Allocate a zeroed page and return its id."""
+        self._pages.append(bytes(self.page_size))
+        self.stats.pages_allocated += 1
+        return len(self._pages) - 1
+
+    def allocate_many(self, count: int) -> int:
+        """Allocate ``count`` contiguous pages; return the first id."""
+        if count < 0:
+            raise PageError(f"cannot allocate {count} pages")
+        first = len(self._pages)
+        self._pages.extend(bytes(self.page_size) for _ in range(count))
+        self.stats.pages_allocated += count
+        return first
+
+    def read(self, page_id: int) -> bytes:
+        """Return the page contents, charging one accounted read."""
+        self._check(page_id)
+        self.stats.page_reads += 1
+        gap = (page_id - self._last_read - 1
+               if self._last_read is not None else -1)
+        if 0 <= gap <= self.near_window:
+            # Short forward hop: the head streams over the gap.
+            self.stats.sequential_reads += 1
+            self.stats.skipped_pages += gap
+        else:
+            self.stats.random_reads += 1
+        self._last_read = page_id
+        return self._pages[page_id]
+
+    def write(self, page_id: int, data: bytes) -> None:
+        """Replace the page contents, charging one accounted write."""
+        self._check(page_id)
+        if len(data) > self.page_size:
+            raise PageError(
+                f"{self.name}: payload of {len(data)} bytes exceeds page size "
+                f"{self.page_size}")
+        if len(data) < self.page_size:
+            data = bytes(data) + bytes(self.page_size - len(data))
+        self._pages[page_id] = bytes(data)
+        self.stats.page_writes += 1
+
+    def reset_head(self) -> None:
+        """Forget the last-read position (e.g. between queries).
+
+        The next read will count as random, mimicking a cold disk arm.
+        """
+        self._last_read = None
+
+    def _check(self, page_id: int) -> None:
+        if not 0 <= page_id < len(self._pages):
+            raise PageError(
+                f"{self.name}: page {page_id} out of range "
+                f"(file has {len(self._pages)} pages)")

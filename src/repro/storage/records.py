@@ -1,0 +1,171 @@
+"""Fixed-size record files packed into pages.
+
+A :class:`RecordStore` lays numpy-structured records onto consecutive pages
+of a :class:`~repro.storage.disk.DiskManager`.  Record ids are dense
+integers; ``rid // records_per_page`` is the page index inside the store.
+The store is the physical substrate for cell tables (LinearScan reads it
+front to back; I-Hilbert reads clustered rid ranges out of it).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from .buffer import BufferPool
+from .disk import DiskManager, PAGE_SIZE
+
+
+class RecordStore:
+    """Append-only file of fixed-size records.
+
+    Parameters
+    ----------
+    disk:
+        Backing page file.  Pages are allocated on demand, in order, so a
+        store built in one burst is physically contiguous.
+    dtype:
+        numpy structured dtype describing one record.
+    cache_pages:
+        LRU buffer-pool capacity used for reads (0 = uncached).
+    """
+
+    def __init__(self, disk: DiskManager, dtype: np.dtype,
+                 cache_pages: int = 0) -> None:
+        self.disk = disk
+        self.dtype = np.dtype(dtype)
+        if self.dtype.itemsize > disk.page_size:
+            raise ValueError(
+                f"record of {self.dtype.itemsize} bytes does not fit in a "
+                f"{disk.page_size}-byte page")
+        self.records_per_page = disk.page_size // self.dtype.itemsize
+        self.pool = BufferPool(disk, capacity=cache_pages)
+        self._page_ids: list[int] = []
+        self._count = 0
+        self._tail = np.empty(self.records_per_page, dtype=self.dtype)
+        self._tail_len = 0
+        self._tail_has_page = False
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def num_pages(self) -> int:
+        """Number of pages the store occupies (including a partial tail)."""
+        return len(self._page_ids)
+
+    @property
+    def page_ids(self) -> tuple[int, ...]:
+        """Physical page ids, in record order."""
+        return tuple(self._page_ids)
+
+    def append(self, record) -> int:
+        """Append one record (tuple matching the dtype); return its rid."""
+        self._tail[self._tail_len] = record
+        self._tail_len += 1
+        rid = self._count
+        self._count += 1
+        if self._tail_len == self.records_per_page:
+            self._flush_tail()
+        else:
+            self._sync_partial_tail()
+        return rid
+
+    def extend(self, records: np.ndarray | Iterable) -> range:
+        """Append many records; return the rid range they occupy."""
+        arr = np.asarray(records, dtype=self.dtype)
+        first = self._count
+        for start in range(0, len(arr), self.records_per_page):
+            chunk = arr[start:start + self.records_per_page]
+            take = min(len(chunk), self.records_per_page - self._tail_len)
+            self._tail[self._tail_len:self._tail_len + take] = chunk[:take]
+            self._tail_len += take
+            self._count += take
+            if self._tail_len == self.records_per_page:
+                self._flush_tail()
+            rest = chunk[take:]
+            if len(rest):
+                self._tail[:len(rest)] = rest
+                self._tail_len = len(rest)
+                self._count += len(rest)
+            self._sync_partial_tail()
+        return range(first, self._count)
+
+    def update(self, rid: int, record) -> None:
+        """Overwrite one record in place (read-modify-write of its page)."""
+        self._check_rid(rid)
+        page_no, slot = divmod(rid, self.records_per_page)
+        current = np.array(self.read_page(page_no))
+        current[slot] = record
+        self.disk.write(self._page_ids[page_no], current.tobytes())
+        # Keep the in-memory tail mirror coherent for later appends.
+        if self._tail_has_page and page_no == len(self._page_ids) - 1:
+            self._tail[:self._tail_len] = current
+        self.pool.clear()
+
+    def get(self, rid: int) -> np.void:
+        """Read a single record by id (one accounted page read)."""
+        self._check_rid(rid)
+        page_no, slot = divmod(rid, self.records_per_page)
+        return self.read_page(page_no)[slot]
+
+    def read_page(self, page_no: int) -> np.ndarray:
+        """Return the records of one store page as a structured array."""
+        if not 0 <= page_no < len(self._page_ids):
+            raise IndexError(
+                f"page {page_no} out of range (store has "
+                f"{len(self._page_ids)} pages)")
+        raw = self.pool.read(self._page_ids[page_no])
+        n = self._records_on_page(page_no)
+        return np.frombuffer(raw, dtype=self.dtype, count=n)
+
+    def scan(self) -> Iterator[np.ndarray]:
+        """Yield every page's records, front to back (sequential reads)."""
+        for page_no in range(len(self._page_ids)):
+            yield self.read_page(page_no)
+
+    def read_range(self, rid_start: int, rid_end: int) -> np.ndarray:
+        """Read records with ``rid_start <= rid <= rid_end`` (inclusive).
+
+        The underlying pages are fetched in order, so a clustered range
+        costs one random seek plus sequential reads — the access pattern
+        subfields are designed to exploit.
+        """
+        if rid_start > rid_end:
+            return np.empty(0, dtype=self.dtype)
+        self._check_rid(rid_start)
+        self._check_rid(rid_end)
+        first_page = rid_start // self.records_per_page
+        last_page = rid_end // self.records_per_page
+        parts = [self.read_page(p) for p in range(first_page, last_page + 1)]
+        block = np.concatenate(parts) if len(parts) > 1 else parts[0]
+        offset = first_page * self.records_per_page
+        return block[rid_start - offset:rid_end - offset + 1]
+
+    def _records_on_page(self, page_no: int) -> int:
+        if page_no == len(self._page_ids) - 1:
+            last = self._count - page_no * self.records_per_page
+            return last
+        return self.records_per_page
+
+    def _flush_tail(self) -> None:
+        if not self._tail_has_page:
+            self._page_ids.append(self.disk.allocate())
+        self.disk.write(self._page_ids[-1], self._tail.tobytes())
+        self._tail_len = 0
+        self._tail_has_page = False
+
+    def _sync_partial_tail(self) -> None:
+        if not self._tail_len:
+            return
+        if not self._tail_has_page:
+            self._page_ids.append(self.disk.allocate())
+            self._tail_has_page = True
+        self.disk.write(self._page_ids[-1],
+                        self._tail[:self._tail_len].tobytes())
+
+    def _check_rid(self, rid: int) -> None:
+        if not 0 <= rid < self._count:
+            raise IndexError(
+                f"rid {rid} out of range (store holds {self._count} records)")

@@ -1,0 +1,19 @@
+"""Synthetic data and workload generators for the paper's experiments."""
+
+from .fractal import diamond_square, fractal_dem_heights
+from .monotonic import monotonic_field, monotonic_heights
+from .noise import lyon_like, noise_level
+from .queries import value_query_workload
+from .terrain import roseburg_like, roseburg_like_heights
+
+__all__ = [
+    "diamond_square",
+    "fractal_dem_heights",
+    "lyon_like",
+    "monotonic_field",
+    "monotonic_heights",
+    "noise_level",
+    "roseburg_like",
+    "roseburg_like_heights",
+    "value_query_workload",
+]

@@ -1,0 +1,90 @@
+"""Random fractal terrain via the diamond-square algorithm (paper §4.2).
+
+Midpoint-displacement terrain with roughness parameter ``H``: the random
+offset range starts at the full value range and shrinks by ``2^(−H)``
+every subdivision pass, so ``H → 1`` yields smooth hills and ``H → 0``
+jagged noise — exactly the generator (and the parameterization) the
+paper uses for its synthetic experiments (Figs. 9–11).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def diamond_square(order: int, roughness: float,
+                   seed: int | None = None) -> np.ndarray:
+    """Generate a ``(2^order + 1)²`` fractal height grid in ``[-1, 1]``.
+
+    Parameters
+    ----------
+    order:
+        Number of subdivision passes; the grid has ``2^order + 1`` vertices
+        per side.
+    roughness:
+        The paper's ``H`` in [0, 1]; the random range is scaled by
+        ``2^(−H)`` after every pass.
+    seed:
+        RNG seed for reproducibility.
+    """
+    if order < 1:
+        raise ValueError(f"order must be >= 1, got {order}")
+    if not 0.0 <= roughness <= 1.0:
+        raise ValueError(f"roughness must be in [0, 1], got {roughness}")
+    rng = np.random.default_rng(seed)
+    side = (1 << order) + 1
+    grid = np.zeros((side, side), dtype=np.float64)
+    # Initial random heights at the four corners (paper: in [-1, 1]).
+    grid[0, 0], grid[0, -1], grid[-1, 0], grid[-1, -1] = rng.uniform(
+        -1.0, 1.0, size=4)
+
+    scale = 1.0
+    step = side - 1
+    shrink = 2.0 ** (-roughness)
+    while step > 1:
+        half = step // 2
+        # Diamond step: center of every square gets the corner average
+        # plus a random offset.
+        tl = grid[:-1:step, :-1:step]
+        tr = grid[:-1:step, step::step]
+        bl = grid[step::step, :-1:step]
+        br = grid[step::step, step::step]
+        centers = (tl + tr + bl + br) / 4.0
+        offsets = rng.uniform(-scale, scale, size=centers.shape)
+        grid[half::step, half::step] = centers + offsets
+
+        # Square step: remaining edge midpoints get the average of their
+        # (up to four) diamond neighbors plus a random offset.
+        for row_start, col_start in ((0, half), (half, 0)):
+            rows = np.arange(row_start, side, step)
+            cols = np.arange(col_start, side, step)
+            rr, cc = np.meshgrid(rows, cols, indexing="ij")
+            total = np.zeros(rr.shape, dtype=np.float64)
+            count = np.zeros(rr.shape, dtype=np.float64)
+            for dr, dc in ((-half, 0), (half, 0), (0, -half), (0, half)):
+                nr = rr + dr
+                nc = cc + dc
+                valid = ((nr >= 0) & (nr < side)
+                         & (nc >= 0) & (nc < side))
+                total[valid] += grid[nr[valid], nc[valid]]
+                count[valid] += 1.0
+            offsets = rng.uniform(-scale, scale, size=rr.shape)
+            grid[rr, cc] = total / count + offsets
+
+        scale *= shrink
+        step = half
+    return grid
+
+
+def fractal_dem_heights(cells_per_side: int, roughness: float,
+                        seed: int | None = None) -> np.ndarray:
+    """Fractal vertex grid sized for ``cells_per_side`` square cells.
+
+    ``cells_per_side`` must be a power of two; the returned array has
+    ``cells_per_side + 1`` vertices per side.
+    """
+    order = int(np.log2(cells_per_side))
+    if (1 << order) != cells_per_side:
+        raise ValueError(
+            f"cells_per_side must be a power of two, got {cells_per_side}")
+    return diamond_square(order, roughness, seed=seed)

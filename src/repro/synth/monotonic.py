@@ -1,0 +1,21 @@
+"""Synthetic monotonic field ``w(x, y) = x + y`` (paper §4.3, Fig. 12)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..field.dem import DEMField
+
+
+def monotonic_heights(cells_per_side: int) -> np.ndarray:
+    """Vertex grid of the plane ``w = x + y``."""
+    if cells_per_side < 1:
+        raise ValueError(
+            f"cells_per_side must be >= 1, got {cells_per_side}")
+    coords = np.arange(cells_per_side + 1, dtype=np.float64)
+    return coords[None, :] + coords[:, None]
+
+
+def monotonic_field(cells_per_side: int = 512) -> DEMField:
+    """The paper's 512×512 monotonic DEM (size configurable)."""
+    return DEMField(monotonic_heights(cells_per_side))

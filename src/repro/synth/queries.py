@@ -1,0 +1,34 @@
+"""Random interval query workloads (paper §4 protocol).
+
+Queries are parameterized by ``Qinterval``: the query-interval length as a
+fraction of the field's value range normalized to ``[0, 1]``.  Qinterval 0
+is an exact value query.  The paper draws 200 random queries per setting
+and reports the mean execution time; :func:`value_query_workload`
+reproduces that draw deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.query import ValueQuery
+from ..geometry import Interval
+
+
+def value_query_workload(value_range: Interval, qinterval: float,
+                         count: int = 200,
+                         seed: int | None = 0) -> list[ValueQuery]:
+    """Draw ``count`` random value queries of relative length ``qinterval``.
+
+    The query's low endpoint is uniform over the feasible range so the
+    whole query always lies inside the field's value range.
+    """
+    if not 0.0 <= qinterval <= 1.0:
+        raise ValueError(f"qinterval must be in [0, 1], got {qinterval}")
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    rng = np.random.default_rng(seed)
+    span = value_range.hi - value_range.lo
+    length = qinterval * span
+    los = value_range.lo + rng.random(count) * (span - length)
+    return [ValueQuery(float(lo), float(lo + length)) for lo in los]

@@ -1,0 +1,129 @@
+"""Tests for the experiment harness, reporting and CLI."""
+
+import numpy as np
+import pytest
+
+from repro.bench import format_result, run_experiment, standard_methods
+from repro.bench.experiments import EXPERIMENTS, fig7, fig10
+from repro.bench.__main__ import main as bench_main
+from repro.field import DEMField
+from repro.synth import fractal_dem_heights
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    field = DEMField(fractal_dem_heights(16, 0.8, seed=5))
+    return run_experiment("tiny", field, standard_methods(),
+                          qintervals=[0.0, 0.05], queries=5)
+
+
+def test_result_structure(tiny_result):
+    assert tiny_result.name == "tiny"
+    assert tiny_result.field_info["cells"] == 256
+    assert [s.method for s in tiny_result.series] == \
+        ["LinearScan", "I-All", "I-Hilbert"]
+    for series in tiny_result.series:
+        assert series.build_seconds >= 0.0
+        assert len(series.points) == 2
+        for point in series.points:
+            assert point.queries == 5
+            assert point.mean_ms >= point.mean_disk_ms
+            assert point.mean_pages > 0
+            assert point.mean_candidates >= 0
+
+
+def test_workload_identical_across_methods(tiny_result):
+    """Same seeded queries => identical candidate counts per method."""
+    counts = {s.method: [p.mean_candidates for p in s.points]
+              for s in tiny_result.series}
+    reference = counts.pop("LinearScan")
+    for method, values in counts.items():
+        assert values == pytest.approx(reference), method
+
+
+def test_areas_identical_across_methods(tiny_result):
+    areas = [[p.mean_area for p in s.points] for s in tiny_result.series]
+    for other in areas[1:]:
+        assert other == pytest.approx(areas[0])
+
+
+def test_series_accessors(tiny_result):
+    series = tiny_result.series_for("I-Hilbert")
+    assert series.method == "I-Hilbert"
+    point = series.point(0.05)
+    assert point.qinterval == 0.05
+    with pytest.raises(KeyError):
+        tiny_result.series_for("nope")
+    with pytest.raises(KeyError):
+        series.point(0.33)
+
+
+def test_speedup_rows(tiny_result):
+    speedups = tiny_result.speedup("I-Hilbert")
+    assert len(speedups) == 2
+    assert all(s > 0 for s in speedups)
+
+
+def test_linearscan_disk_time_flat(tiny_result):
+    points = tiny_result.series_for("LinearScan").points
+    assert points[0].mean_disk_ms == pytest.approx(points[1].mean_disk_ms)
+
+
+def test_format_result_contains_tables(tiny_result):
+    text = format_result(tiny_result)
+    assert "== tiny ==" in text
+    assert "LinearScan" in text and "I-Hilbert" in text
+    assert "speedup vs LinearScan" in text
+    assert "mean page reads" in text
+
+
+def test_warm_regime_hits_cache():
+    field = DEMField(fractal_dem_heights(16, 0.8, seed=5))
+    result = run_experiment(
+        "warm", field,
+        {"LinearScan": lambda f: standard_methods(cache_pages=4096)[
+            "LinearScan"](f)},
+        qintervals=[0.0], queries=4, cold=False)
+    point = result.series[0].points[0]
+    assert point.mean_disk_ms == 0.0          # fully cached
+    assert point.mean_cache_hits > 0
+
+
+def test_estimate_none_mode():
+    field = DEMField(fractal_dem_heights(16, 0.8, seed=5))
+    result = run_experiment("noest", field, standard_methods(),
+                            qintervals=[0.0], queries=3, estimate="none")
+    for series in result.series:
+        assert series.points[0].mean_area == 0.0
+
+
+def test_registry_contains_every_paper_figure():
+    assert {"fig8a", "fig8b", "fig11", "fig12", "fig7", "fig10",
+            "ablation-cost", "ablation-curve"} <= set(EXPERIMENTS)
+
+
+def test_fig7_output():
+    text = fig7(full=False, seed=0)
+    assert "subfields" in text
+    assert "compression vs I-All" in text
+
+
+def test_fig10_output():
+    text = fig10(seed=0)
+    assert "H=0.2" in text and "H=0.8" in text
+
+
+def test_cli_runs_fig10(capsys):
+    assert bench_main(["fig10"]) == 0
+    out = capsys.readouterr().out
+    assert "fractal roughness" in out
+
+
+def test_cli_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        bench_main(["nonsense"])
+
+
+def test_cli_rejects_full_and_small():
+    with pytest.raises(SystemExit):
+        bench_main(["fig10", "--full", "--small"])

@@ -1,0 +1,52 @@
+"""Tests for the additional experiments (page size, scale, extra methods)."""
+
+import pytest
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    ablation_pagesize,
+    methods_extra,
+    scale_sweep,
+)
+
+
+def test_registry_contains_extras():
+    assert {"ablation-pagesize", "scale", "methods-extra"} <= \
+        set(EXPERIMENTS)
+
+
+def test_pagesize_sweep_structure():
+    results = ablation_pagesize(queries=3)
+    assert len(results) == 3
+    # More pages at smaller page sizes, same candidates everywhere.
+    scan_pages = [r.series_for("LinearScan").points[0].mean_pages
+                  for r in results]
+    assert scan_pages[0] > scan_pages[1] > scan_pages[2]
+    candidates = [r.series_for("LinearScan").points[0].mean_candidates
+                  for r in results]
+    assert candidates[0] == pytest.approx(candidates[1])
+    assert candidates[1] == pytest.approx(candidates[2])
+
+
+def test_scale_sweep_structure():
+    results = scale_sweep(queries=2)
+    assert len(results) == 4
+    cells = [r.field_info["cells"] for r in results]
+    assert cells == sorted(cells)
+    # LinearScan cost grows with the field.
+    scan_ms = [r.series_for("LinearScan").points[0].mean_disk_ms
+               for r in results]
+    assert scan_ms == sorted(scan_ms)
+
+
+def test_methods_extra_runs_all_six():
+    result = methods_extra(queries=2)
+    methods = {s.method for s in result.series}
+    assert methods == {"LinearScan", "I-All", "I-Hilbert", "I-Quadtree",
+                       "I-Tree", "IH+planner"}
+    # Identical workloads: every method sees the same candidates.
+    counts = {s.method: [p.mean_candidates for p in s.points]
+              for s in result.series}
+    reference = counts.pop("LinearScan")
+    for method, values in counts.items():
+        assert values == pytest.approx(reference), method

@@ -1,0 +1,121 @@
+"""Unit and property tests for grouping policies (paper §3.1.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CostBasedGrouping, ThresholdGrouping, group_cells
+
+
+def test_paper_worked_example_costs():
+    """Fig. 5: Subfield 1 costs 21/45 before and 31/58 after adding c5."""
+    policy = CostBasedGrouping(unit=1.0, avg_query=0.0)
+    state = policy.open_group(20.0, 30.0)       # c1, interval size 11
+    state = policy.admit(state, 25.0, 34.0)     # c2, size 10
+    state = policy.admit(state, 20.0, 30.0)     # c3, size 11
+    state = policy.admit(state, 28.0, 40.0)     # c4, size 13
+    assert state is not None
+    assert policy.cost(state) == pytest.approx(21.0 / 45.0, abs=1e-3)
+    # Adding c5 (38..50) would raise the cost to ~31/58: rejected.
+    after = (min(state[0], 38.0), max(state[1], 50.0), state[2] + 13.0)
+    assert policy.cost(after) == pytest.approx(31.0 / 58.0, abs=1e-3)
+    assert policy.admit(state, 38.0, 50.0) is None
+
+
+def test_paper_worked_example_grouping():
+    vmins = [20.0, 25.0, 20.0, 28.0, 38.0]
+    vmaxs = [30.0, 34.0, 30.0, 40.0, 50.0]
+    groups = group_cells(vmins, vmaxs,
+                         CostBasedGrouping(unit=1.0, avg_query=0.0))
+    assert groups[0] == (0, 3)
+    assert groups[1][0] == 4
+
+
+def test_cost_grouping_validation():
+    with pytest.raises(ValueError):
+        CostBasedGrouping(unit=-1.0)
+    with pytest.raises(ValueError):
+        CostBasedGrouping(unit=0.0, avg_query=0.0)
+
+
+def test_identical_cells_merge():
+    policy = CostBasedGrouping(unit=1.0)
+    groups = group_cells([5.0] * 20, [7.0] * 20, policy)
+    assert groups == [(0, 19)]
+
+
+def test_disjoint_values_split():
+    policy = CostBasedGrouping(unit=1.0)
+    vmins = [0.0, 0.0, 1000.0, 1000.0]
+    vmaxs = [1.0, 1.0, 1001.0, 1001.0]
+    groups = group_cells(vmins, vmaxs, policy)
+    assert groups == [(0, 1), (2, 3)]
+
+
+def test_threshold_grouping_respects_bound():
+    policy = ThresholdGrouping(threshold=5.0, unit=1.0)
+    vmins = np.array([0.0, 2.0, 4.0, 6.0, 8.0])
+    vmaxs = vmins + 1.0
+    groups = group_cells(vmins, vmaxs, policy)
+    for start, end in groups:
+        extent = vmaxs[start:end + 1].max() - vmins[start:end + 1].min()
+        assert extent + 1.0 <= 5.0
+
+
+def test_threshold_grouping_validation():
+    with pytest.raises(ValueError):
+        ThresholdGrouping(threshold=0.0)
+
+
+def test_group_cells_empty():
+    assert group_cells([], [], CostBasedGrouping()) == []
+
+
+def test_group_cells_length_mismatch():
+    with pytest.raises(ValueError):
+        group_cells([0.0], [1.0, 2.0], CostBasedGrouping())
+
+
+def test_single_cell_single_group():
+    assert group_cells([1.0], [2.0], CostBasedGrouping()) == [(0, 0)]
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.floats(0, 100, allow_nan=False),
+                          st.floats(0, 10, allow_nan=False)),
+                min_size=1, max_size=80),
+       st.sampled_from(["paper", "normalized", "threshold"]))
+def test_property_groups_tile_input(cells, flavor):
+    """Every grouping policy must tile [0, n) contiguously."""
+    vmins = [lo for lo, _w in cells]
+    vmaxs = [lo + w for lo, w in cells]
+    if flavor == "paper":
+        policy = CostBasedGrouping(unit=1.0, avg_query=0.0)
+    elif flavor == "normalized":
+        policy = CostBasedGrouping(unit=100.0, avg_query=50.0)
+    else:
+        policy = ThresholdGrouping(threshold=20.0)
+    groups = group_cells(vmins, vmaxs, policy)
+    expected = 0
+    for start, end in groups:
+        assert start == expected
+        assert end >= start
+        expected = end + 1
+    assert expected == len(cells)
+
+
+@given(st.lists(st.floats(0, 100, allow_nan=False), min_size=2,
+                max_size=50))
+def test_property_cost_admission_is_strict_improvement(values):
+    """When a cell is admitted, the subfield cost strictly decreases."""
+    policy = CostBasedGrouping(unit=1.0)
+    state = policy.open_group(values[0], values[0] + 1.0)
+    for v in values[1:]:
+        before = policy.cost(state)
+        admitted = policy.admit(state, v, v + 1.0)
+        if admitted is None:
+            state = policy.open_group(v, v + 1.0)
+        else:
+            assert policy.cost(admitted) < before
+            state = admitted

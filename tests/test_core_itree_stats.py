@@ -1,0 +1,166 @@
+"""Unit tests for the interval-tree baseline and field statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    FieldStatistics,
+    IHilbertIndex,
+    ITreeIndex,
+    LinearScanIndex,
+    ValueQuery,
+)
+from repro.core.intervaltree import (
+    build_interval_tree,
+    query_interval_tree,
+    tree_height,
+    tree_size,
+)
+
+
+# ------------------------------------------------------------ interval tree
+
+def brute(lows, highs, lo, hi):
+    return sorted(i for i, (a, b) in enumerate(zip(lows, highs))
+                  if a <= hi and b >= lo)
+
+
+def test_empty_tree():
+    assert build_interval_tree(np.array([]), np.array([]),
+                               np.array([], dtype=np.int64)) is None
+    assert query_interval_tree(None, 0.0, 1.0) == []
+    assert tree_height(None) == 0
+    assert tree_size(None) == 0
+
+
+def test_single_interval():
+    root = build_interval_tree(np.array([1.0]), np.array([3.0]),
+                               np.array([7]))
+    assert query_interval_tree(root, 2.0, 2.5) == [7]
+    assert query_interval_tree(root, 3.0, 4.0) == [7]   # closed boundary
+    assert query_interval_tree(root, 3.1, 4.0) == []
+    assert tree_size(root) == 1
+
+
+def test_random_intervals_match_brute_force():
+    rng = np.random.default_rng(0)
+    lows = rng.uniform(0, 100, 500)
+    highs = lows + rng.uniform(0, 10, 500)
+    root = build_interval_tree(lows, highs,
+                               np.arange(500, dtype=np.int64))
+    assert tree_size(root) == 500
+    for _ in range(50):
+        lo = rng.uniform(-5, 105)
+        hi = lo + rng.uniform(0, 15)
+        got = sorted(query_interval_tree(root, lo, hi))
+        assert got == brute(lows, highs, lo, hi)
+
+
+def test_tree_is_balanced():
+    n = 4096
+    lows = np.arange(n, dtype=float)
+    highs = lows + 0.5
+    root = build_interval_tree(lows, highs, np.arange(n, dtype=np.int64))
+    # A median-split tree over n disjoint intervals stays O(log n).
+    assert tree_height(root) <= 2 * int(np.ceil(np.log2(n))) + 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.floats(0, 50, allow_nan=False),
+                          st.floats(0, 5, allow_nan=False)),
+                min_size=1, max_size=60),
+       st.floats(0, 55, allow_nan=False),
+       st.floats(0, 10, allow_nan=False))
+def test_property_itree_matches_brute(intervals, qlo, qwidth):
+    lows = np.array([a for a, _w in intervals])
+    highs = np.array([a + w for a, w in intervals])
+    root = build_interval_tree(lows, highs,
+                               np.arange(len(intervals), dtype=np.int64))
+    got = sorted(query_interval_tree(root, qlo, qlo + qwidth))
+    assert got == brute(lows, highs, qlo, qlo + qwidth)
+
+
+def test_itree_index_matches_linear_scan(smooth_dem, rng):
+    itree = ITreeIndex(smooth_dem)
+    scan = LinearScanIndex(smooth_dem)
+    vr = smooth_dem.value_range
+    for _ in range(15):
+        lo = vr.lo + rng.random() * vr.length
+        hi = min(vr.hi, lo + rng.random() * vr.length * 0.1)
+        q = ValueQuery(lo, hi)
+        a, b = itree.query(q), scan.query(q)
+        assert a.candidate_count == b.candidate_count
+        assert a.area == pytest.approx(b.area)
+
+
+def test_itree_index_pays_no_index_io(smooth_dem):
+    itree = ITreeIndex(smooth_dem)
+    vr = smooth_dem.value_range
+    itree.clear_caches()
+    result = itree.query(ValueQuery.exact((vr.lo + vr.hi) / 2))
+    # All reads hit the data file (there is no index file at all).
+    assert result.io.page_reads <= itree.data_pages
+    assert itree.index_pages == 0
+    info = itree.describe()
+    assert info["memory_resident"] is True
+    assert info["tree_height"] >= 1
+
+
+# ------------------------------------------------------------ statistics
+
+def test_statistics_exact_bounds(smooth_dem):
+    stats = FieldStatistics.from_field(smooth_dem)
+    vr = smooth_dem.value_range
+    assert stats.num_cells == smooth_dem.num_cells
+    assert stats.value_lo == pytest.approx(vr.lo, abs=1e-5)
+    assert stats.value_hi == pytest.approx(vr.hi, abs=1e-5)
+    # Full-range query: every cell intersects.
+    assert stats.estimate_candidates(vr.lo, vr.hi) == \
+        pytest.approx(smooth_dem.num_cells)
+    # Out-of-range queries: nothing.
+    assert stats.estimate_candidates(vr.hi + 1, vr.hi + 2) == 0.0
+
+
+def test_statistics_accuracy_against_exact_counts(smooth_dem, rng):
+    stats = FieldStatistics.from_field(smooth_dem, bins=128)
+    scan = LinearScanIndex(smooth_dem)
+    vr = smooth_dem.value_range
+    for _ in range(20):
+        lo = vr.lo + rng.random() * vr.length
+        hi = min(vr.hi, lo + rng.random() * vr.length * 0.2)
+        actual = scan.query(ValueQuery(lo, hi)).candidate_count
+        estimated = stats.estimate_candidates(lo, hi)
+        # Histogram estimate within 10% of the cell count.
+        assert abs(estimated - actual) <= 0.1 * smooth_dem.num_cells
+
+
+def test_statistics_selectivity_monotone(smooth_dem):
+    stats = FieldStatistics.from_field(smooth_dem)
+    vr = smooth_dem.value_range
+    mid = (vr.lo + vr.hi) / 2
+    narrow = stats.estimate_selectivity(mid, mid)
+    wide = stats.estimate_selectivity(vr.lo, vr.hi)
+    assert 0.0 <= narrow <= wide <= 1.0
+
+
+def test_statistics_validation():
+    with pytest.raises(ValueError):
+        FieldStatistics.from_intervals(np.array([]), np.array([]))
+    with pytest.raises(ValueError):
+        FieldStatistics.from_intervals(np.array([0.0]), np.array([]))
+    with pytest.raises(ValueError):
+        FieldStatistics.from_intervals(np.array([0.0]), np.array([1.0]),
+                                       bins=0)
+    stats = FieldStatistics.from_intervals(np.array([0.0]),
+                                           np.array([1.0]))
+    with pytest.raises(ValueError):
+        stats.estimate_candidates(2.0, 1.0)
+
+
+def test_statistics_describe(smooth_dem):
+    info = FieldStatistics.from_field(smooth_dem, bins=32).describe()
+    assert info["cells"] == smooth_dem.num_cells
+    assert info["bins"] == 32
+    assert 0.0 < info["relative_interval_extent"] < 1.0

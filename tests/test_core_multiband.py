@@ -1,0 +1,145 @@
+"""Unit and property tests for disjunctive (multi-band) queries."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    IHilbertIndex,
+    LinearScanIndex,
+    ValueQuery,
+    complement_bands,
+    intersect_bands,
+    normalize_bands,
+    union_query,
+)
+
+band = st.tuples(st.floats(0, 100, allow_nan=False),
+                 st.floats(0, 20, allow_nan=False)).map(
+    lambda t: (t[0], t[0] + t[1]))
+
+
+# ------------------------------------------------------------- interval algebra
+
+def test_normalize_merges_overlaps():
+    assert normalize_bands([(0.0, 5.0), (3.0, 8.0)]) == [(0.0, 8.0)]
+
+
+def test_normalize_merges_touching():
+    assert normalize_bands([(0.0, 5.0), (5.0, 8.0)]) == [(0.0, 8.0)]
+
+
+def test_normalize_keeps_disjoint_sorted():
+    assert normalize_bands([(7.0, 9.0), (0.0, 2.0)]) == \
+        [(0.0, 2.0), (7.0, 9.0)]
+
+
+def test_normalize_rejects_empty_band():
+    with pytest.raises(ValueError):
+        normalize_bands([(5.0, 4.0)])
+
+
+def test_normalize_empty_input():
+    assert normalize_bands([]) == []
+
+
+def test_complement_of_middle_band():
+    assert complement_bands([(2.0, 5.0)], 0.0, 10.0) == \
+        [(0.0, 2.0), (5.0, 10.0)]
+
+
+def test_complement_of_nothing_is_everything():
+    assert complement_bands([], 0.0, 1.0) == [(0.0, 1.0)]
+
+
+def test_complement_of_everything_is_nothing():
+    assert complement_bands([(0.0, 1.0)], 0.0, 1.0) == []
+
+
+def test_complement_clips_to_range():
+    assert complement_bands([(-5.0, 2.0), (8.0, 20.0)], 0.0, 10.0) == \
+        [(2.0, 8.0)]
+
+
+def test_intersect_bands():
+    a = [(0.0, 5.0), (8.0, 12.0)]
+    b = [(3.0, 9.0)]
+    assert intersect_bands(a, b) == [(3.0, 5.0), (8.0, 9.0)]
+    assert intersect_bands(a, [(20.0, 30.0)]) == []
+
+
+@given(st.lists(band, max_size=10))
+def test_property_normalized_bands_are_canonical(bands):
+    normalized = normalize_bands(bands)
+    for (lo1, hi1), (lo2, hi2) in zip(normalized, normalized[1:]):
+        assert hi1 < lo2                  # disjoint, non-touching
+    # Total covered length never shrinks below any single band.
+    covered = sum(hi - lo for lo, hi in normalized)
+    for lo, hi in bands:
+        assert covered >= hi - lo - 1e-9
+
+
+@given(st.lists(band, max_size=6), st.lists(band, max_size=6))
+def test_property_de_morgan(a, b):
+    """comp(A ∪ B) == comp(A) ∩ comp(B) within a fixed range.
+
+    Bands are closed intervals, so the identity holds up to degenerate
+    single-point bands at touching boundaries; those are filtered out.
+    """
+    def positive(bands):
+        return [(x, y) for x, y in normalize_bands(bands) if x < y]
+
+    lo, hi = -10.0, 140.0
+    left = complement_bands(normalize_bands(a + b), lo, hi)
+    right = intersect_bands(complement_bands(a, lo, hi),
+                            complement_bands(b, lo, hi))
+    assert positive(left) == positive(right)
+
+
+# ------------------------------------------------------------- union queries
+
+def test_union_query_counts_cells_once(smooth_dem):
+    index = IHilbertIndex(smooth_dem)
+    vr = smooth_dem.value_range
+    mid = (vr.lo + vr.hi) / 2.0
+    overlapping = union_query(index, [(vr.lo, mid), (mid - 1.0, vr.hi)])
+    assert overlapping.bands == [(vr.lo, vr.hi)]
+    assert overlapping.candidate_count == smooth_dem.num_cells
+
+
+def test_union_query_area_matches_single_band(smooth_dem):
+    index = IHilbertIndex(smooth_dem)
+    vr = smooth_dem.value_range
+    single = index.query(ValueQuery(vr.lo, vr.hi))
+    union = union_query(index, [(vr.lo, vr.hi)])
+    assert union.area == pytest.approx(single.area)
+
+
+def test_union_query_disjoint_bands_additive(smooth_dem):
+    index = LinearScanIndex(smooth_dem)
+    vr = smooth_dem.value_range
+    q = vr.length / 4.0
+    b1 = (vr.lo, vr.lo + q)
+    b2 = (vr.hi - q, vr.hi)
+    union = union_query(index, [b1, b2])
+    a1 = index.query(ValueQuery(*b1)).area
+    a2 = index.query(ValueQuery(*b2)).area
+    assert union.area == pytest.approx(a1 + a2)
+    assert len(union.per_band_candidates) == 2
+    assert union.io.page_reads > 0
+
+
+def test_union_query_estimate_none(smooth_dem):
+    index = IHilbertIndex(smooth_dem)
+    vr = smooth_dem.value_range
+    result = union_query(index, [(vr.lo, vr.lo + 1.0)], estimate="none")
+    assert result.area is None
+    with pytest.raises(ValueError):
+        union_query(index, [(vr.lo, vr.hi)], estimate="regions")
+
+
+def test_union_query_empty_bands(smooth_dem):
+    index = IHilbertIndex(smooth_dem)
+    result = union_query(index, [])
+    assert result.candidate_count == 0
+    assert result.area == 0.0

@@ -1,0 +1,107 @@
+"""Unit tests for conjunctive multi-field queries (ocean scenario, §1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import IHilbertIndex, LinearScanIndex, conjunctive_query
+from repro.field import DEMField
+
+
+def make_pair():
+    """Two co-registered fields over one 8×8 grid.
+
+    'Temperature' grows along x, 'salinity' along y, so conjunction
+    regions are axis-aligned and easy to reason about.
+    """
+    coords = np.arange(9, dtype=float)
+    temperature = DEMField(np.tile(coords, (9, 1)))            # = x
+    salinity = DEMField(np.tile(coords[:, None], (1, 9)))      # = y
+    return temperature, salinity
+
+
+def test_conjunction_area_is_rectangle():
+    temperature, salinity = make_pair()
+    result = conjunctive_query(
+        [IHilbertIndex(temperature), IHilbertIndex(salinity)],
+        [(2.0, 5.0), (1.0, 4.0)])
+    # Region: 2<=x<=5 and 1<=y<=4 -> a 3x3 square.
+    assert result.area == pytest.approx(9.0)
+    assert result.common_cells > 0
+
+
+def test_conjunction_matches_any_index_combination():
+    temperature, salinity = make_pair()
+    a = conjunctive_query(
+        [LinearScanIndex(temperature), LinearScanIndex(salinity)],
+        [(2.0, 5.0), (1.0, 4.0)])
+    b = conjunctive_query(
+        [IHilbertIndex(temperature), IHilbertIndex(salinity)],
+        [(2.0, 5.0), (1.0, 4.0)])
+    assert a.area == pytest.approx(b.area)
+    assert a.common_cells == b.common_cells
+
+
+def test_conjunction_with_regions():
+    temperature, salinity = make_pair()
+    result = conjunctive_query(
+        [IHilbertIndex(temperature), IHilbertIndex(salinity)],
+        [(2.0, 5.0), (1.0, 4.0)], with_regions=True)
+    assert result.regions
+    assert sum(r.area for r in result.regions) == pytest.approx(result.area)
+    for region in result.regions:
+        for x, y in region.polygon:
+            assert 2.0 - 1e-9 <= x <= 5.0 + 1e-9
+            assert 1.0 - 1e-9 <= y <= 4.0 + 1e-9
+
+
+def test_conjunction_empty_when_bands_disjoint_in_space():
+    temperature, salinity = make_pair()
+    result = conjunctive_query(
+        [IHilbertIndex(temperature), IHilbertIndex(salinity)],
+        [(0.0, 1.0), (7.0, 8.0)])
+    # x in [0,1] and y in [7,8]: a 1x1 corner square.
+    assert result.area == pytest.approx(1.0)
+
+
+def test_conjunction_no_common_cells():
+    temperature, _salinity = make_pair()
+    other = DEMField(np.zeros((9, 9)))
+    result = conjunctive_query(
+        [IHilbertIndex(temperature), IHilbertIndex(other)],
+        [(2.0, 3.0), (5.0, 6.0)])   # 'other' is all zeros: no candidates
+    assert result.common_cells == 0
+    assert result.area == 0.0
+
+
+def test_validation_errors():
+    temperature, salinity = make_pair()
+    idx = IHilbertIndex(temperature)
+    with pytest.raises(ValueError):
+        conjunctive_query([idx], [(0.0, 1.0)])
+    with pytest.raises(ValueError):
+        conjunctive_query([idx, IHilbertIndex(salinity)], [(0.0, 1.0)])
+    small = DEMField(np.zeros((3, 3)))
+    with pytest.raises(ValueError):
+        conjunctive_query([idx, IHilbertIndex(small)],
+                          [(0.0, 1.0), (0.0, 1.0)])
+
+
+def test_three_way_conjunction():
+    temperature, salinity = make_pair()
+    combined = DEMField(temperature.heights + salinity.heights)   # x + y
+    result = conjunctive_query(
+        [IHilbertIndex(temperature), IHilbertIndex(salinity),
+         IHilbertIndex(combined)],
+        [(2.0, 5.0), (1.0, 4.0), (0.0, 6.0)])
+    # Third band x+y<=6 clips the 3x3 square's upper-right corner.
+    assert 0.0 < result.area < 9.0
+
+
+def test_per_field_candidate_counts():
+    temperature, salinity = make_pair()
+    result = conjunctive_query(
+        [IHilbertIndex(temperature), IHilbertIndex(salinity)],
+        [(2.0, 5.0), (1.0, 4.0)])
+    assert len(result.per_field_candidates) == 2
+    assert all(c > 0 for c in result.per_field_candidates)
+    assert result.io.page_reads > 0

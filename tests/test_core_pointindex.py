@@ -1,0 +1,68 @@
+"""Unit tests for conventional (Q1) point queries via the spatial index."""
+
+import numpy as np
+import pytest
+
+from repro.core import PointIndex
+
+
+def test_matches_field_interpolation_on_dem(smooth_dem, rng):
+    index = PointIndex(smooth_dem)
+    xmin, ymin, xmax, ymax = smooth_dem.bounds
+    for _ in range(40):
+        x = xmin + rng.random() * (xmax - xmin)
+        y = ymin + rng.random() * (ymax - ymin)
+        got = index.value_at(x, y)
+        assert got is not None
+        assert got == pytest.approx(smooth_dem.value_at(x, y), abs=1e-4)
+
+
+def test_matches_field_interpolation_on_tin(small_tin, rng):
+    index = PointIndex(small_tin)
+    for _ in range(30):
+        # Sample near triangle centroids to stay inside the hull.
+        cell = int(rng.integers(0, small_tin.num_cells))
+        cx, cy = small_tin.cell_centroids()[cell]
+        got = index.value_at(float(cx), float(cy))
+        assert got is not None
+        assert got == pytest.approx(small_tin.value_at(float(cx),
+                                                       float(cy)),
+                                    abs=1e-3)
+
+
+def test_outside_domain_returns_none(smooth_dem):
+    index = PointIndex(smooth_dem)
+    assert index.value_at(-5.0, -5.0) is None
+    assert index.value_at(1e6, 1e6) is None
+
+
+def test_vertex_values_reproduced(paper_dem):
+    index = PointIndex(paper_dem)
+    assert index.value_at(0.0, 0.0) == pytest.approx(40.0, abs=1e-4)
+    assert index.value_at(3.0, 3.0) == pytest.approx(88.0, abs=1e-4)
+
+
+def test_query_charges_io(paper_dem):
+    index = PointIndex(paper_dem)
+    before = index.stats.snapshot()
+    index.value_at(1.5, 1.5)
+    delta = index.stats.diff(before)
+    assert delta.page_reads >= 2    # at least tree root + cell page
+
+
+def test_clear_caches(paper_dem):
+    index = PointIndex(paper_dem)
+    index.value_at(1.5, 1.5)
+    index.clear_caches()
+    before = index.stats.snapshot()
+    index.value_at(1.5, 1.5)
+    assert index.stats.diff(before).page_reads >= 2
+
+
+def test_dem_with_cell_size(rng):
+    from repro.field import DEMField
+    heights = np.arange(16, dtype=float).reshape(4, 4)
+    field = DEMField(heights, cell_size=100.0)
+    index = PointIndex(field)
+    assert index.value_at(150.0, 150.0) == \
+        pytest.approx(field.value_at(150.0, 150.0), abs=1e-4)

@@ -1,0 +1,56 @@
+"""Unit tests for ValueQuery / QueryResult / Subfield."""
+
+import pytest
+
+from repro.core import QueryResult, Subfield, ValueQuery
+from repro.geometry import Interval
+
+
+def test_value_query_basics():
+    q = ValueQuery(2.0, 5.0)
+    assert q.length == 3.0
+
+
+def test_value_query_inverted_rejected():
+    with pytest.raises(ValueError):
+        ValueQuery(5.0, 2.0)
+
+
+def test_exact_query():
+    q = ValueQuery.exact(30.0)
+    assert q.lo == q.hi == 30.0
+    assert q.length == 0.0
+
+
+def test_one_sided_queries():
+    # "noise level higher than 80 dB" over a field topping out at 120.
+    q = ValueQuery.at_least(80.0, 120.0)
+    assert (q.lo, q.hi) == (80.0, 120.0)
+    q = ValueQuery.at_most(80.0, 30.0)
+    assert (q.lo, q.hi) == (30.0, 80.0)
+
+
+def test_query_result_validation():
+    with pytest.raises(ValueError):
+        QueryResult(query=ValueQuery(0.0, 1.0), candidate_count=-1)
+
+
+def test_subfield_fields():
+    sf = Subfield(3, 10.0, 20.0, 100, 149)
+    assert sf.num_cells == 50
+    assert sf.interval == Interval(10.0, 20.0)
+    assert sf.intersects(15.0, 30.0)
+    assert sf.intersects(20.0, 25.0)     # closed boundary
+    assert not sf.intersects(20.1, 25.0)
+
+
+def test_subfield_validation():
+    with pytest.raises(ValueError):
+        Subfield(0, 5.0, 4.0, 0, 1)
+    with pytest.raises(ValueError):
+        Subfield(0, 0.0, 1.0, 5, 4)
+
+
+def test_subfield_single_cell():
+    sf = Subfield(0, 1.0, 1.0, 7, 7)
+    assert sf.num_cells == 1

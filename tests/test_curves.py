@@ -1,0 +1,173 @@
+"""Unit and property tests for the space-filling curves."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.curves import (
+    GrayCodeCurve,
+    HilbertCurve2D,
+    HilbertCurveND,
+    SpaceFillingCurve,
+    ZOrderCurve,
+    average_clusters,
+    count_runs,
+    gray_decode,
+    gray_encode,
+    region_runs,
+)
+
+ALL_2D = [HilbertCurve2D(3), HilbertCurveND(3, 2), ZOrderCurve(3, 2),
+          GrayCodeCurve(3, 2)]
+
+
+@pytest.mark.parametrize("curve", ALL_2D, ids=lambda c: type(c).__name__)
+def test_bijective_on_full_grid(curve):
+    seen = set()
+    for x in range(curve.side):
+        for y in range(curve.side):
+            d = curve.index((x, y))
+            assert curve.coords(d) == (x, y)
+            seen.add(d)
+    assert seen == set(range(curve.size))
+
+
+@pytest.mark.parametrize("curve", [HilbertCurve2D(4), HilbertCurveND(4, 2)],
+                         ids=["fast2d", "skilling"])
+def test_hilbert_consecutive_cells_are_adjacent(curve):
+    prev = curve.coords(0)
+    for d in range(1, curve.size):
+        cur = curve.coords(d)
+        manhattan = sum(abs(a - b) for a, b in zip(cur, prev))
+        assert manhattan == 1, f"jump at index {d}"
+        prev = cur
+
+
+def test_fast_2d_matches_skilling():
+    fast = HilbertCurve2D(4)
+    general = HilbertCurveND(4, 2)
+    for x in range(16):
+        for y in range(16):
+            assert fast.index((x, y)) == general.index((x, y))
+
+
+def test_hilbert_3d_bijective_and_adjacent():
+    curve = HilbertCurveND(2, 3)
+    seen = set()
+    prev = None
+    for d in range(curve.size):
+        c = curve.coords(d)
+        assert curve.index(c) == d
+        seen.add(c)
+        if prev is not None:
+            assert sum(abs(a - b) for a, b in zip(c, prev)) == 1
+        prev = c
+    assert len(seen) == 64
+
+
+@pytest.mark.parametrize("curve", ALL_2D, ids=lambda c: type(c).__name__)
+def test_vectorized_indices_match_scalar(curve):
+    coords = np.array([(x, y) for x in range(curve.side)
+                       for y in range(curve.side)])
+    vector = curve.indices(coords)
+    scalar = [curve.index((int(x), int(y))) for x, y in coords]
+    assert list(vector) == scalar
+
+
+def test_coordinate_validation():
+    curve = HilbertCurve2D(3)
+    with pytest.raises(ValueError):
+        curve.index((8, 0))
+    with pytest.raises(ValueError):
+        curve.index((0, -1))
+    with pytest.raises(ValueError):
+        curve.index((0, 0, 0))
+    with pytest.raises(ValueError):
+        curve.coords(64)
+    with pytest.raises(ValueError):
+        curve.coords(-1)
+
+
+def test_vectorized_out_of_range_rejected():
+    curve = HilbertCurve2D(3)
+    with pytest.raises(ValueError):
+        curve.indices(np.array([[8, 0]]))
+
+
+def test_order_validation():
+    with pytest.raises(ValueError):
+        HilbertCurve2D(0)
+    with pytest.raises(ValueError):
+        ZOrderCurve(2, 0)
+
+
+def test_zorder_is_bit_interleaving():
+    curve = ZOrderCurve(2, 2)
+    # coords (x=1, y=1) -> bits interleaved: x0=1, y0=1 -> index 3.
+    assert curve.index((1, 1)) == 3
+    assert curve.index((0, 0)) == 0
+
+
+def test_gray_encode_decode_roundtrip_small():
+    for v in range(256):
+        assert gray_decode(gray_encode(v)) == v
+
+
+@given(st.integers(0, 2**40))
+def test_property_gray_roundtrip(v):
+    assert gray_decode(gray_encode(v)) == v
+    assert gray_encode(gray_decode(v)) == v
+
+
+@given(st.integers(1, 2**20))
+def test_property_gray_neighbors_differ_one_bit(v):
+    diff = gray_encode(v) ^ gray_encode(v - 1)
+    assert diff != 0 and diff & (diff - 1) == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 6), st.data())
+def test_property_hilbert_roundtrip_random(order, data):
+    curve = HilbertCurve2D(order)
+    x = data.draw(st.integers(0, curve.side - 1))
+    y = data.draw(st.integers(0, curve.side - 1))
+    assert curve.coords(curve.index((x, y))) == (x, y)
+
+
+def test_count_runs():
+    assert count_runs([]) == 0
+    assert count_runs([5]) == 1
+    assert count_runs([1, 2, 3]) == 1
+    assert count_runs([1, 3, 4, 9]) == 3
+    assert count_runs([3, 1, 2]) == 1   # order-insensitive
+    assert count_runs([1, 1, 2]) == 1   # duplicates collapse
+
+
+def test_region_runs_full_grid_is_one():
+    curve = HilbertCurve2D(3)
+    assert region_runs(curve, 0, 0, 8, 8) == 1
+
+
+def test_region_runs_requires_2d():
+    with pytest.raises(ValueError):
+        region_runs(HilbertCurveND(2, 3), 0, 0, 2, 2)
+
+
+def test_hilbert_clusters_best():
+    """The comparison the paper cites when choosing Hilbert (§3.1.2)."""
+    hilbert = average_clusters(HilbertCurve2D(5), 4, samples=40)
+    zorder = average_clusters(ZOrderCurve(5, 2), 4, samples=40)
+    gray = average_clusters(GrayCodeCurve(5, 2), 4, samples=40)
+    assert hilbert < zorder
+    assert hilbert < gray
+
+
+def test_average_clusters_validates_square():
+    with pytest.raises(ValueError):
+        average_clusters(HilbertCurve2D(2), square_side=8)
+
+
+def test_base_class_is_abstract():
+    with pytest.raises(TypeError):
+        SpaceFillingCurve(2, 2)

@@ -1,0 +1,62 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least compile; the cheap ones are executed
+end-to-end with their output sanity-checked.
+"""
+
+import py_compile
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in ALL_EXAMPLES}
+    assert {"quickstart.py", "ocean_salmon.py", "urban_noise.py",
+            "terrain_isoband.py", "geology_volume.py",
+            "wind_vectors.py", "contour_map.py",
+            "spacetime_weather.py"} <= names
+
+
+@pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+def _run(path, argv=None, capsys=None):
+    old_argv = sys.argv
+    sys.argv = [str(path)] + (argv or [])
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+def test_quickstart_runs(capsys):
+    out = _run(EXAMPLES_DIR / "quickstart.py", capsys=capsys)
+    assert "I-Hilbert" in out
+    assert "Exact regions" in out
+
+
+def test_urban_noise_runs(capsys):
+    out = _run(EXAMPLES_DIR / "urban_noise.py", capsys=capsys)
+    assert "exceeds 80 dB" in out
+
+
+def test_terrain_isoband_runs(capsys):
+    out = _run(EXAMPLES_DIR / "terrain_isoband.py",
+               argv=["--size", "32"], capsys=capsys)
+    assert "isoband" in out
+    assert "#" in out          # the ASCII answer map
+
+
+def test_spacetime_weather_runs(capsys):
+    out = _run(EXAMPLES_DIR / "spacetime_weather.py", capsys=capsys)
+    assert "cell-days of heat" in out
+    assert "hours" in out

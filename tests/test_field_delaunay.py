@@ -1,0 +1,105 @@
+"""Unit and property tests for the Bowyer–Watson triangulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.spatial import ConvexHull, Delaunay as ScipyDelaunay
+
+from repro.field import triangulate
+from repro.field.delaunay import _in_circumcircle
+
+
+def hull_area(points):
+    return ConvexHull(points).volume
+
+
+def triangulation_area(points, triangles):
+    total = 0.0
+    for a, b, c in triangles:
+        (x0, y0), (x1, y1), (x2, y2) = points[a], points[b], points[c]
+        total += abs((x1 - x0) * (y2 - y0) - (x2 - x0) * (y1 - y0)) / 2.0
+    return total
+
+
+def assert_delaunay(points, triangles):
+    """No input point lies strictly inside any triangle's circumcircle."""
+    pts = [tuple(p) for p in points]
+    for tri in triangles:
+        for k, p in enumerate(pts):
+            if k in tri:
+                continue
+            assert not _in_circumcircle(pts, tuple(tri), p[0], p[1]), \
+                f"point {k} inside circumcircle of {tri}"
+
+
+def test_single_triangle():
+    points = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+    triangles = triangulate(points)
+    assert len(triangles) == 1
+    assert set(triangles[0]) == {0, 1, 2}
+
+
+def test_square_two_triangles():
+    points = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]])
+    triangles = triangulate(points)
+    assert len(triangles) == 2
+    assert triangulation_area(points, triangles) == pytest.approx(1.0)
+
+
+def test_ccw_orientation():
+    rng = np.random.default_rng(0)
+    points = rng.random((30, 2))
+    for a, b, c in triangulate(points):
+        (x0, y0), (x1, y1), (x2, y2) = points[a], points[b], points[c]
+        cross = (x1 - x0) * (y2 - y0) - (x2 - x0) * (y1 - y0)
+        assert cross > 0.0
+
+
+def test_input_validation():
+    with pytest.raises(ValueError):
+        triangulate(np.zeros((2, 2)))
+    with pytest.raises(ValueError):
+        triangulate(np.zeros((5, 3)))
+    with pytest.raises(ValueError):
+        triangulate(np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]]))
+
+
+def test_random_sets_are_delaunay_and_cover_hull():
+    rng = np.random.default_rng(1)
+    for trial in range(3):
+        points = rng.random((60, 2)) * 100.0
+        triangles = triangulate(points)
+        assert_delaunay(points, triangles)
+        assert triangulation_area(points, triangles) == \
+            pytest.approx(hull_area(points), rel=1e-9)
+
+
+def test_triangle_count_matches_scipy():
+    """Euler's formula fixes the triangle count for points in general
+    position, so our count must equal scipy's."""
+    rng = np.random.default_rng(2)
+    points = rng.random((200, 2)) * 10.0
+    ours = triangulate(points)
+    scipy_tris = ScipyDelaunay(points).simplices
+    assert len(ours) == len(scipy_tris)
+
+
+def test_grid_points_cover_area():
+    # Cocircular degeneracies: the triangulation is still valid.
+    xs, ys = np.meshgrid(np.arange(5.0), np.arange(5.0))
+    points = np.column_stack([xs.ravel(), ys.ravel()])
+    triangles = triangulate(points)
+    assert triangulation_area(points, triangles) == pytest.approx(16.0)
+    assert len(triangles) == 32
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2**31 - 1), st.integers(10, 60))
+def test_property_delaunay_empty_circumcircles(seed, n):
+    rng = np.random.default_rng(seed)
+    points = rng.random((n, 2)) * 50.0
+    triangles = triangulate(points)
+    assert_delaunay(points, triangles)
+    assert triangulation_area(points, triangles) == \
+        pytest.approx(hull_area(points), rel=1e-7)

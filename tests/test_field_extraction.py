@@ -1,0 +1,72 @@
+"""Unit tests for the estimation step (polygonal answer regions)."""
+
+import numpy as np
+import pytest
+
+from repro.field import (
+    AnswerRegion,
+    DEMField,
+    TINField,
+    extract_regions,
+    total_area,
+)
+
+
+def test_regions_match_closed_form_on_dem(paper_dem):
+    records = paper_dem.cell_records()
+    for lo, hi in [(40.0, 60.0), (55.0, 59.0), (80.0, 120.0), (47.0, 47.5)]:
+        regions = extract_regions(DEMField, records, lo, hi)
+        closed = DEMField.estimate_area(records, lo, hi)
+        assert total_area(regions) == pytest.approx(closed, abs=1e-5)
+
+
+def test_regions_match_closed_form_on_tin(small_tin):
+    records = small_tin.cell_records()
+    vr = small_tin.value_range
+    mid = (vr.lo + vr.hi) / 2.0
+    for lo, hi in [(vr.lo, mid), (mid, vr.hi),
+                   (mid - 1.0, mid + 1.0)]:
+        regions = extract_regions(TINField, records, lo, hi)
+        closed = TINField.estimate_area(records, lo, hi)
+        assert total_area(regions) == pytest.approx(closed, rel=1e-5,
+                                                    abs=1e-6)
+
+
+def test_regions_carry_cell_ids(paper_dem):
+    records = paper_dem.cell_records()
+    regions = extract_regions(DEMField, records, 55.0, 59.0)
+    # §2.2.2: the [55, 59] query involves cells c1..c4 (ids 0..3).
+    assert {r.cell_id for r in regions} <= {0, 1, 2, 3}
+    assert regions
+    for region in regions:
+        assert len(region.polygon) >= 3
+        assert region.area > 0.0
+
+
+def test_no_regions_outside_value_range(paper_dem):
+    records = paper_dem.cell_records()
+    assert extract_regions(DEMField, records, 500.0, 600.0) == []
+
+
+def test_flat_cell_inside_band_reported():
+    heights = np.full((3, 3), 7.0)
+    field = DEMField(heights)
+    regions = extract_regions(DEMField, field.cell_records(), 6.0, 8.0)
+    # Every sub-triangle of every flat cell is fully inside the band.
+    assert total_area(regions) == pytest.approx(4.0)
+
+
+def test_flat_cell_outside_band_skipped():
+    heights = np.full((2, 2), 7.0)
+    field = DEMField(heights)
+    assert extract_regions(DEMField, field.cell_records(), 8.0, 9.0) == []
+
+
+def test_total_area_empty():
+    assert total_area([]) == 0.0
+
+
+def test_answer_region_is_frozen():
+    region = AnswerRegion(0, ((0.0, 0.0), (1.0, 0.0), (0.0, 1.0)), 0.5)
+    with pytest.raises(AttributeError):
+        region.area = 1.0

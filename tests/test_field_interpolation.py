@@ -1,0 +1,156 @@
+"""Unit and property tests for interpolation functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.field import (
+    barycentric_coordinates,
+    bilinear,
+    inverse_distance,
+    linear_triangle,
+    nearest,
+    plane_coefficients,
+    triangle_band_fraction,
+    triangle_fraction_below,
+)
+
+TRI = [(0.0, 0.0), (1.0, 0.0), (0.0, 1.0)]
+
+value = st.floats(-100.0, 100.0, allow_nan=False, allow_infinity=False)
+
+
+def test_plane_coefficients_reproduce_vertices():
+    vals = [1.0, 3.0, 5.0]
+    a, b, c = plane_coefficients(TRI, vals)
+    for (x, y), v in zip(TRI, vals):
+        assert a * x + b * y + c == pytest.approx(v)
+
+
+def test_plane_coefficients_degenerate_rejected():
+    with pytest.raises(ValueError):
+        plane_coefficients([(0, 0), (1, 1), (2, 2)], [0, 1, 2])
+
+
+def test_linear_triangle_center_is_mean():
+    center = (1.0 / 3.0, 1.0 / 3.0)
+    assert linear_triangle(center, TRI, [3.0, 6.0, 9.0]) == pytest.approx(6.0)
+
+
+def test_barycentric_vertices_and_center():
+    assert barycentric_coordinates((0.0, 0.0), TRI) == \
+        pytest.approx((1.0, 0.0, 0.0))
+    assert barycentric_coordinates((1.0, 0.0), TRI) == \
+        pytest.approx((0.0, 1.0, 0.0))
+    assert sum(barycentric_coordinates((0.2, 0.3), TRI)) == pytest.approx(1.0)
+
+
+def test_bilinear_corners_and_center():
+    corners = (1.0, 2.0, 3.0, 4.0)    # v00, v10, v11, v01
+    assert bilinear((0.0, 0.0), (0.0, 0.0), 1.0, corners) == 1.0
+    assert bilinear((1.0, 0.0), (0.0, 0.0), 1.0, corners) == 2.0
+    assert bilinear((1.0, 1.0), (0.0, 0.0), 1.0, corners) == 3.0
+    assert bilinear((0.0, 1.0), (0.0, 0.0), 1.0, corners) == 4.0
+    assert bilinear((0.5, 0.5), (0.0, 0.0), 1.0, corners) == 2.5
+
+
+def test_nearest():
+    assert nearest((0.1, 0.1), TRI, [10.0, 20.0, 30.0]) == 10.0
+    assert nearest((0.9, 0.05), TRI, [10.0, 20.0, 30.0]) == 20.0
+
+
+def test_inverse_distance_exact_on_sample():
+    assert inverse_distance((0.0, 0.0), TRI, [10.0, 20.0, 30.0]) == 10.0
+
+
+def test_inverse_distance_bounded_by_samples():
+    v = inverse_distance((0.3, 0.3), TRI, [10.0, 20.0, 30.0])
+    assert 10.0 <= v <= 30.0
+
+
+def test_fraction_below_known_values():
+    # v0=0, v1=1, v2=2 on a triangle.
+    assert triangle_fraction_below(0.0, 1.0, 2.0, -1.0) == 0.0
+    assert triangle_fraction_below(0.0, 1.0, 2.0, 0.0) == 0.0
+    assert triangle_fraction_below(0.0, 1.0, 2.0, 2.0) == 1.0
+    assert triangle_fraction_below(0.0, 1.0, 2.0, 3.0) == 1.0
+    # At the median value: (1-0)^2 / ((1-0)(2-0)) = 0.5.
+    assert triangle_fraction_below(0.0, 1.0, 2.0, 1.0) == pytest.approx(0.5)
+    # Quarter point in the lower segment: (0.5)^2/(1*2) = 0.125.
+    assert triangle_fraction_below(0.0, 1.0, 2.0, 0.5) == pytest.approx(0.125)
+
+
+def test_fraction_below_flat_triangle():
+    assert triangle_fraction_below(5.0, 5.0, 5.0, 4.9) == 0.0
+    assert triangle_fraction_below(5.0, 5.0, 5.0, 5.0) == 1.0
+    assert triangle_fraction_below(5.0, 5.0, 5.0, 5.1) == 1.0
+
+
+def test_fraction_below_two_equal_low_vertices():
+    # v0=v1=0, v2=1: below t -> 1 - (1-t)^2.
+    assert triangle_fraction_below(0.0, 0.0, 1.0, 0.5) == pytest.approx(0.75)
+
+
+def test_fraction_below_two_equal_high_vertices():
+    # v0=0, v1=v2=1: below t -> t^2.
+    assert triangle_fraction_below(0.0, 1.0, 1.0, 0.5) == pytest.approx(0.25)
+
+
+def test_fraction_below_vectorized():
+    v0 = np.array([0.0, 0.0])
+    v1 = np.array([1.0, 0.0])
+    v2 = np.array([2.0, 1.0])
+    out = triangle_fraction_below(v0, v1, v2, np.array([1.0, 0.5]))
+    assert out[0] == pytest.approx(0.5)
+    assert out[1] == pytest.approx(0.75)
+
+
+def test_band_fraction_full_band_is_one():
+    assert triangle_band_fraction(1.0, 2.0, 4.0, 1.0, 4.0) == 1.0
+
+
+def test_band_fraction_flat_triangle_on_boundary():
+    assert triangle_band_fraction(3.0, 3.0, 3.0, 3.0, 5.0) == 1.0
+    assert triangle_band_fraction(3.0, 3.0, 3.0, 0.0, 3.0) == 1.0
+    assert triangle_band_fraction(3.0, 3.0, 3.0, 4.0, 5.0) == 0.0
+
+
+@given(value, value, value, value)
+def test_property_fraction_below_monotone(v0, v1, v2, t):
+    lower = triangle_fraction_below(v0, v1, v2, t)
+    higher = triangle_fraction_below(v0, v1, v2, t + 1.0)
+    assert 0.0 <= lower <= 1.0
+    assert lower <= higher + 1e-12
+
+
+@given(value, value, value, value, value)
+def test_property_band_partition(v0, v1, v2, a, b):
+    """Band [min,m] + band [m,max] covers the full triangle exactly.
+
+    A completely flat triangle whose value equals the split point is a
+    legitimate member of BOTH closed bands (the paper's intervals are
+    closed), so exactness is only required away from that measure-zero
+    case.
+    """
+    lo, hi = min(a, b), max(a, b)
+    vmin = min(v0, v1, v2) - 1.0
+    vmax = max(v0, v1, v2) + 1.0
+    mid = (lo + hi) / 2.0
+    left = triangle_band_fraction(v0, v1, v2, vmin, mid)
+    right = triangle_band_fraction(v0, v1, v2, mid, vmax)
+    total = triangle_band_fraction(v0, v1, v2, vmin, vmax)
+    assert total == pytest.approx(1.0)
+    if v0 == v1 == v2 == mid:
+        assert left == 1.0 and right == 1.0
+    else:
+        assert left + right == pytest.approx(1.0, abs=1e-9)
+
+
+@given(value, value, value, value, value)
+def test_property_band_fraction_bounded_and_monotone(v0, v1, v2, a, b):
+    lo, hi = min(a, b), max(a, b)
+    frac = triangle_band_fraction(v0, v1, v2, lo, hi)
+    wider = triangle_band_fraction(v0, v1, v2, lo - 1.0, hi + 1.0)
+    assert 0.0 <= frac <= 1.0
+    assert frac <= wider + 1e-12

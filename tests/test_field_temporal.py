@@ -1,0 +1,99 @@
+"""Unit tests for spatio-temporal fields."""
+
+import numpy as np
+import pytest
+
+from repro.core import IHilbertIndex, LinearScanIndex, ValueQuery
+from repro.field import TemporalField
+from repro.geometry import Interval
+
+
+@pytest.fixture
+def warming():
+    """A 8x8 field warming linearly over 5 snapshots."""
+    base = np.fromfunction(lambda j, i: i + j, (9, 9))
+    snaps = np.stack([base + 2.0 * t for t in range(5)])
+    return TemporalField(snaps, t0=100.0, dt=10.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TemporalField(np.zeros((1, 4, 4)))
+    with pytest.raises(ValueError):
+        TemporalField(np.zeros((4, 4)))
+    with pytest.raises(ValueError):
+        TemporalField(np.zeros((2, 4, 4)), dt=0.0)
+
+
+def test_structure(warming):
+    assert warming.num_steps == 5
+    assert warming.num_cells == 8 * 8 * 4     # space cells x time steps
+    assert warming.time_range == Interval(100.0, 140.0)
+
+
+def test_value_at_time_snapshots(warming):
+    # At stored snapshot times the space-time value equals the snapshot.
+    assert warming.value_at_time(3.0, 2.0, 100.0) == pytest.approx(5.0)
+    assert warming.value_at_time(3.0, 2.0, 140.0) == pytest.approx(13.0)
+
+
+def test_value_at_time_interpolates(warming):
+    # Halfway between snapshots 0 and 1 at a grid vertex.
+    assert warming.value_at_time(3.0, 2.0, 105.0) == pytest.approx(6.0)
+
+
+def test_time_out_of_range(warming):
+    with pytest.raises(ValueError):
+        warming.value_at_time(0.0, 0.0, 99.0)
+    with pytest.raises(ValueError):
+        warming.snapshot_at(141.0)
+
+
+def test_snapshot_blending(warming):
+    field = warming.snapshot_at(105.0)
+    assert field.value_at(3.0, 2.0) == pytest.approx(6.0)
+    step = warming.step_field(2)
+    assert step.value_at(0.0, 0.0) == pytest.approx(4.0)
+    with pytest.raises(IndexError):
+        warming.step_field(5)
+
+
+def test_spacetime_value_query(warming):
+    """Space-time volume where the value is in a band, vs LinearScan."""
+    ih = IHilbertIndex(warming)
+    ls = LinearScanIndex(warming)
+    vr = warming.value_range
+    q = ValueQuery(vr.lo + 3.0, vr.lo + 6.0)
+    a, b = ih.query(q), ls.query(q)
+    assert a.candidate_count == b.candidate_count
+    assert a.area == pytest.approx(b.area)
+    assert a.area > 0.0
+
+
+def test_spacetime_volume_of_full_range(warming):
+    ls = LinearScanIndex(warming)
+    vr = warming.value_range
+    result = ls.query(ValueQuery(vr.lo, vr.hi))
+    assert result.area == pytest.approx(warming.num_cells)
+
+
+def test_duration_in_band(warming):
+    # At vertex (3, 2): value goes 5 -> 13 over 40 time units; the band
+    # [7, 9] is occupied for (9-7)/(13-5) x 40 = 10 time units.
+    assert warming.duration_in_band(3.0, 2.0, 7.0, 9.0) == \
+        pytest.approx(10.0)
+
+
+def test_duration_constant_value():
+    snaps = np.stack([np.full((5, 5), 4.0)] * 3)
+    field = TemporalField(snaps, dt=5.0)
+    assert field.duration_in_band(1.0, 1.0, 3.0, 5.0) == \
+        pytest.approx(10.0)
+    assert field.duration_in_band(1.0, 1.0, 5.0, 6.0) == 0.0
+
+
+def test_duration_never_exceeds_span(warming):
+    span = warming.time_range.length
+    vr = warming.value_range
+    assert warming.duration_in_band(4.0, 4.0, vr.lo, vr.hi) == \
+        pytest.approx(span)

@@ -1,0 +1,122 @@
+"""Unit tests for TINField."""
+
+import numpy as np
+import pytest
+
+from repro.field import TINField
+from repro.geometry import Interval
+
+SQUARE = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]])
+SQUARE_VALUES = np.array([10.0, 20.0, 30.0, 40.0])
+SQUARE_TRIS = np.array([[0, 1, 2], [0, 2, 3]])
+
+
+def make_square():
+    return TINField(SQUARE, SQUARE_VALUES, SQUARE_TRIS)
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        TINField(np.zeros((3, 3)), np.zeros(3))
+    with pytest.raises(ValueError):
+        TINField(SQUARE, np.zeros(3), SQUARE_TRIS)
+    with pytest.raises(ValueError):
+        TINField(SQUARE, SQUARE_VALUES, np.array([[0, 1, 9]]))
+    with pytest.raises(ValueError):
+        TINField(SQUARE, SQUARE_VALUES, np.zeros((0, 3), dtype=int))
+    with pytest.raises(ValueError):
+        TINField(SQUARE, SQUARE_VALUES, np.array([[0, 1]]))
+
+
+def test_auto_triangulation():
+    field = TINField(SQUARE, SQUARE_VALUES)
+    assert field.num_cells == 2
+
+
+def test_structure():
+    field = make_square()
+    assert field.num_cells == 2
+    assert field.value_range == Interval(10.0, 40.0)
+    assert field.bounds == (0.0, 0.0, 1.0, 1.0)
+
+
+def test_cell_intervals():
+    field = make_square()
+    assert field.cell_interval(0) == Interval(10.0, 30.0)
+    assert field.cell_interval(1) == Interval(10.0, 40.0)
+
+
+def test_records_inline_geometry():
+    field = make_square()
+    rec = field.cell_records()[0]
+    assert rec["cell_id"] == 0
+    assert tuple(rec["vs"]) == (10.0, 20.0, 30.0)
+    assert tuple(rec["xs"]) == (0.0, 1.0, 1.0)
+    assert tuple(rec["ys"]) == (0.0, 0.0, 1.0)
+
+
+def test_centroids():
+    field = make_square()
+    centroids = field.cell_centroids()
+    assert centroids.shape == (2, 2)
+    assert tuple(centroids[0]) == pytest.approx((2.0 / 3.0, 1.0 / 3.0))
+
+
+def test_value_at_vertices_and_interior():
+    field = make_square()
+    assert field.value_at(0.0, 0.0) == pytest.approx(10.0)
+    assert field.value_at(1.0, 1.0) == pytest.approx(30.0)
+    # Centroid of triangle 0 is the mean of its vertex values.
+    assert field.value_at(2.0 / 3.0, 1.0 / 3.0) == pytest.approx(20.0)
+
+
+def test_value_at_outside_raises():
+    field = make_square()
+    with pytest.raises(ValueError):
+        field.value_at(2.0, 2.0)
+    assert field.locate_cell(2.0, 2.0) == -1
+
+
+def test_estimate_area_full_range():
+    field = make_square()
+    records = field.cell_records()
+    assert TINField.estimate_area(records, 10.0, 40.0) == pytest.approx(1.0)
+
+
+def test_estimate_area_complement():
+    field = make_square()
+    records = field.cell_records()
+    low = TINField.estimate_area(records, 10.0, 25.0)
+    high = TINField.estimate_area(records, 25.0, 40.0)
+    assert low + high == pytest.approx(1.0)
+
+
+def test_estimate_area_empty():
+    field = make_square()
+    records = field.cell_records()
+    assert TINField.estimate_area(records[:0], 0.0, 1.0) == 0.0
+    assert TINField.estimate_area(records, 100.0, 200.0) == 0.0
+
+
+def test_record_triangles_single():
+    field = make_square()
+    triangles = TINField.record_triangles(field.cell_records()[1])
+    assert len(triangles) == 1
+    points, values = triangles[0]
+    assert values == [10.0, 30.0, 40.0]
+
+
+def test_record_mbrs():
+    field = make_square()
+    mbrs = TINField.record_mbrs(field.cell_records())
+    assert tuple(mbrs[0]) == (0.0, 0.0, 1.0, 1.0)
+
+
+def test_smooth_tin_fixture(small_tin):
+    assert small_tin.num_cells > 100
+    records = small_tin.cell_records()
+    full = TINField.estimate_area(records, small_tin.value_range.lo,
+                                  small_tin.value_range.hi)
+    from scipy.spatial import ConvexHull
+    assert full == pytest.approx(ConvexHull(small_tin.points).volume,
+                                 rel=1e-3)

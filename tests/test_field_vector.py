@@ -1,0 +1,130 @@
+"""Unit tests for vector fields (paper §5 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.field import VectorField, triangle_min_magnitude
+from repro.field.vector import segment_min_distance
+
+
+def make_wind(side=12, seed=4):
+    rng = np.random.default_rng(seed)
+    u = rng.uniform(-8.0, 8.0, (side + 1, side + 1))
+    v = rng.uniform(-8.0, 8.0, (side + 1, side + 1))
+    return VectorField(u, v)
+
+
+def test_component_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        VectorField(np.zeros((3, 3)), np.zeros((4, 4)))
+
+
+def test_components_and_magnitude_at_vertices():
+    u = np.array([[3.0, 0.0], [0.0, 0.0]])
+    v = np.array([[4.0, 0.0], [0.0, 0.0]])
+    field = VectorField(u, v)
+    cu, cv = field.components_at(0.0, 0.0)
+    assert (cu, cv) == pytest.approx((3.0, 4.0))
+    assert field.magnitude_at(0.0, 0.0) == pytest.approx(5.0)
+    assert field.direction_at(0.0, 0.0) == \
+        pytest.approx(np.arctan2(4.0, 3.0))
+
+
+def test_segment_min_distance():
+    # Segment from (1, -1) to (1, 1): nearest point to origin is (1, 0).
+    d = segment_min_distance(np.array([1.0]), np.array([-1.0]),
+                             np.array([1.0]), np.array([1.0]))
+    assert d[0] == pytest.approx(1.0)
+    # Segment pointing away: nearest is the endpoint.
+    d = segment_min_distance(np.array([3.0]), np.array([4.0]),
+                             np.array([6.0]), np.array([8.0]))
+    assert d[0] == pytest.approx(5.0)
+    # Degenerate segment (a point).
+    d = segment_min_distance(np.array([0.0]), np.array([2.0]),
+                             np.array([0.0]), np.array([2.0]))
+    assert d[0] == pytest.approx(2.0)
+
+
+def test_triangle_min_magnitude_origin_inside():
+    us = np.array([[-1.0, 2.0, -1.0]])
+    vs = np.array([[-1.0, 0.0, 2.0]])
+    assert triangle_min_magnitude(us, vs)[0] == 0.0
+
+
+def test_triangle_min_magnitude_origin_outside():
+    # Triangle far in the +u half plane: min is distance to nearest edge.
+    us = np.array([[2.0, 3.0, 2.0]])
+    vs = np.array([[-1.0, 0.0, 1.0]])
+    assert triangle_min_magnitude(us, vs)[0] == pytest.approx(2.0)
+
+
+def test_magnitude_intervals_bound_dense_samples():
+    field = make_wind(side=8)
+    intervals = field.magnitude_intervals()
+    for cid in range(0, field.num_cells, 5):
+        i, j = field.u.cell_position(cid)
+        xs = np.linspace(i, i + 1, 9)
+        ys = np.linspace(j, j + 1, 9)
+        mags = [field.magnitude_at(float(x), float(y))
+                for x in xs for y in ys]
+        assert min(mags) >= intervals[cid, 0] - 1e-9
+        assert max(mags) <= intervals[cid, 1] + 1e-9
+
+
+def test_magnitude_interval_max_is_a_vertex():
+    field = make_wind(side=6)
+    intervals = field.magnitude_intervals()
+    u_rec = field.u.cell_records()
+    v_rec = field.v.cell_records()
+    mags = np.hypot(u_rec["corners"].astype(float),
+                    v_rec["corners"].astype(float))
+    assert np.allclose(intervals[:, 1], mags.max(axis=1))
+
+
+def test_magnitude_candidates_cover_band():
+    field = make_wind(side=8)
+    candidates = set(field.magnitude_candidates(3.0, 6.0))
+    # Dense-sample ground truth: any cell with a sampled magnitude in
+    # band must be a candidate (no false negatives).
+    for cid in range(field.num_cells):
+        i, j = field.u.cell_position(cid)
+        for x in np.linspace(i, i + 1, 5):
+            for y in np.linspace(j, j + 1, 5):
+                m = field.magnitude_at(float(x), float(y))
+                if 3.0 <= m <= 6.0:
+                    assert cid in candidates
+                    break
+            else:
+                continue
+            break
+
+
+def test_magnitude_area_converges():
+    field = make_wind(side=6)
+    vr = field.magnitude_range()
+    lo = vr.lo + 0.3 * (vr.hi - vr.lo)
+    hi = vr.lo + 0.6 * (vr.hi - vr.lo)
+    coarse = field.magnitude_area(lo, hi, depth=3)
+    fine = field.magnitude_area(lo, hi, depth=6)
+    # Monte Carlo reference.
+    rng = np.random.default_rng(0)
+    pts = rng.uniform(0.0, 6.0, size=(40000, 2))
+    mags = np.array([field.magnitude_at(x, y) for x, y in pts])
+    mc = float(((mags >= lo) & (mags <= hi)).mean()) * 36.0
+    assert fine == pytest.approx(mc, rel=0.05)
+    assert abs(fine - mc) <= abs(coarse - mc) + 0.5
+
+
+def test_magnitude_area_full_band_is_total():
+    field = make_wind(side=5)
+    vr = field.magnitude_range()
+    area = field.magnitude_area(vr.lo, vr.hi, depth=2)
+    assert area == pytest.approx(field.num_cells)
+
+
+def test_magnitude_area_empty_band():
+    field = make_wind(side=5)
+    vr = field.magnitude_range()
+    assert field.magnitude_area(vr.hi + 1.0, vr.hi + 2.0) == 0.0
+    with pytest.raises(ValueError):
+        field.magnitude_area(5.0, 4.0)

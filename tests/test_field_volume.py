@@ -1,0 +1,171 @@
+"""Unit and property tests for 3-D volume fields."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import IHilbertIndex, LinearScanIndex, ValueQuery
+from repro.field import (
+    VolumeField,
+    tetrahedron_band_fraction,
+    tetrahedron_fraction_below,
+)
+from repro.field.volume import KUHN_TETRAHEDRA
+from repro.geometry import Interval
+
+
+@pytest.fixture
+def small_volume():
+    rng = np.random.default_rng(3)
+    return VolumeField(rng.random((6, 6, 6)) * 100.0)
+
+
+def test_kuhn_decomposition_is_six_distinct_tets():
+    assert len(KUHN_TETRAHEDRA) == 6
+    assert len({tuple(sorted(t)) for t in KUHN_TETRAHEDRA}) == 6
+    for tet in KUHN_TETRAHEDRA:
+        assert tet[0] == 0 and tet[3] == 7
+
+
+def test_shape_validation():
+    with pytest.raises(ValueError):
+        VolumeField(np.zeros((4, 4)))
+    with pytest.raises(ValueError):
+        VolumeField(np.zeros((1, 4, 4)))
+
+
+def test_structure(small_volume):
+    assert small_volume.num_cells == 125
+    assert small_volume.bounds == (0.0, 0.0, 0.0, 5.0, 5.0, 5.0)
+    vr = small_volume.value_range
+    assert isinstance(vr, Interval)
+
+
+def test_cell_id_roundtrip(small_volume):
+    for cid in range(0, 125, 7):
+        i, j, k = small_volume.cell_position(cid)
+        assert small_volume.cell_id(i, j, k) == cid
+    with pytest.raises(IndexError):
+        small_volume.cell_id(5, 0, 0)
+    with pytest.raises(IndexError):
+        small_volume.cell_position(125)
+
+
+def test_records_corner_order(small_volume):
+    rec = small_volume.cell_records()[0]
+    s = small_volume.samples
+    expected = [s[(b >> 2) & 1, (b >> 1) & 1, b & 1] for b in range(8)]
+    assert np.allclose(rec["corners"], expected)
+    assert rec["vmin"] == min(expected)
+    assert rec["vmax"] == max(expected)
+
+
+def test_value_at_vertices(small_volume):
+    s = small_volume.samples
+    for k in range(6):
+        for j in range(0, 6, 2):
+            for i in range(0, 6, 3):
+                assert small_volume.value_at(float(i), float(j),
+                                             float(k)) == \
+                    pytest.approx(float(s[k, j, i]), abs=1e-4)
+
+
+def test_value_at_edge_midpoints(small_volume):
+    s = small_volume.samples
+    assert small_volume.value_at(0.5, 0.0, 0.0) == \
+        pytest.approx((s[0, 0, 0] + s[0, 0, 1]) / 2.0, abs=1e-4)
+    assert small_volume.value_at(0.0, 0.5, 0.0) == \
+        pytest.approx((s[0, 0, 0] + s[0, 1, 0]) / 2.0, abs=1e-4)
+    assert small_volume.value_at(0.0, 0.0, 0.5) == \
+        pytest.approx((s[0, 0, 0] + s[1, 0, 0]) / 2.0, abs=1e-4)
+
+
+def test_value_at_outside_raises(small_volume):
+    with pytest.raises(ValueError):
+        small_volume.value_at(-1.0, 0.0, 0.0)
+    assert small_volume.locate_cell(9.0, 0.0, 0.0) == -1
+
+
+def test_estimate_volume_full_range(small_volume):
+    records = small_volume.cell_records()
+    vr = small_volume.value_range
+    assert VolumeField.estimate_area(records, vr.lo, vr.hi) == \
+        pytest.approx(125.0)
+
+
+def test_estimate_volume_complement(small_volume):
+    records = small_volume.cell_records()
+    vr = small_volume.value_range
+    mid = (vr.lo + vr.hi) / 2.0
+    low = VolumeField.estimate_area(records, vr.lo, mid)
+    high = VolumeField.estimate_area(records, mid, vr.hi)
+    assert low + high == pytest.approx(125.0)
+
+
+def test_record_triangles_unsupported(small_volume):
+    with pytest.raises(NotImplementedError):
+        VolumeField.record_triangles(small_volume.cell_records()[0])
+
+
+def test_record_mbrs(small_volume):
+    mbrs = VolumeField.record_mbrs(small_volume.cell_records())
+    assert mbrs.shape == (125, 6)
+    assert tuple(mbrs[0]) == (0.0, 0.0, 0.0, 1.0, 1.0, 1.0)
+
+
+def test_tetra_fraction_known_values():
+    # Values 0,1,2,3: fraction below 0.5 = 0.5^3/(1*2*3).
+    vals = np.array([[0.0, 1.0, 2.0, 3.0]])
+    assert tetrahedron_fraction_below(vals, 0.5)[0] == \
+        pytest.approx(0.125 / 6.0, rel=1e-4)
+    assert tetrahedron_fraction_below(vals, -1.0)[0] == 0.0
+    assert tetrahedron_fraction_below(vals, 3.0)[0] == 1.0
+    # Symmetry: at the midpoint of a symmetric tetra, exactly half.
+    assert tetrahedron_fraction_below(vals, 1.5)[0] == pytest.approx(0.5)
+
+
+def test_tetra_fraction_flat():
+    vals = np.array([[5.0, 5.0, 5.0, 5.0]])
+    assert tetrahedron_fraction_below(vals, 4.9)[0] == 0.0
+    assert tetrahedron_fraction_below(vals, 5.0)[0] == 1.0
+    assert tetrahedron_band_fraction(vals, 5.0, 6.0)[0] == 1.0
+    assert tetrahedron_band_fraction(vals, 6.0, 7.0)[0] == 0.0
+
+
+def test_tetra_fraction_monte_carlo():
+    rng = np.random.default_rng(1)
+    for _ in range(5):
+        vals = rng.uniform(-10.0, 10.0, 4)
+        t = rng.uniform(vals.min(), vals.max())
+        e = rng.exponential(size=(120000, 4))
+        bary = e / e.sum(axis=1, keepdims=True)
+        mc = float((bary @ vals <= t).mean())
+        cf = float(tetrahedron_fraction_below(vals[None, :], t)[0])
+        assert cf == pytest.approx(mc, abs=0.01)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.tuples(*[st.floats(-50, 50, allow_nan=False)] * 4),
+       st.floats(-60, 60, allow_nan=False))
+def test_property_tetra_fraction_bounded_monotone(vals, t):
+    arr = np.array([vals], dtype=float)
+    lower = tetrahedron_fraction_below(arr, t)[0]
+    higher = tetrahedron_fraction_below(arr, t + 1.0)[0]
+    assert 0.0 <= lower <= 1.0
+    assert lower <= higher + 1e-9
+
+
+def test_ihilbert_3d_matches_linear_scan(small_volume):
+    rng = np.random.default_rng(9)
+    ih = IHilbertIndex(small_volume)
+    ls = LinearScanIndex(small_volume)
+    assert ih.curve.dim == 3
+    vr = small_volume.value_range
+    for _ in range(15):
+        lo = vr.lo + rng.random() * vr.length
+        hi = min(vr.hi, lo + rng.random() * 10.0)
+        q = ValueQuery(lo, hi)
+        a, b = ih.query(q), ls.query(q)
+        assert a.candidate_count == b.candidate_count
+        assert a.area == pytest.approx(b.area)

@@ -1,0 +1,51 @@
+"""Tests for page-size parameterization across the stack."""
+
+import pytest
+
+from repro.core import (
+    IAllIndex,
+    IHilbertIndex,
+    IntervalQuadtreeIndex,
+    LinearScanIndex,
+    ValueQuery,
+)
+
+
+@pytest.mark.parametrize("index_cls", [LinearScanIndex, IAllIndex,
+                                       IHilbertIndex,
+                                       IntervalQuadtreeIndex])
+def test_results_independent_of_page_size(index_cls, smooth_dem, rng):
+    small = index_cls(smooth_dem, page_size=1024)
+    large = index_cls(smooth_dem, page_size=16384)
+    vr = smooth_dem.value_range
+    for _ in range(8):
+        lo = vr.lo + rng.random() * vr.length
+        hi = min(vr.hi, lo + rng.random() * vr.length * 0.1)
+        q = ValueQuery(lo, hi)
+        a, b = small.query(q), large.query(q)
+        assert a.candidate_count == b.candidate_count
+        assert a.area == pytest.approx(b.area)
+
+
+def test_smaller_pages_mean_more_pages(smooth_dem):
+    small = LinearScanIndex(smooth_dem, page_size=1024)
+    large = LinearScanIndex(smooth_dem, page_size=16384)
+    assert small.data_pages > large.data_pages
+    assert small.page_size == 1024
+
+
+def test_tree_fanout_follows_page_size(smooth_dem):
+    small = IAllIndex(smooth_dem, page_size=1024)
+    large = IAllIndex(smooth_dem, page_size=16384)
+    assert small.tree.capacity < large.tree.capacity
+    assert small.index_pages > large.index_pages
+
+
+def test_scan_io_scales_with_page_size(smooth_dem):
+    small = LinearScanIndex(smooth_dem, page_size=1024)
+    large = LinearScanIndex(smooth_dem, page_size=16384)
+    vr = smooth_dem.value_range
+    q = ValueQuery(vr.lo, vr.hi)
+    small.clear_caches()
+    large.clear_caches()
+    assert small.query(q).io.page_reads > large.query(q).io.page_reads

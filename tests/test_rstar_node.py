@@ -1,0 +1,78 @@
+"""Unit tests for R*-tree node serialization."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect
+from repro.rstar import Node, entry_dtype, node_capacity
+
+
+def test_entry_dtype_sizes():
+    assert entry_dtype(1).itemsize == 24
+    assert entry_dtype(2).itemsize == 40
+
+
+def test_node_capacity_from_page_size():
+    # 4096-byte page, 8-byte header: (4096-8)//24 = 170 entries in 1-D.
+    assert node_capacity(4096, 1) == 170
+    assert node_capacity(4096, 2) == 102
+
+
+def test_node_capacity_too_small_page():
+    with pytest.raises(ValueError):
+        node_capacity(64, 2)
+
+
+def test_serialization_roundtrip_leaf():
+    node = Node(7, is_leaf=True)
+    node.entries = [(Rect((0.0, 1.0), (2.0, 3.0)), 42),
+                    (Rect((-1.0, -2.0), (0.0, 0.0)), 7)]
+    data = node.to_bytes(4096, 2)
+    assert len(data) <= 4096
+    back = Node.from_bytes(7, data, 2)
+    assert back.page_id == 7
+    assert back.is_leaf is True
+    assert back.entries == node.entries
+
+
+def test_serialization_roundtrip_internal():
+    node = Node(0, is_leaf=False)
+    node.entries = [(Rect.from_interval(1.5, 2.5), 3)]
+    back = Node.from_bytes(0, node.to_bytes(4096, 1), 1)
+    assert back.is_leaf is False
+    assert back.entries == node.entries
+
+
+def test_empty_node_roundtrip():
+    node = Node(1, is_leaf=True)
+    back = Node.from_bytes(1, node.to_bytes(4096, 1), 1)
+    assert back.entries == []
+
+
+def test_overflowing_node_rejected():
+    node = Node(0, is_leaf=True)
+    node.entries = [(Rect.from_interval(0.0, 1.0), i) for i in range(171)]
+    with pytest.raises(ValueError):
+        node.to_bytes(4096, 1)
+
+
+def test_read_arrays_fast_path():
+    node = Node(0, is_leaf=True)
+    node.entries = [(Rect.from_interval(float(i), float(i + 1)), i)
+                    for i in range(5)]
+    is_leaf, records = Node.read_arrays(node.to_bytes(4096, 1), 1)
+    assert is_leaf is True
+    assert len(records) == 5
+    assert list(records["id"]) == list(range(5))
+    assert np.allclose(records["lows"][:, 0], np.arange(5.0))
+
+
+def test_mbr_covers_entries():
+    node = Node(0, is_leaf=True)
+    node.entries = [(Rect((0.0,), (1.0,)), 0), (Rect((5.0,), (9.0,)), 1)]
+    assert node.mbr() == Rect((0.0,), (9.0,))
+
+
+def test_mbr_of_empty_node_rejected():
+    with pytest.raises(ValueError):
+        Node(0, is_leaf=True).mbr()

@@ -1,0 +1,75 @@
+"""Unit tests for the R* split algorithm."""
+
+import numpy as np
+
+from repro.geometry import Rect
+from repro.rstar import choose_split_axis, rstar_split
+
+
+def boxes(pairs):
+    return [(Rect((x0, y0), (x1, y1)), i)
+            for i, (x0, y0, x1, y1) in enumerate(pairs)]
+
+
+def test_split_preserves_all_entries():
+    rng = np.random.default_rng(0)
+    entries = []
+    for i in range(20):
+        x, y = rng.random(2) * 10
+        entries.append((Rect((x, y), (x + 1, y + 1)), i))
+    left, right = rstar_split(entries, min_fill=8, dim=2)
+    assert len(left) + len(right) == 20
+    assert {i for _r, i in left} | {i for _r, i in right} == set(range(20))
+    assert not ({i for _r, i in left} & {i for _r, i in right})
+
+
+def test_split_respects_min_fill():
+    entries = boxes([(i, 0, i + 0.5, 1) for i in range(10)])
+    left, right = rstar_split(entries, min_fill=4, dim=2)
+    assert len(left) >= 4
+    assert len(right) >= 4
+
+
+def test_split_separates_two_clusters():
+    # Two well-separated clusters along x must split cleanly.
+    cluster_a = [(i * 0.1, 0.0, i * 0.1 + 0.05, 1.0) for i in range(5)]
+    cluster_b = [(100 + i * 0.1, 0.0, 100 + i * 0.1 + 0.05, 1.0)
+                 for i in range(5)]
+    entries = boxes(cluster_a + cluster_b)
+    left, right = rstar_split(entries, min_fill=4, dim=2)
+    sides = [{i for _r, i in group} for group in (left, right)]
+    assert {0, 1, 2, 3, 4} in sides
+    assert {5, 6, 7, 8, 9} in sides
+
+
+def test_split_axis_prefers_separable_dimension():
+    # Entries well separated along y but interleaved along x: sorting on
+    # axis 1 gives much smaller group margins, so axis 1 must win.
+    entries = boxes([((i * 3) % 8, i * 10, (i * 3) % 8 + 1, i * 10 + 1)
+                     for i in range(8)])
+    assert choose_split_axis(entries, min_fill=3, dim=2) == 1
+
+
+def test_split_1d_intervals():
+    entries = [(Rect.from_interval(float(i), float(i + 1)), i)
+               for i in range(10)]
+    left, right = rstar_split(entries, min_fill=4, dim=1)
+    left_ids = sorted(i for _r, i in left)
+    right_ids = sorted(i for _r, i in right)
+    # 1-D sorted split yields two contiguous runs.
+    assert left_ids == list(range(left_ids[0], left_ids[0] + len(left_ids)))
+    assert right_ids == list(
+        range(right_ids[0], right_ids[0] + len(right_ids)))
+
+
+def test_split_zero_overlap_when_possible():
+    entries = boxes([(i, 0, i + 0.9, 1) for i in range(10)])
+    left, right = rstar_split(entries, min_fill=4, dim=2)
+
+    def mbr(group):
+        box = group[0][0]
+        for r, _i in group[1:]:
+            box = box.union(r)
+        return box
+
+    assert mbr(left).intersection_area(mbr(right)) == 0.0

@@ -1,0 +1,90 @@
+"""Unit tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.storage import BufferPool, DiskManager
+
+
+def make_disk(pages=8):
+    disk = DiskManager()
+    for i in range(pages):
+        pid = disk.allocate()
+        disk.write(pid, bytes([i]) * 8)
+    disk.stats.reset()
+    disk.reset_head()
+    return disk
+
+
+def test_hit_avoids_disk_read():
+    disk = make_disk()
+    pool = BufferPool(disk, capacity=4)
+    pool.read(0)
+    assert disk.stats.page_reads == 1
+    pool.read(0)
+    assert disk.stats.page_reads == 1
+    assert disk.stats.cache_hits == 1
+
+
+def test_capacity_zero_disables_caching():
+    disk = make_disk()
+    pool = BufferPool(disk, capacity=0)
+    pool.read(0)
+    pool.read(0)
+    assert disk.stats.page_reads == 2
+    assert disk.stats.cache_hits == 0
+    assert len(pool) == 0
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        BufferPool(make_disk(), capacity=-1)
+
+
+def test_lru_eviction_order():
+    disk = make_disk()
+    pool = BufferPool(disk, capacity=2)
+    pool.read(0)
+    pool.read(1)
+    pool.read(0)      # refresh page 0; page 1 is now LRU
+    pool.read(2)      # evicts page 1
+    disk.stats.reset()
+    pool.read(0)
+    assert disk.stats.cache_hits == 1
+    pool.read(1)
+    assert disk.stats.page_reads == 1   # page 1 was evicted
+
+
+def test_capacity_bound_holds():
+    disk = make_disk()
+    pool = BufferPool(disk, capacity=3)
+    for pid in range(8):
+        pool.read(pid)
+    assert len(pool) == 3
+
+
+def test_write_through_and_cache_refresh():
+    disk = make_disk()
+    pool = BufferPool(disk, capacity=2)
+    pool.write(0, b"new")
+    assert disk.stats.page_writes == 1
+    disk.stats.reset()
+    data = pool.read(0)
+    assert data[:3] == b"new"
+    assert disk.stats.cache_hits == 1   # served from the refreshed frame
+
+
+def test_clear_drops_frames():
+    disk = make_disk()
+    pool = BufferPool(disk, capacity=4)
+    pool.read(0)
+    pool.clear()
+    assert len(pool) == 0
+    disk.stats.reset()
+    pool.read(0)
+    assert disk.stats.page_reads == 1
+
+
+def test_read_returns_disk_content():
+    disk = make_disk()
+    pool = BufferPool(disk, capacity=2)
+    assert pool.read(3)[:8] == bytes([3]) * 8

@@ -1,0 +1,159 @@
+"""Unit tests for the simulated disk (DiskManager)."""
+
+import pytest
+
+from repro.storage import DiskManager, IOStats, PAGE_SIZE, PageError
+
+
+def test_allocate_returns_consecutive_ids():
+    disk = DiskManager()
+    assert disk.allocate() == 0
+    assert disk.allocate() == 1
+    assert disk.num_pages == 2
+
+
+def test_allocate_many_contiguous():
+    disk = DiskManager()
+    first = disk.allocate_many(5)
+    assert first == 0
+    assert disk.num_pages == 5
+    assert disk.allocate() == 5
+
+
+def test_allocate_many_negative_raises():
+    disk = DiskManager()
+    with pytest.raises(PageError):
+        disk.allocate_many(-1)
+
+
+def test_new_page_is_zeroed():
+    disk = DiskManager()
+    pid = disk.allocate()
+    assert disk.read(pid) == bytes(PAGE_SIZE)
+
+
+def test_write_read_roundtrip():
+    disk = DiskManager()
+    pid = disk.allocate()
+    disk.write(pid, b"hello")
+    data = disk.read(pid)
+    assert data[:5] == b"hello"
+    assert len(data) == PAGE_SIZE
+
+
+def test_short_write_zero_padded():
+    disk = DiskManager()
+    pid = disk.allocate()
+    disk.write(pid, b"x")
+    assert disk.read(pid)[1:] == bytes(PAGE_SIZE - 1)
+
+
+def test_oversized_write_raises():
+    disk = DiskManager()
+    pid = disk.allocate()
+    with pytest.raises(PageError):
+        disk.write(pid, bytes(PAGE_SIZE + 1))
+
+
+def test_out_of_range_read_raises():
+    disk = DiskManager()
+    with pytest.raises(PageError):
+        disk.read(0)
+    disk.allocate()
+    with pytest.raises(PageError):
+        disk.read(1)
+    with pytest.raises(PageError):
+        disk.read(-1)
+
+
+def test_first_read_is_random():
+    disk = DiskManager()
+    disk.allocate()
+    disk.read(0)
+    assert disk.stats.random_reads == 1
+    assert disk.stats.sequential_reads == 0
+
+
+def test_consecutive_reads_are_sequential():
+    disk = DiskManager()
+    disk.allocate_many(4)
+    for pid in range(4):
+        disk.read(pid)
+    assert disk.stats.random_reads == 1
+    assert disk.stats.sequential_reads == 3
+    assert disk.stats.skipped_pages == 0
+
+
+def test_backward_read_is_random():
+    disk = DiskManager()
+    disk.allocate_many(3)
+    disk.read(2)
+    disk.read(0)
+    assert disk.stats.random_reads == 2
+
+
+def test_rereading_same_page_is_random():
+    disk = DiskManager()
+    disk.allocate()
+    disk.read(0)
+    disk.read(0)
+    # The head moved past page 0; re-reading costs a full rotation/seek.
+    assert disk.stats.random_reads == 2
+
+
+def test_near_seek_counts_sequential_with_skips():
+    disk = DiskManager(near_window=4)
+    disk.allocate_many(10)
+    disk.read(0)
+    disk.read(3)   # gap of 2 pages, within window
+    assert disk.stats.sequential_reads == 1
+    assert disk.stats.skipped_pages == 2
+    disk.read(9)   # gap of 5 pages, outside window
+    assert disk.stats.random_reads == 2
+
+
+def test_near_window_zero_is_strict():
+    disk = DiskManager(near_window=0)
+    disk.allocate_many(4)
+    disk.read(0)
+    disk.read(1)
+    disk.read(3)
+    assert disk.stats.sequential_reads == 1
+    assert disk.stats.random_reads == 2
+
+
+def test_reset_head_makes_next_read_random():
+    disk = DiskManager()
+    disk.allocate_many(2)
+    disk.read(0)
+    disk.reset_head()
+    disk.read(1)
+    assert disk.stats.random_reads == 2
+
+
+def test_shared_stats_aggregate_across_files():
+    stats = IOStats()
+    a = DiskManager(stats=stats, name="a")
+    b = DiskManager(stats=stats, name="b")
+    a.allocate()
+    b.allocate()
+    a.read(0)
+    b.read(0)
+    assert stats.page_reads == 2
+
+
+def test_write_counts():
+    disk = DiskManager()
+    pid = disk.allocate()
+    disk.write(pid, b"d")
+    assert disk.stats.page_writes == 1
+    assert disk.stats.pages_allocated == 1
+
+
+def test_custom_page_size():
+    disk = DiskManager(page_size=64)
+    pid = disk.allocate()
+    disk.write(pid, bytes(64))
+    assert len(disk.read(pid)) == 64
+    with pytest.raises(PageError):
+        disk.write(pid, bytes(65))

@@ -1,0 +1,185 @@
+"""Unit and property tests for the fixed-size RecordStore."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import DiskManager, RecordStore
+
+DTYPE = np.dtype([("key", np.int64), ("value", np.float64)])
+
+
+def make_store(page_size=64, cache_pages=0):
+    disk = DiskManager(page_size=page_size)
+    return RecordStore(disk, DTYPE, cache_pages=cache_pages)
+
+
+def test_records_per_page_from_page_size():
+    store = make_store(page_size=64)
+    assert store.records_per_page == 4   # 16-byte records
+
+
+def test_record_too_large_rejected():
+    disk = DiskManager(page_size=8)
+    with pytest.raises(ValueError):
+        RecordStore(disk, DTYPE)
+
+
+def test_append_returns_sequential_rids():
+    store = make_store()
+    assert store.append((1, 1.0)) == 0
+    assert store.append((2, 2.0)) == 1
+    assert len(store) == 2
+
+
+def test_get_roundtrip():
+    store = make_store()
+    store.append((7, 3.5))
+    rec = store.get(0)
+    assert rec["key"] == 7
+    assert rec["value"] == 3.5
+
+
+def test_get_out_of_range():
+    store = make_store()
+    with pytest.raises(IndexError):
+        store.get(0)
+    store.append((1, 1.0))
+    with pytest.raises(IndexError):
+        store.get(1)
+    with pytest.raises(IndexError):
+        store.get(-1)
+
+
+def test_partial_page_then_fill_reuses_page():
+    store = make_store(page_size=64)   # 4 records per page
+    store.append((0, 0.0))
+    assert store.num_pages == 1
+    for k in range(1, 4):
+        store.append((k, float(k)))
+    # The page was filled in place, not duplicated.
+    assert store.num_pages == 1
+    store.append((4, 4.0))
+    assert store.num_pages == 2
+    assert [int(store.get(i)["key"]) for i in range(5)] == [0, 1, 2, 3, 4]
+
+
+def test_extend_bulk_matches_appends():
+    a = make_store()
+    b = make_store()
+    rows = [(k, k * 0.5) for k in range(23)]
+    for row in rows:
+        a.append(row)
+    rids = b.extend(np.array(rows, dtype=DTYPE))
+    assert rids == range(0, 23)
+    for i in range(23):
+        assert a.get(i) == b.get(i)
+
+
+def test_extend_after_partial_tail():
+    store = make_store(page_size=64)
+    store.append((100, 1.0))
+    store.extend(np.array([(k, 0.0) for k in range(10)], dtype=DTYPE))
+    assert len(store) == 11
+    assert int(store.get(0)["key"]) == 100
+    assert [int(store.get(i)["key"]) for i in range(1, 11)] == list(range(10))
+
+
+def test_read_page_contents_and_lengths():
+    store = make_store(page_size=64)
+    store.extend(np.array([(k, 0.0) for k in range(6)], dtype=DTYPE))
+    assert len(store.read_page(0)) == 4
+    assert len(store.read_page(1)) == 2
+    assert list(store.read_page(1)["key"]) == [4, 5]
+
+
+def test_read_page_out_of_range():
+    store = make_store()
+    with pytest.raises(IndexError):
+        store.read_page(0)
+
+
+def test_scan_visits_all_records_in_order():
+    store = make_store(page_size=64)
+    store.extend(np.array([(k, 0.0) for k in range(13)], dtype=DTYPE))
+    seen = [int(k) for page in store.scan() for k in page["key"]]
+    assert seen == list(range(13))
+
+
+def test_scan_is_sequential_io():
+    store = make_store(page_size=64)
+    store.extend(np.array([(k, 0.0) for k in range(16)], dtype=DTYPE))
+    store.disk.stats.reset()
+    store.disk.reset_head()
+    list(store.scan())
+    assert store.disk.stats.random_reads == 1
+    assert store.disk.stats.sequential_reads == 3
+
+
+def test_read_range_inclusive():
+    store = make_store(page_size=64)
+    store.extend(np.array([(k, 0.0) for k in range(12)], dtype=DTYPE))
+    block = store.read_range(3, 9)
+    assert list(block["key"]) == list(range(3, 10))
+
+
+def test_read_range_single_record():
+    store = make_store(page_size=64)
+    store.extend(np.array([(k, 0.0) for k in range(5)], dtype=DTYPE))
+    assert list(store.read_range(2, 2)["key"]) == [2]
+
+
+def test_read_range_empty_when_inverted():
+    store = make_store(page_size=64)
+    store.append((0, 0.0))
+    assert len(store.read_range(1, 0)) == 0
+
+
+def test_read_range_out_of_bounds():
+    store = make_store(page_size=64)
+    store.append((0, 0.0))
+    with pytest.raises(IndexError):
+        store.read_range(0, 1)
+
+
+def test_page_ids_are_contiguous_for_burst_build():
+    store = make_store(page_size=64)
+    store.extend(np.array([(k, 0.0) for k in range(20)], dtype=DTYPE))
+    ids = store.page_ids
+    assert list(ids) == list(range(ids[0], ids[0] + len(ids)))
+
+
+def test_cache_pages_serve_hits():
+    store = make_store(page_size=64, cache_pages=2)
+    store.extend(np.array([(k, 0.0) for k in range(4)], dtype=DTYPE))
+    store.disk.stats.reset()
+    store.read_page(0)
+    store.read_page(0)
+    assert store.disk.stats.page_reads == 1
+    assert store.disk.stats.cache_hits == 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 10), min_size=1, max_size=30))
+def test_property_mixed_appends_match_reference(batch_sizes):
+    """Arbitrary append/extend interleavings reproduce the flat list."""
+    store = make_store(page_size=64)
+    reference = []
+    key = 0
+    for size in batch_sizes:
+        if size == 0:
+            store.append((key, float(key)))
+            reference.append(key)
+            key += 1
+        else:
+            rows = [(key + i, float(key + i)) for i in range(size)]
+            store.extend(np.array(rows, dtype=DTYPE))
+            reference.extend(k for k, _v in rows)
+            key += size
+    assert len(store) == len(reference)
+    seen = [int(k) for page in store.scan() for k in page["key"]]
+    assert seen == reference
+    # Random access agrees as well.
+    for rid in range(0, len(reference), 7):
+        assert int(store.get(rid)["key"]) == reference[rid]

@@ -1,0 +1,142 @@
+"""Unit tests for the synthetic data and workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Interval
+from repro.synth import (
+    diamond_square,
+    fractal_dem_heights,
+    lyon_like,
+    monotonic_field,
+    monotonic_heights,
+    noise_level,
+    roseburg_like,
+    value_query_workload,
+)
+
+
+def test_diamond_square_shape():
+    grid = diamond_square(4, 0.5, seed=0)
+    assert grid.shape == (17, 17)
+
+
+def test_diamond_square_deterministic_by_seed():
+    a = diamond_square(4, 0.5, seed=42)
+    b = diamond_square(4, 0.5, seed=42)
+    c = diamond_square(4, 0.5, seed=43)
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+def test_diamond_square_roughness_ordering():
+    """Higher H (paper §4.2) yields a smoother surface."""
+    def roughness(grid):
+        span = grid.max() - grid.min()
+        return np.abs(np.diff(grid, axis=0)).mean() / span
+
+    rough = diamond_square(5, 0.1, seed=1)
+    smooth = diamond_square(5, 0.9, seed=1)
+    assert roughness(smooth) < roughness(rough)
+
+
+def test_diamond_square_validation():
+    with pytest.raises(ValueError):
+        diamond_square(0, 0.5)
+    with pytest.raises(ValueError):
+        diamond_square(4, 1.5)
+    with pytest.raises(ValueError):
+        diamond_square(4, -0.1)
+
+
+def test_fractal_dem_heights_power_of_two():
+    grid = fractal_dem_heights(32, 0.5, seed=0)
+    assert grid.shape == (33, 33)
+    with pytest.raises(ValueError):
+        fractal_dem_heights(33, 0.5)
+
+
+def test_monotonic_heights():
+    grid = monotonic_heights(4)
+    assert grid.shape == (5, 5)
+    assert grid[0, 0] == 0.0
+    assert grid[4, 4] == 8.0
+    assert grid[2, 3] == 5.0
+    with pytest.raises(ValueError):
+        monotonic_heights(0)
+
+
+def test_monotonic_field_range():
+    field = monotonic_field(16)
+    assert field.value_range == Interval(0.0, 32.0)
+    assert field.num_cells == 256
+
+
+def test_lyon_like_triangle_count():
+    tin = lyon_like(num_sites=600, seed=1)
+    # Delaunay of n random sites has ~2n triangles.
+    assert 1000 <= tin.num_cells <= 1250
+
+
+def test_lyon_like_db_range_plausible():
+    tin = lyon_like(num_sites=400, seed=2)
+    vr = tin.value_range
+    # Urban noise: between ambient (35 dB) and loud sources (~110 dB).
+    assert 35.0 <= vr.lo <= 80.0
+    assert 60.0 <= vr.hi <= 115.0
+
+
+def test_lyon_like_validation():
+    with pytest.raises(ValueError):
+        lyon_like(num_sites=2)
+
+
+def test_noise_level_decays_from_sources():
+    # Noise at many random spots must vary (sources create hotspots).
+    rng = np.random.default_rng(0)
+    xs = rng.uniform(0, 2000, 200)
+    ys = rng.uniform(0, 2000, 200)
+    levels = noise_level(xs, ys, seed=3)
+    assert levels.std() > 1.0
+
+
+def test_roseburg_like_range_and_size():
+    field = roseburg_like(cells_per_side=64)
+    assert field.num_cells == 64 * 64
+    assert field.value_range.lo == pytest.approx(100.0)
+    assert field.value_range.hi == pytest.approx(600.0)
+
+
+def test_roseburg_like_deterministic():
+    a = roseburg_like(cells_per_side=32)
+    b = roseburg_like(cells_per_side=32)
+    assert np.array_equal(a.heights, b.heights)
+
+
+def test_workload_lengths_and_bounds():
+    vr = Interval(100.0, 600.0)
+    queries = value_query_workload(vr, 0.05, count=50, seed=1)
+    assert len(queries) == 50
+    for q in queries:
+        assert q.length == pytest.approx(0.05 * 500.0)
+        assert vr.lo <= q.lo and q.hi <= vr.hi + 1e-9
+
+
+def test_workload_exact_queries():
+    queries = value_query_workload(Interval(0.0, 10.0), 0.0, count=10)
+    assert all(q.length == 0.0 for q in queries)
+
+
+def test_workload_deterministic_by_seed():
+    vr = Interval(0.0, 1.0)
+    a = value_query_workload(vr, 0.1, count=5, seed=9)
+    b = value_query_workload(vr, 0.1, count=5, seed=9)
+    assert a == b
+
+
+def test_workload_validation():
+    vr = Interval(0.0, 1.0)
+    with pytest.raises(ValueError):
+        value_query_workload(vr, 1.5)
+    with pytest.raises(ValueError):
+        value_query_workload(vr, 0.1, count=0)
