@@ -1,0 +1,74 @@
+"""Benchmark: batched vs. sequential execution of the Fig. 8 workload.
+
+Replays the Fig. 8a query mix (random queries at every Qinterval
+setting, identical draws per method) through the batch engine with
+merged intervals and a shared buffer pool, and asserts that the batch
+performs strictly fewer total page reads than the same queries run
+sequentially with cold stats — while returning identical answers.
+
+Full comparison table: ``python -m repro.bench batch``.
+"""
+
+import pytest
+
+from repro.core import BatchQueryEngine, PlannedIndex, run_sequential
+from repro.synth import value_query_workload
+
+QINTERVALS = [0.0, 0.02, 0.04, 0.06, 0.08, 0.10]
+QUERIES_PER_SETTING = 25
+
+
+@pytest.fixture(scope="module")
+def batch_indexes(terrain_indexes):
+    """Fig. 8a indexes plus the cost-based planner."""
+    indexes = dict(terrain_indexes)
+    indexes["I-Hilbert+planner"] = PlannedIndex(
+        indexes["I-Hilbert"].field)
+    return indexes
+
+
+@pytest.fixture(scope="module")
+def fig8_workload(batch_indexes):
+    field = batch_indexes["LinearScan"].field
+    queries = []
+    for q in QINTERVALS:
+        queries += value_query_workload(field.value_range, q,
+                                        count=QUERIES_PER_SETTING, seed=0)
+    return queries
+
+
+def run_batch(index, workload):
+    index.clear_caches()
+    return BatchQueryEngine(index).run(workload)
+
+
+@pytest.mark.parametrize("method", ["LinearScan", "I-All", "I-Hilbert",
+                                    "I-Hilbert+planner"])
+def test_batch_fewer_page_reads_than_cold_sequential(
+        benchmark, batch_indexes, fig8_workload, method):
+    index = batch_indexes[method]
+    sequential = run_sequential(index, fig8_workload, estimate="area",
+                                cold=True)
+    benchmark.group = "fig8a batch vs sequential"
+    batch = benchmark(run_batch, index, fig8_workload)
+
+    assert batch.io.page_reads < sequential.io.page_reads
+    # Same answers, query for query.
+    for one, many in zip(sequential.results, batch.results):
+        assert one.candidate_count == many.candidate_count
+        assert many.area == pytest.approx(one.area, rel=1e-9, abs=1e-9)
+    benchmark.extra_info["sequential_page_reads"] = \
+        sequential.io.page_reads
+    benchmark.extra_info["batch_page_reads"] = batch.io.page_reads
+    benchmark.extra_info["pool_hit_rate"] = round(batch.pool.hit_rate, 4)
+    benchmark.extra_info["merged_groups"] = batch.groups
+
+
+def test_merging_alone_already_saves_reads(batch_indexes, fig8_workload):
+    """Even with the shared cache disabled, interval merging reduces
+    reads on the overlapping Fig. 8 mix."""
+    index = batch_indexes["I-Hilbert"]
+    sequential = run_sequential(index, fig8_workload, cold=True)
+    index.clear_caches()
+    merged_only = BatchQueryEngine(index, cache_pages=0).run(fig8_workload)
+    assert merged_only.io.page_reads < sequential.io.page_reads

@@ -16,4 +16,5 @@ python -m repro.bench methods-extra > results/methods_extra.txt 2>&1
 python -m repro.bench scale > results/scale.txt 2>&1
 python -m repro.bench fig11 > results/fig11_cold.txt 2>&1
 python -m repro.bench fig11 --warm > results/fig11_warm.txt 2>&1
+python -m repro.bench batch > results/batch.txt 2>&1
 echo DONE > results/FINAL_DONE

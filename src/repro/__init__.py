@@ -18,6 +18,8 @@ Quickstart::
 """
 
 from .core import (
+    BatchQueryEngine,
+    BatchResult,
     CostBasedGrouping,
     FieldStatistics,
     ITreeIndex,
@@ -56,6 +58,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AnswerRegion",
+    "BatchQueryEngine",
+    "BatchResult",
     "CostBasedGrouping",
     "DEMField",
     "Field",

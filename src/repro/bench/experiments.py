@@ -276,6 +276,77 @@ def methods_extra(full: bool = False, queries: int = 100, seed: int = 0,
         QINTERVALS_FIG8, queries=queries, seed=seed, estimate=estimate)
 
 
+def batch_compare(full: bool = False, queries: int = 200, seed: int = 0,
+                  estimate: str = "area", **_ignored) -> str:
+    """Batched vs. sequential execution of the Fig. 8a workload.
+
+    Replays the Fig. 8a query mix (200 random queries per Qinterval
+    setting, identical draws for every method) two ways: one at a time
+    against a cold store — the paper's protocol — and as one batch
+    through :class:`~repro.core.batch.BatchQueryEngine` with merged
+    intervals and a shared buffer pool.  Reports total page reads, the
+    reduction, and the pool's hit rate per access method.
+    """
+    from ..core.batch import (
+        BatchQueryEngine,
+        DEFAULT_BATCH_CACHE_PAGES,
+        run_sequential,
+    )
+    from ..synth import value_query_workload
+
+    size = 512 if full else 256
+    field = roseburg_like(cells_per_side=size)
+    workload = []
+    for q in QINTERVALS_FIG8:
+        workload += value_query_workload(field.value_range, q,
+                                         count=queries, seed=seed)
+    methods = {
+        "LinearScan": LinearScanIndex,
+        "I-All": IAllIndex,
+        "I-Hilbert": IHilbertIndex,
+        "IH+planner": PlannedIndex,
+    }
+    lines = [
+        f"== batch: Fig. 8a workload on {size}x{size} terrain DEM ==",
+        f"queries: {len(workload)} ({queries} per Qinterval setting "
+        f"{QINTERVALS_FIG8}), seed={seed}, estimate={estimate}",
+        "",
+        f"{'method':>12} {'seq pages':>12} {'cache-only':>12} "
+        f"{'hit rate':>9} {'merged':>12} {'saved':>8} {'groups':>7}",
+    ]
+    for name, cls in methods.items():
+        index = cls(field)
+        seq = run_sequential(index, workload, estimate=estimate, cold=True)
+        # Shared LRU pool alone (one fetch per query, value-sorted).
+        index.clear_caches()
+        cache_only = BatchQueryEngine(index, merge=False).run(
+            workload, estimate=estimate)
+        # Full engine: merged overlapping intervals + shared pool.
+        index.clear_caches()
+        batch = BatchQueryEngine(index).run(workload, estimate=estimate)
+        for r_seq, r_one, r_bat in zip(seq.results, cache_only.results,
+                                       batch.results):
+            assert r_seq.candidate_count == r_bat.candidate_count, name
+            assert r_seq.candidate_count == r_one.candidate_count, name
+        saved = 1.0 - batch.io.page_reads / max(seq.io.page_reads, 1)
+        lines.append(
+            f"{name:>12} {seq.io.page_reads:>12} "
+            f"{cache_only.io.page_reads:>12} "
+            f"{cache_only.pool.hit_rate:>8.1%} "
+            f"{batch.io.page_reads:>12} {saved:>7.1%} "
+            f"{batch.groups:>7}")
+        del index
+    lines += [
+        "",
+        "(seq = one query at a time, caches dropped per query; "
+        "cache-only = batch engine with merging disabled, shared LRU "
+        f"pool of {DEFAULT_BATCH_CACHE_PAGES} pages; merged = full "
+        "engine, overlapping intervals coalesced into one fetch each; "
+        "candidate counts verified identical per query)",
+    ]
+    return "\n".join(lines)
+
+
 def _render(result) -> str:
     if isinstance(result, str):
         return result
@@ -292,6 +363,7 @@ EXPERIMENTS: dict[str, Callable] = {
     "fig12": fig12,
     "fig7": fig7,
     "fig10": fig10,
+    "batch": batch_compare,
     "ablation-cost": ablation_cost,
     "ablation-curve": ablation_curve,
     "ablation-pagesize": ablation_pagesize,

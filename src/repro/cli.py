@@ -5,6 +5,8 @@ A small database-style front end over the library:
 * ``build``  — index a field (``.npy`` height grid or TIN ``.npz``) with
   I-Hilbert and save the index directory;
 * ``query``  — run a field value query against a saved index;
+* ``batch``  — run a whole file of value queries through the batch
+  engine (merged intervals + shared page cache);
 * ``info``   — describe a saved index;
 * ``point``  — conventional (Q1) query on a ``.npy`` height grid.
 
@@ -12,6 +14,7 @@ Examples::
 
     python -m repro build terrain.npy terrain-index/
     python -m repro query terrain-index/ 300 320 --regions
+    python -m repro batch terrain-index/ queries.txt --compare
     python -m repro info terrain-index/
     python -m repro point terrain.npy 30.5 99.25
 """
@@ -26,12 +29,15 @@ from pathlib import Path
 import numpy as np
 
 from .core import (
+    BatchQueryEngine,
     IHilbertIndex,
     PointIndex,
     ValueQuery,
     load_index,
+    run_sequential,
     save_index,
 )
+from .core.batch import DEFAULT_BATCH_CACHE_PAGES
 from .field import DEMField, TINField
 
 
@@ -84,6 +90,67 @@ def cmd_query(args) -> int:
                                for x, y in region.polygon)
             print(f"  cell {region.cell_id}: area={region.area:.4f} "
                   f"[{coords}]")
+    return 0
+
+
+def _load_queries(path: Path) -> list[ValueQuery]:
+    """Parse a query file: one ``lo hi`` pair (or a single exact value)
+    per line; blank lines and ``#`` comments are skipped."""
+    if not path.exists():
+        raise SystemExit(f"{path}: no such query file")
+    queries = []
+    for lineno, raw in enumerate(path.read_text().splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.replace(",", " ").split()
+        try:
+            if len(parts) == 1:
+                lo = hi = float(parts[0])
+            elif len(parts) == 2:
+                lo, hi = float(parts[0]), float(parts[1])
+            else:
+                raise ValueError("expected 'lo hi' or one exact value")
+            queries.append(ValueQuery(lo, hi))
+        except ValueError as exc:
+            raise SystemExit(f"{path}:{lineno}: {exc}")
+    if not queries:
+        raise SystemExit(f"{path}: no queries found")
+    return queries
+
+
+def cmd_batch(args) -> int:
+    """Run a file of value queries through the batch engine."""
+    index = load_index(args.index_dir)
+    queries = _load_queries(Path(args.queries))
+    try:
+        engine = BatchQueryEngine(index, cache_pages=args.cache_pages,
+                                  merge=not args.no_merge)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    batch = engine.run(queries, estimate=args.estimate)
+    if not args.quiet:
+        for i, result in enumerate(batch.results):
+            q = result.query
+            area = ("" if result.area is None
+                    else f"  area={result.area:.4f}")
+            print(f"[{i}] {q.lo:g}..{q.hi:g}: "
+                  f"{result.candidate_count} candidates{area}  "
+                  f"({result.io.page_reads} pages)")
+    print(f"batch: {len(batch)} queries in {batch.groups} merged groups")
+    print(f"I/O: {batch.io.page_reads} pages "
+          f"({batch.io.random_reads} random, "
+          f"{batch.io.sequential_reads} sequential), "
+          f"{batch.pool.hits} pool hits / {batch.pool.misses} misses / "
+          f"{batch.pool.evictions} evictions")
+    if args.compare:
+        index.clear_caches()
+        seq = run_sequential(index, queries, estimate=args.estimate,
+                             cold=True)
+        saved = seq.io.page_reads - batch.io.page_reads
+        pct = 100.0 * saved / seq.io.page_reads if seq.io.page_reads else 0.0
+        print(f"sequential (cold): {seq.io.page_reads} pages — "
+              f"batch saves {saved} pages ({pct:.1f}%)")
     return 0
 
 
@@ -146,6 +213,26 @@ def main(argv: list[str] | None = None) -> int:
     query.add_argument("--max-regions", type=int, default=10,
                        help="polygons to print with --regions")
     query.set_defaults(func=cmd_query)
+
+    batch = sub.add_parser("batch", help="run a file of value queries "
+                                         "through the batch engine")
+    batch.add_argument("index_dir")
+    batch.add_argument("queries", help="text file: one 'lo hi' pair (or "
+                                       "one exact value) per line")
+    batch.add_argument("--estimate", default="area",
+                       choices=["none", "area"],
+                       help="estimation-step mode (default: area)")
+    batch.add_argument("--cache-pages", type=int,
+                       default=DEFAULT_BATCH_CACHE_PAGES,
+                       help="shared buffer-pool capacity for the batch")
+    batch.add_argument("--no-merge", action="store_true",
+                       help="keep one fetch per query (shared cache only)")
+    batch.add_argument("--compare", action="store_true",
+                       help="also run the queries sequentially cold and "
+                            "report the page-read reduction")
+    batch.add_argument("--quiet", action="store_true",
+                       help="suppress per-query lines, print totals only")
+    batch.set_defaults(func=cmd_batch)
 
     info = sub.add_parser("info", help="describe a saved index")
     info.add_argument("index_dir")

@@ -1,6 +1,13 @@
 """The paper's contribution: value-domain access methods for fields."""
 
 from .base import ValueIndex
+from .batch import (
+    BatchQueryEngine,
+    BatchResult,
+    QueryGroup,
+    merge_queries,
+    run_sequential,
+)
 from .cost import (
     CostBasedGrouping,
     GroupingPolicy,
@@ -36,6 +43,11 @@ METHODS = {
 }
 
 __all__ = [
+    "BatchQueryEngine",
+    "BatchResult",
+    "QueryGroup",
+    "merge_queries",
+    "run_sequential",
     "CostBasedGrouping",
     "GroupedIntervalIndex",
     "GroupingPolicy",

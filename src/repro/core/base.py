@@ -69,6 +69,18 @@ class ValueIndex(abc.ABC):
         """
         before = self.stats.snapshot()
         candidates = self._candidates(query.lo, query.hi)
+        result = self._finish(query, candidates, estimate)
+        result.io = self.stats.diff(before)
+        return result
+
+    def _finish(self, query: ValueQuery, candidates: np.ndarray,
+                estimate: EstimateMode) -> QueryResult:
+        """Estimation step: turn filtered candidates into a result.
+
+        Shared by :meth:`query` and the batch engine, which produces the
+        candidate set differently (one fetch per group of overlapping
+        queries) but must estimate identically.
+        """
         result = QueryResult(query=query,
                              candidate_count=int(len(candidates)))
         if estimate == "area":
@@ -81,7 +93,6 @@ class ValueIndex(abc.ABC):
             result.area = total_area(regions)
         elif estimate != "none":
             raise ValueError(f"unknown estimate mode: {estimate!r}")
-        result.io = self.stats.diff(before)
         return result
 
     def clear_caches(self) -> None:

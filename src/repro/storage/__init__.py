@@ -1,6 +1,6 @@
 """Simulated paged storage: disk manager, buffer pool, record files."""
 
-from .buffer import BufferPool
+from .buffer import BufferPool, PoolCounters
 from .disk import DiskManager, PAGE_SIZE, PageError
 from .records import RecordStore
 from .snapshot import SnapshotError, load_disk, save_disk
@@ -13,6 +13,7 @@ __all__ = [
     "IOStats",
     "PAGE_SIZE",
     "PageError",
+    "PoolCounters",
     "RecordStore",
     "SnapshotError",
     "load_disk",

@@ -3,13 +3,50 @@
 The pool caches decoded page bytes; a hit is charged to
 ``IOStats.cache_hits`` instead of a disk read.  Experiments that want cold
 queries call :meth:`BufferPool.clear` between queries.
+
+Besides the per-file ``IOStats`` accounting, every pool keeps its own
+cumulative hit/miss/eviction counters (:meth:`BufferPool.counters`), and
+its capacity can be changed in place with :meth:`BufferPool.resize` — the
+batch query engine uses this to lend an index a large shared cache for the
+duration of a batch and hand it back unchanged afterwards.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
+from dataclasses import dataclass
 
 from .disk import DiskManager
+
+
+@dataclass(frozen=True)
+class PoolCounters:
+    """Cumulative hit/miss/eviction counts of one :class:`BufferPool`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total reads served (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of reads served from the pool (0.0 when unused)."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def diff(self, earlier: "PoolCounters") -> "PoolCounters":
+        """Counter deltas accumulated since ``earlier``."""
+        return PoolCounters(hits=self.hits - earlier.hits,
+                            misses=self.misses - earlier.misses,
+                            evictions=self.evictions - earlier.evictions)
+
+    def __add__(self, other: "PoolCounters") -> "PoolCounters":
+        return PoolCounters(hits=self.hits + other.hits,
+                            misses=self.misses + other.misses,
+                            evictions=self.evictions + other.evictions)
 
 
 class BufferPool:
@@ -30,6 +67,9 @@ class BufferPool:
         self.disk = disk
         self.capacity = capacity
         self._frames: OrderedDict[int, bytes] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._frames)
@@ -38,8 +78,10 @@ class BufferPool:
         """Return page bytes, from cache when resident."""
         if page_id in self._frames:
             self._frames.move_to_end(page_id)
+            self.hits += 1
             self.disk.stats.cache_hits += 1
             return self._frames[page_id]
+        self.misses += 1
         data = self.disk.read(page_id)
         self._admit(page_id, data)
         return data
@@ -51,8 +93,34 @@ class BufferPool:
             # Re-read nothing: the disk normalizes padding, so mirror that.
             self._admit(page_id, self.disk._pages[page_id])
 
+    def resize(self, capacity: int) -> None:
+        """Change the pool capacity in place.
+
+        Growing keeps every resident frame; shrinking evicts LRU frames
+        (counted in :attr:`evictions`) until the new bound holds.
+        """
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._shrink()
+
+    def counters(self) -> PoolCounters:
+        """Snapshot of the cumulative hit/miss/eviction counters."""
+        return PoolCounters(hits=self.hits, misses=self.misses,
+                            evictions=self.evictions)
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss/eviction counters (frames stay resident)."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
     def clear(self) -> None:
-        """Drop every cached frame (simulates a cold cache)."""
+        """Drop every cached frame (simulates a cold cache).
+
+        A deliberate cold reset is not cache pressure, so it does not
+        count toward :attr:`evictions`.
+        """
         self._frames.clear()
 
     def _admit(self, page_id: int, data: bytes) -> None:
@@ -60,5 +128,9 @@ class BufferPool:
             return
         self._frames[page_id] = data
         self._frames.move_to_end(page_id)
+        self._shrink()
+
+    def _shrink(self) -> None:
         while len(self._frames) > self.capacity:
             self._frames.popitem(last=False)
+            self.evictions += 1

@@ -80,11 +80,14 @@ def fractal_dem_heights(cells_per_side: int, roughness: float,
                         seed: int | None = None) -> np.ndarray:
     """Fractal vertex grid sized for ``cells_per_side`` square cells.
 
-    ``cells_per_side`` must be a power of two; the returned array has
-    ``cells_per_side + 1`` vertices per side.
+    The returned array has ``cells_per_side + 1`` vertices per side.
+    Diamond-square itself needs a power-of-two cell count, so other sizes
+    are generated at the next power of two and cropped; power-of-two
+    sizes take the direct path and are byte-identical to before.
     """
-    order = int(np.log2(cells_per_side))
-    if (1 << order) != cells_per_side:
+    if cells_per_side < 1:
         raise ValueError(
-            f"cells_per_side must be a power of two, got {cells_per_side}")
-    return diamond_square(order, roughness, seed=seed)
+            f"cells_per_side must be >= 1, got {cells_per_side}")
+    order = max(1, int(cells_per_side - 1).bit_length())
+    grid = diamond_square(order, roughness, seed=seed)
+    return grid[:cells_per_side + 1, :cells_per_side + 1]

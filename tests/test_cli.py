@@ -92,3 +92,52 @@ def test_curve_option(heights_file, tmp_path, capsys):
     assert main(["build", str(heights_file), str(index_dir),
                  "--curve", "zorder"]) == 0
     assert "subfields" in capsys.readouterr().out
+
+
+def test_batch_command(heights_file, tmp_path, capsys):
+    index_dir = tmp_path / "idx"
+    main(["build", str(heights_file), str(index_dir)])
+    queries_file = tmp_path / "queries.txt"
+    queries_file.write_text(
+        "# mixed workload\n"
+        "250 300\n"
+        "280, 320\n"      # overlaps the first -> merged
+        "400\n"           # exact query
+        "\n"
+        "150 180\n")
+    capsys.readouterr()
+    assert main(["batch", str(index_dir), str(queries_file),
+                 "--compare"]) == 0
+    out = capsys.readouterr().out
+    assert "[3]" in out                       # one line per query
+    assert "4 queries in 3 merged groups" in out
+    assert "sequential (cold):" in out
+    assert "batch saves" in out
+
+
+def test_batch_command_quiet(heights_file, tmp_path, capsys):
+    index_dir = tmp_path / "idx"
+    main(["build", str(heights_file), str(index_dir)])
+    queries_file = tmp_path / "queries.txt"
+    queries_file.write_text("250 300\n")
+    capsys.readouterr()
+    assert main(["batch", str(index_dir), str(queries_file),
+                 "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "[0]" not in out
+    assert "1 queries in 1 merged groups" in out
+
+
+def test_batch_command_bad_queries(heights_file, tmp_path):
+    index_dir = tmp_path / "idx"
+    main(["build", str(heights_file), str(index_dir)])
+    bad = tmp_path / "bad.txt"
+    bad.write_text("1 2 3\n")
+    with pytest.raises(SystemExit):
+        main(["batch", str(index_dir), str(bad)])
+    empty = tmp_path / "empty.txt"
+    empty.write_text("# nothing\n")
+    with pytest.raises(SystemExit):
+        main(["batch", str(index_dir), str(empty)])
+    with pytest.raises(SystemExit):
+        main(["batch", str(index_dir), str(tmp_path / "missing.txt")])

@@ -1,0 +1,174 @@
+"""Unit tests for the batch query engine (core/batch.py)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BatchQueryEngine,
+    IAllIndex,
+    IHilbertIndex,
+    LinearScanIndex,
+    PlannedIndex,
+    ValueQuery,
+    merge_queries,
+    run_sequential,
+)
+from repro.core.batch import QueryGroup
+from repro.field import DEMField
+from repro.synth import fractal_dem_heights, value_query_workload
+
+METHODS = [LinearScanIndex, IAllIndex, IHilbertIndex, PlannedIndex]
+
+
+@pytest.fixture(scope="module")
+def field():
+    return DEMField(fractal_dem_heights(32, 0.5, seed=4))
+
+
+@pytest.fixture(scope="module")
+def workload(field):
+    queries = []
+    for q in (0.0, 0.05, 0.15):
+        queries += value_query_workload(field.value_range, q, count=12,
+                                        seed=1)
+    return queries
+
+
+# -- interval sort/merge -----------------------------------------------------
+
+def test_merge_sorts_and_merges_overlaps():
+    queries = [ValueQuery(5.0, 7.0), ValueQuery(0.0, 2.0),
+               ValueQuery(1.0, 3.0), ValueQuery(6.5, 9.0)]
+    groups = merge_queries(queries)
+    assert [(g.lo, g.hi) for g in groups] == [(0.0, 3.0), (5.0, 9.0)]
+    assert groups[0].members == (1, 2)
+    assert groups[1].members == (0, 3)
+
+
+def test_merge_touching_intervals():
+    groups = merge_queries([ValueQuery(0.0, 1.0), ValueQuery(1.0, 2.0)])
+    assert len(groups) == 1
+    assert (groups[0].lo, groups[0].hi) == (0.0, 2.0)
+
+
+def test_merge_disjoint_stay_separate():
+    queries = [ValueQuery(3.0, 4.0), ValueQuery(0.0, 1.0)]
+    groups = merge_queries(queries)
+    assert [(g.lo, g.hi) for g in groups] == [(0.0, 1.0), (3.0, 4.0)]
+    assert all(g.size == 1 for g in groups)
+
+
+def test_merge_disabled_keeps_one_group_per_query():
+    queries = [ValueQuery(0.0, 2.0), ValueQuery(1.0, 3.0)]
+    groups = merge_queries(queries, merge=False)
+    assert len(groups) == 2
+    # Still sorted on the value axis for cache locality.
+    assert groups[0].lo <= groups[1].lo
+
+
+def test_merge_empty():
+    assert merge_queries([]) == []
+
+
+def test_query_group_size():
+    assert QueryGroup(0.0, 1.0, (3, 1, 2)).size == 3
+
+
+# -- engine vs. one-at-a-time execution --------------------------------------
+
+@pytest.mark.parametrize("cls", METHODS, ids=lambda c: c.name)
+@pytest.mark.parametrize("merge", [True, False], ids=["merged", "unmerged"])
+def test_batch_matches_sequential_answers(field, workload, cls, merge):
+    index = cls(field)
+    seq = run_sequential(index, workload, estimate="area")
+    index.clear_caches()
+    batch = BatchQueryEngine(index, merge=merge).run(workload,
+                                                     estimate="area")
+    assert len(batch) == len(workload)
+    for one, many in zip(seq.results, batch.results):
+        assert one.query == many.query          # original order preserved
+        assert one.candidate_count == many.candidate_count
+        assert many.area == pytest.approx(one.area, rel=1e-9, abs=1e-9)
+
+
+@pytest.mark.parametrize("cls", METHODS, ids=lambda c: c.name)
+def test_batch_reads_fewer_pages_than_cold_sequential(field, workload, cls):
+    index = cls(field)
+    seq = run_sequential(index, workload, estimate="area", cold=True)
+    index.clear_caches()
+    batch = BatchQueryEngine(index).run(workload, estimate="area")
+    assert batch.io.page_reads < seq.io.page_reads
+    assert batch.pool.hits > 0
+
+
+def test_per_query_io_sums_to_batch_io(field, workload):
+    index = IHilbertIndex(field)
+    batch = BatchQueryEngine(index).run(workload)
+    assert sum(r.io.page_reads for r in batch.results) == batch.io.page_reads
+    assert sum(r.io.cache_hits for r in batch.results) == batch.io.cache_hits
+
+
+def test_batch_restores_pool_capacity(field):
+    index = IHilbertIndex(field, cache_pages=2)
+    engine = BatchQueryEngine(index, cache_pages=64)
+    vr = field.value_range
+    engine.run([ValueQuery(vr.lo, vr.hi)])
+    assert index.store.pool.capacity == 2
+    assert len(index.store.pool) <= 2
+    assert index.tree.pool.capacity == 2
+
+
+def test_batch_never_shrinks_a_larger_configured_pool(field):
+    index = IHilbertIndex(field, cache_pages=4096)
+    engine = BatchQueryEngine(index, cache_pages=8)
+    vr = field.value_range
+    engine.run([ValueQuery(vr.lo, vr.hi)])
+    assert index.store.pool.capacity == 4096
+
+
+def test_batch_estimate_modes(field):
+    index = LinearScanIndex(field)
+    vr = field.value_range
+    span = vr.hi - vr.lo
+    queries = [ValueQuery(vr.lo + 0.4 * span, vr.lo + 0.5 * span)]
+    none = BatchQueryEngine(index).run(queries, estimate="none")
+    assert none.results[0].area is None
+    regions = BatchQueryEngine(index).run(queries, estimate="regions")
+    assert regions.results[0].regions is not None
+    single = index.query(queries[0], estimate="regions")
+    assert len(regions.results[0].regions) == len(single.regions)
+    assert regions.results[0].area == pytest.approx(single.area)
+    with pytest.raises(ValueError):
+        BatchQueryEngine(index).run(queries, estimate="bogus")
+
+
+def test_empty_batch(field):
+    index = LinearScanIndex(field)
+    batch = BatchQueryEngine(index).run([])
+    assert len(batch) == 0
+    assert batch.io.page_reads == 0
+    assert batch.groups == 0
+
+
+def test_out_of_range_batch(field):
+    index = IHilbertIndex(field)
+    vr = field.value_range
+    batch = BatchQueryEngine(index).run(
+        [ValueQuery(vr.hi + 1.0, vr.hi + 2.0)])
+    assert batch.results[0].candidate_count == 0
+    assert batch.results[0].area == 0.0
+
+
+def test_negative_cache_pages_rejected(field):
+    with pytest.raises(ValueError):
+        BatchQueryEngine(LinearScanIndex(field), cache_pages=-1)
+
+
+def test_total_candidates(field):
+    index = LinearScanIndex(field)
+    vr = field.value_range
+    queries = [ValueQuery(vr.lo, vr.hi), ValueQuery(vr.lo, vr.hi)]
+    batch = BatchQueryEngine(index).run(queries)
+    assert batch.total_candidates == 2 * field.num_cells

@@ -1,0 +1,87 @@
+"""Regression pin of the paper's §3.1.2 cost function.
+
+The prose formula, on values normalized so the field range has extent 1,
+is ``C = P / SI`` with access probability ``P = L + 0.5`` (``L`` the
+subfield's interval size, 0.5 the average query extent) and ``SI`` the
+sum of member-cell interval sizes; a cell joins the open subfield only
+when that *strictly* decreases ``C``.  These tests pin exact numbers for
+both the normalized formula and the Fig. 5 worked example so a refactor
+of ``core/cost.py`` cannot silently drift from the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CostBasedGrouping, IHilbertIndex, group_cells
+from repro.field import DEMField
+from repro.synth import fractal_dem_heights
+
+#: The paper's normalized-space configuration: interval size
+#: I = max - min + 1 and P = L + 0.5.
+NORMALIZED = dict(unit=1.0, avg_query=0.5)
+
+
+def test_normalized_cost_is_L_plus_half_over_SI():
+    policy = CostBasedGrouping(**NORMALIZED)
+    # One cell [0.2, 0.4]: L = 0.2 + 1, SI = 1.2 -> C = (1.2 + 0.5) / 1.2.
+    state = policy.open_group(0.2, 0.4)
+    assert policy.cost(state) == pytest.approx(1.7 / 1.2)
+    # Admit [0.3, 0.5]: L = 0.3 + 1, SI = 1.2 + 1.2 = 2.4
+    #   -> C = (1.3 + 0.5) / 2.4 = 0.75 < 1.7 / 1.2: admitted.
+    after = policy.admit(state, 0.3, 0.5)
+    assert after is not None
+    assert policy.cost(after) == pytest.approx(1.8 / 2.4)
+    # Admitting a far-away cell [5.0, 5.1] would give
+    #   C = (4.9 + 1 + 0.5) / (2.4 + 1.1) = 6.4 / 3.5 > 0.75: rejected.
+    assert policy.admit(after, 5.0, 5.1) is None
+
+
+def test_grouping_rule_requires_strict_decrease():
+    # A strictly lower cost admits: identical constant cells under the
+    # normalized formula go from C = 1.5/1 to C = 1.5/2.
+    policy = CostBasedGrouping(**NORMALIZED)
+    state = policy.open_group(0.0, 0.0)
+    assert policy.cost(state) == pytest.approx(1.5)
+    after = policy.admit(state, 0.0, 0.0)
+    assert after is not None
+    assert policy.cost(after) == pytest.approx(0.75)
+
+    # An *equal* cost must reject.  With avg_query = 0, state [0, 1]
+    # costs (1+1)/2 = 1 and admitting [2, 5] would cost (5+1)/6 = 1:
+    # unchanged, so the cell starts a new subfield.
+    policy = CostBasedGrouping(unit=1.0, avg_query=0.0)
+    state = policy.open_group(0.0, 1.0)
+    assert policy.cost(state) == pytest.approx(1.0)
+    assert policy.cost((0.0, 5.0, 6.0)) == pytest.approx(1.0)
+    assert policy.admit(state, 2.0, 5.0) is None
+
+
+def test_fig5_worked_example_exact_fractions():
+    """Fig. 5: subfield {c1..c4} costs 21/45; adding c5 gives 31/58."""
+    policy = CostBasedGrouping(unit=1.0, avg_query=0.0)
+    cells = [(20.0, 30.0), (25.0, 34.0), (20.0, 30.0), (28.0, 40.0)]
+    state = policy.open_group(*cells[0])
+    for vmin, vmax in cells[1:]:
+        state = policy.admit(state, vmin, vmax)
+        assert state is not None
+    assert policy.cost(state) == pytest.approx(21.0 / 45.0)
+    rejected = (min(state[0], 38.0), max(state[1], 50.0), state[2] + 13.0)
+    assert policy.cost(rejected) == pytest.approx(31.0 / 58.0)
+    assert policy.admit(state, 38.0, 50.0) is None
+
+    groups = group_cells([20.0, 25.0, 20.0, 28.0, 38.0],
+                         [30.0, 34.0, 30.0, 40.0, 50.0], policy)
+    assert groups == [(0, 3), (4, 4)]
+
+
+def test_ihilbert_default_grouping_matches_normalized_formula():
+    """IHilbertIndex defaults express C = (L + 0.5)/SI in raw value
+    units: unit = value span, avg_query = span / 2."""
+    field = DEMField(fractal_dem_heights(16, 0.5, seed=2))
+    index = IHilbertIndex(field)
+    grouping = index.grouping
+    assert isinstance(grouping, CostBasedGrouping)
+    span = field.value_range.length
+    assert grouping.unit == pytest.approx(span)
+    assert grouping.avg_query == pytest.approx(0.5 * span)

@@ -88,3 +88,102 @@ def test_read_returns_disk_content():
     disk = make_disk()
     pool = BufferPool(disk, capacity=2)
     assert pool.read(3)[:8] == bytes([3]) * 8
+
+
+# -- hit/miss/eviction counters and resize (batch engine support) -----------
+
+def test_pool_counters_track_hits_misses_evictions():
+    disk = make_disk()
+    pool = BufferPool(disk, capacity=2)
+    pool.read(0)            # miss
+    pool.read(0)            # hit
+    pool.read(1)            # miss
+    pool.read(2)            # miss, evicts page 0
+    counters = pool.counters()
+    assert counters.hits == 1
+    assert counters.misses == 3
+    assert counters.evictions == 1
+    assert counters.accesses == 4
+    assert counters.hit_rate == pytest.approx(0.25)
+
+
+def test_pool_counters_diff_and_sum():
+    disk = make_disk()
+    pool = BufferPool(disk, capacity=4)
+    pool.read(0)
+    before = pool.counters()
+    pool.read(0)
+    pool.read(1)
+    delta = pool.counters().diff(before)
+    assert (delta.hits, delta.misses) == (1, 1)
+    total = delta + before
+    assert (total.hits, total.misses) == (pool.hits, pool.misses)
+
+
+def test_hit_rate_of_unused_pool_is_zero():
+    pool = BufferPool(make_disk(), capacity=2)
+    assert pool.counters().hit_rate == 0.0
+
+
+def test_clear_does_not_count_as_eviction():
+    pool = BufferPool(make_disk(), capacity=4)
+    pool.read(0)
+    pool.clear()
+    assert pool.counters().evictions == 0
+
+
+def test_reset_counters_keeps_frames():
+    disk = make_disk()
+    pool = BufferPool(disk, capacity=2)
+    pool.read(0)
+    pool.reset_counters()
+    assert pool.counters().accesses == 0
+    disk.stats.reset()
+    pool.read(0)                       # frame survived the counter reset
+    assert pool.counters().hits == 1
+
+
+def test_resize_grow_keeps_frames():
+    disk = make_disk()
+    pool = BufferPool(disk, capacity=1)
+    pool.read(0)
+    pool.resize(4)
+    for pid in (1, 2, 3):
+        pool.read(pid)
+    assert len(pool) == 4
+    disk.stats.reset()
+    pool.read(0)
+    assert disk.stats.cache_hits == 1
+
+
+def test_resize_shrink_evicts_lru_first():
+    disk = make_disk()
+    pool = BufferPool(disk, capacity=3)
+    pool.read(0)
+    pool.read(1)
+    pool.read(2)
+    pool.read(0)            # page 1 is now least recently used
+    pool.resize(2)
+    assert len(pool) == 2
+    assert pool.counters().evictions == 1
+    disk.stats.reset()
+    pool.read(0)
+    pool.read(2)
+    assert disk.stats.cache_hits == 2  # survivors are the two MRU pages
+    pool.read(1)
+    assert disk.stats.page_reads == 1  # the LRU page was evicted
+
+
+def test_resize_to_zero_disables_caching():
+    pool = BufferPool(make_disk(), capacity=2)
+    pool.read(0)
+    pool.resize(0)
+    assert len(pool) == 0
+    pool.read(0)
+    assert pool.counters().hits == 0
+
+
+def test_resize_negative_rejected():
+    pool = BufferPool(make_disk(), capacity=2)
+    with pytest.raises(ValueError):
+        pool.resize(-1)

@@ -49,11 +49,20 @@ def test_diamond_square_validation():
         diamond_square(4, -0.1)
 
 
-def test_fractal_dem_heights_power_of_two():
+def test_fractal_dem_heights_power_of_two_unchanged():
     grid = fractal_dem_heights(32, 0.5, seed=0)
     assert grid.shape == (33, 33)
+    # A power-of-two size is the direct diamond-square grid, bit for bit.
+    assert np.array_equal(grid, diamond_square(5, 0.5, seed=0))
+
+
+def test_fractal_dem_heights_any_size():
+    # Non-power-of-two sizes crop the next power-of-two generation.
+    grid = fractal_dem_heights(48, 0.5, seed=0)
+    assert grid.shape == (49, 49)
+    assert np.array_equal(grid, diamond_square(6, 0.5, seed=0)[:49, :49])
     with pytest.raises(ValueError):
-        fractal_dem_heights(33, 0.5)
+        fractal_dem_heights(0, 0.5)
 
 
 def test_monotonic_heights():
