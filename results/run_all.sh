@@ -17,4 +17,20 @@ python -m repro.bench scale > results/scale.txt 2>&1
 python -m repro.bench fig11 > results/fig11_cold.txt 2>&1
 python -m repro.bench fig11 --warm > results/fig11_warm.txt 2>&1
 python -m repro.bench batch > results/batch.txt 2>&1
+# Observability artifacts: EXPLAIN ANALYZE report + query/batch span traces
+# over a small demo index (Perfetto-loadable Chrome trace JSON).
+python -c "
+import numpy as np
+from repro.synth.terrain import roseburg_like_heights
+np.save('results/demo_terrain.npy', roseburg_like_heights(128))
+"
+python -m repro build results/demo_terrain.npy results/demo_index > /dev/null 2>&1
+python -m repro explain results/demo_index 300 320 --analyze > results/explain.txt 2>&1
+python -m repro query results/demo_index 300 320 \
+    --trace results/query_trace.json > /dev/null 2>&1
+printf '150 250\n200 320\n450 500\n300 310\n' > results/demo_queries.txt
+python -m repro batch results/demo_index results/demo_queries.txt --quiet \
+    --trace results/batch_trace.json \
+    --metrics-out results/metrics.json > /dev/null 2>&1
+rm -rf results/demo_index results/demo_terrain.npy results/demo_queries.txt
 echo DONE > results/FINAL_DONE

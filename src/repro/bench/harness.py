@@ -14,6 +14,11 @@ import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field as dc_field
 
+from ..core.base import EstimateMode, ValueIndex
+from ..field.base import Field
+from ..obs.trace import Tracer
+from ..synth.queries import value_query_workload
+
 #: Simulated disk service times per 4 KiB page, calibrated to the paper's
 #: era (c. 2001 commodity disk: ~8.5 ms average seek + rotational delay
 #: for a random page, ~0.2 ms streaming transfer for a sequential page).
@@ -21,10 +26,6 @@ from dataclasses import dataclass, field as dc_field
 #: range as the paper's figures (LinearScan ≈ 0.4 s on the 512² terrain).
 RANDOM_READ_MS = 8.5
 SEQUENTIAL_READ_MS = 0.2
-
-from ..core.base import EstimateMode, ValueIndex
-from ..field.base import Field
-from ..synth.queries import value_query_workload
 
 MethodFactory = Callable[[Field], ValueIndex]
 
@@ -100,13 +101,21 @@ def run_experiment(name: str, field: Field,
                    random_read_ms: float = RANDOM_READ_MS,
                    sequential_read_ms: float = SEQUENTIAL_READ_MS,
                    io_cost_random: float = 1.0,
-                   io_cost_sequential: float = 0.1) -> ExperimentResult:
+                   io_cost_sequential: float = 0.1,
+                   tracer: Tracer | None = None) -> ExperimentResult:
     """Run the paper's sweep protocol for one field and several methods.
 
     Parameters mirror §4: ``qintervals`` is the Qinterval axis, ``queries``
     the number of random queries per setting (paper: 200), ``estimate``
     the estimation-step mode.  ``cold=True`` drops caches before every
     query, modelling the paper's disk-resident setting.
+
+    When a :class:`~repro.obs.trace.Tracer` is passed, it is attached to
+    each method's index in turn and every (method, Qinterval) sweep
+    point is wrapped in a ``sweep`` span, so the per-query span trees
+    nest under the setting that produced them.  Leave it ``None`` (the
+    default) for measurement runs — the no-op tracer path adds nothing
+    to the counted I/O or the timed loop.
     """
     result = ExperimentResult(
         name=name,
@@ -126,6 +135,8 @@ def run_experiment(name: str, field: Field,
         t0 = time.perf_counter()
         index = factory(field)
         build_seconds = time.perf_counter() - t0
+        if tracer is not None:
+            tracer.attach(index)
         series = MethodSeries(method=method_name,
                               build_seconds=build_seconds,
                               info=index.describe())
@@ -136,10 +147,14 @@ def run_experiment(name: str, field: Field,
             vr = field.value_range
             index.query(ValueQuery(vr.lo, vr.hi), estimate="none")
         for q in qintervals:
-            series.points.append(
-                _run_point(index, q, workloads[q], estimate, cold,
-                           random_read_ms, sequential_read_ms,
-                           io_cost_random, io_cost_sequential))
+            with index.tracer.span("sweep") as span:
+                if span.enabled:
+                    span.attrs["method"] = method_name
+                    span.attrs["qinterval"] = q
+                series.points.append(
+                    _run_point(index, q, workloads[q], estimate, cold,
+                               random_read_ms, sequential_read_ms,
+                               io_cost_random, io_cost_sequential))
         result.series.append(series)
         del index
     return result

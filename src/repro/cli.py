@@ -2,19 +2,27 @@
 
 A small database-style front end over the library:
 
-* ``build``  — index a field (``.npy`` height grid or TIN ``.npz``) with
-  I-Hilbert and save the index directory;
-* ``query``  — run a field value query against a saved index;
-* ``batch``  — run a whole file of value queries through the batch
+* ``build``   — index a field (``.npy`` height grid or TIN ``.npz``)
+  with I-Hilbert and save the index directory;
+* ``query``   — run a field value query against a saved index;
+* ``batch``   — run a whole file of value queries through the batch
   engine (merged intervals + shared page cache);
-* ``info``   — describe a saved index;
-* ``point``  — conventional (Q1) query on a ``.npy`` height grid.
+* ``explain`` — print the cost-based plan for a query (``--analyze``
+  also executes it and reports estimation error);
+* ``info``    — describe a saved index;
+* ``point``   — conventional (Q1) query on a ``.npy`` height grid.
+
+``query`` and ``batch`` accept ``--trace FILE`` (span tree as Chrome
+trace-event JSON, or JSONL with a ``.jsonl`` suffix) and
+``--metrics-out FILE`` (metrics-registry dump).
 
 Examples::
 
     python -m repro build terrain.npy terrain-index/
     python -m repro query terrain-index/ 300 320 --regions
+    python -m repro query terrain-index/ 300 320 --trace trace.json
     python -m repro batch terrain-index/ queries.txt --compare
+    python -m repro explain terrain-index/ 300 320 --analyze
     python -m repro info terrain-index/
     python -m repro point terrain.npy 30.5 99.25
 """
@@ -39,6 +47,10 @@ from .core import (
 )
 from .core.batch import DEFAULT_BATCH_CACHE_PAGES
 from .field import DEMField, TINField
+from .obs.explain import explain, explain_to_dict, render_explain
+from .obs.export import write_trace
+from .obs.metrics import REGISTRY
+from .obs.trace import Tracer
 
 
 def _load_field(path: Path):
@@ -72,9 +84,35 @@ def cmd_build(args) -> int:
     return 0
 
 
+def _setup_observability(args, index) -> Tracer | None:
+    """Honour ``--trace``/``--metrics-out``: install a tracer on the
+    index and/or enable the process-wide metrics registry."""
+    tracer = None
+    if getattr(args, "trace", None):
+        tracer = Tracer().attach(index)
+    if getattr(args, "metrics_out", None):
+        REGISTRY.enable()
+    return tracer
+
+
+def _write_observability(args, tracer: Tracer | None) -> None:
+    """Write the artifacts requested by ``--trace``/``--metrics-out``."""
+    if tracer is not None:
+        count = write_trace(tracer.roots, args.trace)
+        print(f"trace: {count} spans written to {args.trace}",
+              file=sys.stderr)
+    if getattr(args, "metrics_out", None):
+        with open(args.metrics_out, "w") as fh:
+            json.dump(REGISTRY.collect(), fh, indent=1)
+            fh.write("\n")
+        REGISTRY.disable()
+        print(f"metrics: written to {args.metrics_out}", file=sys.stderr)
+
+
 def cmd_query(args) -> int:
     """Run a field value query against a saved index."""
     index = load_index(args.index_dir)
+    tracer = _setup_observability(args, index)
     query = ValueQuery(args.lo, args.hi)
     mode = "regions" if args.regions else "area"
     result = index.query(query, estimate=mode)
@@ -90,6 +128,7 @@ def cmd_query(args) -> int:
                                for x, y in region.polygon)
             print(f"  cell {region.cell_id}: area={region.area:.4f} "
                   f"[{coords}]")
+    _write_observability(args, tracer)
     return 0
 
 
@@ -122,6 +161,7 @@ def _load_queries(path: Path) -> list[ValueQuery]:
 def cmd_batch(args) -> int:
     """Run a file of value queries through the batch engine."""
     index = load_index(args.index_dir)
+    tracer = _setup_observability(args, index)
     queries = _load_queries(Path(args.queries))
     try:
         engine = BatchQueryEngine(index, cache_pages=args.cache_pages,
@@ -151,6 +191,23 @@ def cmd_batch(args) -> int:
         pct = 100.0 * saved / seq.io.page_reads if seq.io.page_reads else 0.0
         print(f"sequential (cold): {seq.io.page_reads} pages — "
               f"batch saves {saved} pages ({pct:.1f}%)")
+    _write_observability(args, tracer)
+    return 0
+
+
+def cmd_explain(args) -> int:
+    """Explain the cost-based plan for a query; ``--analyze`` runs it."""
+    index = load_index(args.index_dir)
+    report = explain(index, args.lo, args.hi, analyze=args.analyze,
+                     bins=args.bins)
+    if args.json:
+        print(json.dumps(explain_to_dict(report), indent=1))
+    else:
+        print(render_explain(report))
+    if getattr(args, "trace", None) and report.trace_roots:
+        count = write_trace(report.trace_roots, args.trace)
+        print(f"trace: {count} spans written to {args.trace}",
+              file=sys.stderr)
     return 0
 
 
@@ -188,6 +245,17 @@ def cmd_point(args) -> int:
     return 0
 
 
+def _add_obs_flags(parser) -> None:
+    """Attach the shared ``--trace``/``--metrics-out`` options."""
+    parser.add_argument("--trace", metavar="FILE",
+                        help="record query-lifecycle spans and write "
+                             "them to FILE (Chrome trace-event JSON, "
+                             "or JSONL if FILE ends in .jsonl)")
+    parser.add_argument("--metrics-out", metavar="FILE",
+                        help="enable the metrics registry and dump it "
+                             "to FILE as JSON after the run")
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments and dispatch to a subcommand."""
     parser = argparse.ArgumentParser(
@@ -212,6 +280,7 @@ def main(argv: list[str] | None = None) -> int:
                        help="materialize exact answer polygons")
     query.add_argument("--max-regions", type=int, default=10,
                        help="polygons to print with --regions")
+    _add_obs_flags(query)
     query.set_defaults(func=cmd_query)
 
     batch = sub.add_parser("batch", help="run a file of value queries "
@@ -232,7 +301,26 @@ def main(argv: list[str] | None = None) -> int:
                             "report the page-read reduction")
     batch.add_argument("--quiet", action="store_true",
                        help="suppress per-query lines, print totals only")
+    _add_obs_flags(batch)
     batch.set_defaults(func=cmd_batch)
+
+    expl = sub.add_parser("explain", help="print the cost-based plan "
+                                          "for a value query")
+    expl.add_argument("index_dir")
+    expl.add_argument("lo", type=float)
+    expl.add_argument("hi", type=float)
+    expl.add_argument("--analyze", action="store_true",
+                      help="also execute the query and report actual "
+                           "counters + estimation error")
+    expl.add_argument("--json", action="store_true",
+                      help="emit the report as JSON instead of text")
+    expl.add_argument("--bins", type=int, default=64,
+                      help="FieldStatistics histogram bins (default: 64)")
+    expl.add_argument("--trace", metavar="FILE",
+                      help="with --analyze: also write the recorded span "
+                           "tree (Chrome trace JSON, or JSONL if FILE "
+                           "ends in .jsonl)")
+    expl.set_defaults(func=cmd_explain)
 
     info = sub.add_parser("info", help="describe a saved index")
     info.add_argument("index_dir")

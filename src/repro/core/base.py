@@ -18,10 +18,22 @@ import numpy as np
 
 from ..field.base import Field
 from ..field.extraction import extract_regions, total_area
+from ..obs.metrics import REGISTRY
+from ..obs.trace import NULL_TRACER
 from ..storage import DiskManager, IOStats, PAGE_SIZE, RecordStore
 from .query import QueryResult, ValueQuery
 
 EstimateMode = Literal["none", "area", "regions"]
+
+_QUERIES = REGISTRY.counter(
+    "repro_queries_total",
+    "Value queries executed, per access method.")
+_QUERY_PAGES = REGISTRY.histogram(
+    "repro_query_page_reads",
+    "Accounted page reads per value query, per access method.")
+_QUERY_CANDIDATES = REGISTRY.histogram(
+    "repro_query_candidates",
+    "Candidate cells produced by the filtering step, per access method.")
 
 
 class ValueIndex(abc.ABC):
@@ -50,6 +62,9 @@ class ValueIndex(abc.ABC):
         self.field = field
         self.field_type = type(field)
         self.stats = stats if stats is not None else IOStats()
+        #: Span recorder for the query lifecycle; the default no-op
+        #: tracer is free — install a real one with ``Tracer.attach``.
+        self.tracer = NULL_TRACER
         self.page_size = page_size
         self.data_disk = DiskManager(stats=self.stats, name="data",
                                      page_size=page_size)
@@ -66,11 +81,32 @@ class ValueIndex(abc.ABC):
         after filtering (candidates only), ``"area"`` computes the total
         answer area with the vectorized closed form, ``"regions"``
         additionally materializes exact answer polygons.
+
+        With a real tracer installed (see
+        :meth:`repro.obs.trace.Tracer.attach`), the run records a
+        ``query`` span whose children cover the lifecycle phases
+        (``plan``/``filter``/``fetch`` from the method's filtering step,
+        ``estimate`` from the estimation step).
         """
+        tracer = self.tracer
         before = self.stats.snapshot()
-        candidates = self._candidates(query.lo, query.hi)
-        result = self._finish(query, candidates, estimate)
+        if tracer.enabled:
+            with tracer.span("query", {"method": self.name,
+                                       "lo": query.lo,
+                                       "hi": query.hi}) as span:
+                candidates = self._candidates(query.lo, query.hi)
+                with tracer.span("estimate", {"mode": estimate}):
+                    result = self._finish(query, candidates, estimate)
+                span.attrs["candidates"] = result.candidate_count
+        else:
+            candidates = self._candidates(query.lo, query.hi)
+            result = self._finish(query, candidates, estimate)
         result.io = self.stats.diff(before)
+        if REGISTRY.enabled:
+            _QUERIES.inc(1, method=self.name)
+            _QUERY_PAGES.observe(result.io.page_reads, method=self.name)
+            _QUERY_CANDIDATES.observe(result.candidate_count,
+                                      method=self.name)
         return result
 
     def _finish(self, query: ValueQuery, candidates: np.ndarray,

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field as dc_field
 
 import numpy as np
 
+from ..obs.metrics import REGISTRY
 from ..storage import IOStats, PoolCounters
 from .base import EstimateMode, ValueIndex
 from .query import QueryResult, ValueQuery
@@ -42,6 +43,16 @@ from .query import QueryResult, ValueQuery
 #: Default shared-cache capacity for a batch: 1024 pages = 4 MiB of the
 #: paper's 4 KiB pages, a small slice of even a 2002-era server's RAM.
 DEFAULT_BATCH_CACHE_PAGES = 1024
+
+_BATCHES = REGISTRY.counter(
+    "repro_batches_total",
+    "Query batches executed, per access method.")
+_BATCH_QUERIES = REGISTRY.counter(
+    "repro_batch_queries_total",
+    "Queries answered through the batch engine, per access method.")
+_GROUP_SIZE = REGISTRY.histogram(
+    "repro_batch_group_size",
+    "Queries sharing one merged fetch group, per access method.")
 
 
 @dataclass(frozen=True)
@@ -159,23 +170,46 @@ class BatchQueryEngine:
         queries = list(queries)
         if not queries:
             return BatchResult()
-        groups = merge_queries(queries, merge=self.merge)
-        pools = self._pools()
-        saved_caps = [p.capacity for p in pools]
-        before_pool = [p.counters() for p in pools]
-        before_batch = self.index.stats.snapshot()
-        for pool in pools:
-            pool.resize(max(pool.capacity, self.cache_pages))
-        results: list[QueryResult | None] = [None] * len(queries)
-        try:
+        tracer = self.index.tracer
+        with tracer.span("batch") as batch_span:
+            with tracer.span("merge"):
+                groups = merge_queries(queries, merge=self.merge)
+            if batch_span.enabled:
+                batch_span.attrs["method"] = self.index.name
+                batch_span.attrs["queries"] = len(queries)
+                batch_span.attrs["groups"] = len(groups)
+                batch_span.attrs["merge"] = self.merge
+            pools = self._pools()
+            saved_caps = [p.capacity for p in pools]
+            before_pool = [p.counters() for p in pools]
+            before_batch = self.index.stats.snapshot()
+            for pool in pools:
+                pool.resize(max(pool.capacity, self.cache_pages))
+            results: list[QueryResult | None] = [None] * len(queries)
+            try:
+                if tracer.enabled:
+                    for gi, group in enumerate(groups):
+                        with tracer.span(f"group[{gi}]",
+                                         {"lo": group.lo, "hi": group.hi,
+                                          "size": group.size}):
+                            self._run_group(group, queries, results,
+                                            estimate)
+                else:
+                    for group in groups:
+                        self._run_group(group, queries, results, estimate)
+                pool_traffic = sum(
+                    (p.counters().diff(b)
+                     for p, b in zip(pools, before_pool)),
+                    PoolCounters())
+            finally:
+                for pool, cap in zip(pools, saved_caps):
+                    pool.resize(cap)
+        if REGISTRY.enabled:
+            method = self.index.name
+            _BATCHES.inc(1, method=method)
+            _BATCH_QUERIES.inc(len(queries), method=method)
             for group in groups:
-                self._run_group(group, queries, results, estimate)
-            pool_traffic = sum(
-                (p.counters().diff(b) for p, b in zip(pools, before_pool)),
-                PoolCounters())
-        finally:
-            for pool, cap in zip(pools, saved_caps):
-                pool.resize(cap)
+                _GROUP_SIZE.observe(group.size, method=method)
         return BatchResult(results=results,
                            io=self.index.stats.diff(before_batch),
                            pool=pool_traffic, groups=len(groups))
@@ -186,6 +220,7 @@ class BatchQueryEngine:
                    results: list[QueryResult | None],
                    estimate: EstimateMode) -> None:
         """One filtering pass over the group's union interval."""
+        tracer = self.index.tracer
         before = self.index.stats.snapshot()
         candidates = self.index._candidates(group.lo, group.hi)
         fetch_io = self.index.stats.diff(before)
@@ -198,7 +233,12 @@ class BatchQueryEngine:
         for ordinal, i in enumerate(group.members):
             q = queries[i]
             mine = candidates[(vmin <= q.hi) & (vmax >= q.lo)]
-            result = self.index._finish(q, mine, estimate)
+            if tracer.enabled:
+                with tracer.span("estimate", {"mode": estimate,
+                                              "query": i}):
+                    result = self.index._finish(q, mine, estimate)
+            else:
+                result = self.index._finish(q, mine, estimate)
             result.io = fetch_io if ordinal == 0 else IOStats()
             results[i] = result
 

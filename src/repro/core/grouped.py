@@ -144,8 +144,12 @@ class GroupedIntervalIndex(ValueIndex):
     # -- the two-step query (paper §3.2) --------------------------------------
 
     def _candidates(self, lo: float, hi: float) -> np.ndarray:
+        tracer = self.tracer
         # Step 1 (filtering): subfields whose interval intersects the query.
-        sf_ids = self.tree.search(Rect.from_interval(lo, hi))
+        with tracer.span("filter") as span:
+            sf_ids = self.tree.search(Rect.from_interval(lo, hi))
+            if span.enabled:
+                span.attrs["subfields"] = len(sf_ids)
         if len(sf_ids) == 0:
             return np.empty(0, dtype=self.store.dtype)
         # Step 2 (estimation input): fetch the clustered cell ranges.
@@ -163,14 +167,17 @@ class GroupedIntervalIndex(ValueIndex):
                 runs[-1][1] = max(runs[-1][1], last)
             else:
                 runs.append([first, last])
-        chunks = []
-        for first, last in runs:
-            for page_no in range(first, last + 1):
-                block = self.store.read_page(page_no)
-                mask = ((block["vmin"].astype(np.float64) <= hi)
-                        & (block["vmax"].astype(np.float64) >= lo))
-                if mask.any():
-                    chunks.append(block[mask])
+        with tracer.span("fetch") as span:
+            chunks = []
+            for first, last in runs:
+                for page_no in range(first, last + 1):
+                    block = self.store.read_page(page_no)
+                    mask = ((block["vmin"].astype(np.float64) <= hi)
+                            & (block["vmax"].astype(np.float64) >= lo))
+                    if mask.any():
+                        chunks.append(block[mask])
+            if span.enabled:
+                span.attrs["runs"] = len(runs)
         if not chunks:
             return np.empty(0, dtype=self.store.dtype)
         if len(chunks) == 1:

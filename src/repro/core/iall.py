@@ -66,7 +66,11 @@ class IAllIndex(ValueIndex):
         self.index_disk.reset_head()
 
     def _candidates(self, lo: float, hi: float) -> np.ndarray:
-        rids = self.tree.search(Rect.from_interval(lo, hi))
+        tracer = self.tracer
+        with tracer.span("filter") as span:
+            rids = self.tree.search(Rect.from_interval(lo, hi))
+            if span.enabled:
+                span.attrs["entries"] = len(rids)
         if len(rids) == 0:
             return np.empty(0, dtype=self.store.dtype)
         # A realistic executor sorts the rid list so page fetches are
@@ -75,13 +79,14 @@ class IAllIndex(ValueIndex):
         per_page = self.store.records_per_page
         pages = rids_arr // per_page
         slots = rids_arr - pages * per_page
-        chunks = []
-        start = 0
-        for end in range(1, len(pages) + 1):
-            if end == len(pages) or pages[end] != pages[start]:
-                page_records = self.store.read_page(int(pages[start]))
-                chunks.append(page_records[slots[start:end]])
-                start = end
+        with tracer.span("fetch"):
+            chunks = []
+            start = 0
+            for end in range(1, len(pages) + 1):
+                if end == len(pages) or pages[end] != pages[start]:
+                    page_records = self.store.read_page(int(pages[start]))
+                    chunks.append(page_records[slots[start:end]])
+                    start = end
         if len(chunks) == 1:
             return chunks[0]
         return np.concatenate(chunks)

@@ -28,15 +28,18 @@ class LinearScanIndex(ValueIndex):
         self.store.extend(field.cell_records())
 
     def _candidates(self, lo: float, hi: float) -> np.ndarray:
-        matches = []
-        for page in self.store.scan():
-            # Compare in float64: float32 records vs. a float64 query
-            # bound would otherwise round the bound to float32 (NEP 50),
-            # disagreeing with the R*-tree's float64 arithmetic.
-            mask = ((page["vmin"].astype(np.float64) <= hi)
-                    & (page["vmax"].astype(np.float64) >= lo))
-            if mask.any():
-                matches.append(page[mask])
+        with self.tracer.span("fetch") as span:
+            if span.enabled:
+                span.attrs["path"] = "scan"
+            matches = []
+            for page in self.store.scan():
+                # Compare in float64: float32 records vs. a float64 query
+                # bound would otherwise round the bound to float32 (NEP 50),
+                # disagreeing with the R*-tree's float64 arithmetic.
+                mask = ((page["vmin"].astype(np.float64) <= hi)
+                        & (page["vmax"].astype(np.float64) >= lo))
+                if mask.any():
+                    matches.append(page[mask])
         if not matches:
             return np.empty(0, dtype=self.store.dtype)
         if len(matches) == 1:

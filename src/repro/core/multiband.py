@@ -11,8 +11,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field as dc_field
 
-import numpy as np
-
 from ..storage import IOStats
 from .base import EstimateMode, ValueIndex
 from .query import ValueQuery

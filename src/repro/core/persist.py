@@ -23,7 +23,7 @@ import numpy as np
 from ..field.dem import DEMField
 from ..field.tin import TINField
 from ..field.volume import VolumeField
-from ..storage import DiskManager, IOStats, RecordStore
+from ..storage import IOStats, RecordStore
 from ..storage.snapshot import load_disk, save_disk
 from .grouped import GroupedIntervalIndex
 from .subfield import Subfield
@@ -119,6 +119,8 @@ def load_index(directory: str | Path, cache_pages: int = 0,
     index.field = None
     index.field_type = field_type
     index.stats = stats if stats is not None else IOStats()
+    from ..obs.trace import NULL_TRACER
+    index.tracer = NULL_TRACER
 
     # Cell record file.
     index.data_disk = load_disk(directory / "data.pages",

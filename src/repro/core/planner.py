@@ -8,6 +8,11 @@ I/O of (a) the filtered subfield path and (b) a sequential scan of the
 same clustered file, from in-memory metadata alone, and take the cheaper
 plan.  Both plans read the same record file, so the choice costs nothing
 in storage.
+
+:func:`estimate_plan` is the planning step on its own: it works on any
+:class:`~repro.core.grouped.GroupedIntervalIndex` (including reloaded
+ones), which is what ``python -m repro explain`` builds its report
+from.
 """
 
 from __future__ import annotations
@@ -17,10 +22,20 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..field.base import Field
+from ..obs.metrics import REGISTRY
 from ..storage import IOStats
 from .cost import GroupingPolicy
 from .ihilbert import IHilbertIndex
 from ..curves import SpaceFillingCurve
+
+_PLANS = REGISTRY.counter(
+    "repro_planner_decisions_total",
+    "Access-path decisions taken by the cost-based planner.")
+_COST_RATIO = REGISTRY.histogram(
+    "repro_planner_cost_ratio",
+    "Estimated filtered-path cost over scan cost, per planned query.",
+    buckets=(0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0,
+             5.0, 10.0))
 
 
 @dataclass(frozen=True)
@@ -43,6 +58,58 @@ class Plan:
     est_runs: int
 
 
+def estimate_plan(index, lo: float, hi: float,
+                  costs: CostConstants | None = None) -> Plan:
+    """Estimate both access paths from metadata alone (no I/O).
+
+    Works on any grouped (subfield) index: the filtered path's page
+    count comes from coalescing the page ranges of the intersecting
+    subfields — the same run structure the executor produces — and the
+    scan path is one seek plus a sequential sweep of the record file.
+    """
+    costs = costs if costs is not None else CostConstants()
+    per_page = index.store.records_per_page
+    page_ranges = sorted(
+        (sf.ptr_start // per_page, sf.ptr_end // per_page)
+        for sf in index.subfields if sf.intersects(lo, hi))
+    pages = 0
+    runs = 0
+    last_end = -2
+    for first, end in page_ranges:
+        if first <= last_end + 1:
+            extend = max(0, end - last_end)
+            pages += extend
+            last_end = max(last_end, end)
+        else:
+            pages += end - first + 1
+            runs += 1
+            last_end = end
+    tree_reads = index.tree.height
+    filtered_cost = ((runs + tree_reads) * costs.random_read
+                     + max(0, pages - runs) * costs.sequential_read)
+    scan_cost = (costs.random_read
+                 + max(0, index.store.num_pages - 1)
+                 * costs.sequential_read)
+    path = "filtered" if filtered_cost <= scan_cost else "scan"
+    return Plan(path=path, filtered_cost=filtered_cost,
+                scan_cost=scan_cost, est_pages=pages, est_runs=runs)
+
+
+def scan_candidates(index, lo: float, hi: float) -> np.ndarray:
+    """Sequential-scan filtering over any index's record store."""
+    matches = []
+    for page in index.store.scan():
+        mask = ((page["vmin"].astype(np.float64) <= hi)
+                & (page["vmax"].astype(np.float64) >= lo))
+        if mask.any():
+            matches.append(page[mask])
+    if not matches:
+        return np.empty(0, dtype=index.store.dtype)
+    if len(matches) == 1:
+        return matches[0]
+    return np.concatenate(matches)
+
+
 class PlannedIndex(IHilbertIndex):
     """I-Hilbert with per-query scan-vs-index plan selection.
 
@@ -63,48 +130,26 @@ class PlannedIndex(IHilbertIndex):
 
     def plan(self, lo: float, hi: float) -> Plan:
         """Estimate both access paths from metadata (no I/O)."""
-        per_page = self.store.records_per_page
-        page_ranges = sorted(
-            (sf.ptr_start // per_page, sf.ptr_end // per_page)
-            for sf in self.subfields if sf.intersects(lo, hi))
-        pages = 0
-        runs = 0
-        last_end = -2
-        for first, end in page_ranges:
-            if first <= last_end + 1:
-                extend = max(0, end - last_end)
-                pages += extend
-                last_end = max(last_end, end)
-            else:
-                pages += end - first + 1
-                runs += 1
-                last_end = end
-        tree_reads = self.tree.height
-        filtered_cost = ((runs + tree_reads) * self.costs.random_read
-                         + max(0, pages - runs)
-                         * self.costs.sequential_read)
-        scan_cost = (self.costs.random_read
-                     + max(0, self.store.num_pages - 1)
-                     * self.costs.sequential_read)
-        path = "filtered" if filtered_cost <= scan_cost else "scan"
-        return Plan(path=path, filtered_cost=filtered_cost,
-                    scan_cost=scan_cost, est_pages=pages, est_runs=runs)
+        plan = estimate_plan(self, lo, hi, self.costs)
+        if REGISTRY.enabled:
+            _PLANS.inc(1, path=plan.path)
+            _COST_RATIO.observe(
+                plan.filtered_cost / max(plan.scan_cost, 1e-12))
+        return plan
 
     def _candidates(self, lo: float, hi: float) -> np.ndarray:
-        self.last_plan = self.plan(lo, hi)
+        with self.tracer.span("plan") as sp:
+            self.last_plan = self.plan(lo, hi)
+            if sp.enabled:
+                sp.attrs.update(
+                    path=self.last_plan.path,
+                    filtered_cost=round(self.last_plan.filtered_cost, 3),
+                    scan_cost=round(self.last_plan.scan_cost, 3),
+                    est_pages=self.last_plan.est_pages,
+                    est_runs=self.last_plan.est_runs)
         if self.last_plan.path == "scan":
-            return self._scan_candidates(lo, hi)
+            with self.tracer.span("fetch") as sp:
+                if sp.enabled:
+                    sp.attrs["path"] = "scan"
+                return scan_candidates(self, lo, hi)
         return super()._candidates(lo, hi)
-
-    def _scan_candidates(self, lo: float, hi: float) -> np.ndarray:
-        matches = []
-        for page in self.store.scan():
-            mask = ((page["vmin"].astype(np.float64) <= hi)
-                    & (page["vmax"].astype(np.float64) >= lo))
-            if mask.any():
-                matches.append(page[mask])
-        if not matches:
-            return np.empty(0, dtype=self.store.dtype)
-        if len(matches) == 1:
-            return matches[0]
-        return np.concatenate(matches)

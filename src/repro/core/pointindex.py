@@ -8,8 +8,6 @@ well-solved baseline; it also gives the examples a full query surface.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..field.base import Field
 from ..field.interpolation import linear_triangle
 from ..geometry import Rect

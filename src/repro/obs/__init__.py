@@ -1,0 +1,65 @@
+"""Observability: query-lifecycle tracing, metrics, EXPLAIN reports.
+
+Four pieces, all opt-in with zero cost when unused:
+
+* :mod:`repro.obs.trace` — hierarchical context-manager spans capturing
+  wall time plus I/O- and pool-counter deltas (``NULL_TRACER`` is the
+  free disabled default);
+* :mod:`repro.obs.metrics` — a process-wide registry of labeled
+  counters/gauges/histograms the storage and query layers publish into;
+* :mod:`repro.obs.export` — pretty span trees, JSONL, and Chrome
+  trace-event JSON loadable in Perfetto;
+* :mod:`repro.obs.explain` — EXPLAIN / EXPLAIN ANALYZE reports over the
+  planner, the statistics, and (with ``analyze``) a traced execution.
+
+The EXPLAIN machinery lives one import deeper
+(``from repro.obs.explain import explain``) because it builds on
+:mod:`repro.core`; importing it from this package root would cycle with
+the indexes importing the tracer.  A module ``__getattr__`` resolves
+``ExplainReport``/``render_explain``/``explain_to_dict`` lazily for
+interactive use (the ``explain`` *function* shares its name with the
+submodule, so import it explicitly).
+"""
+
+from .trace import NULL_TRACER, NullTracer, Span, Tracer
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+)
+from .export import (
+    render_span_tree,
+    spans_to_chrome_trace,
+    spans_to_jsonl,
+    write_trace,
+)
+
+_LAZY = ("ExplainReport", "explain_to_dict", "render_explain")
+
+__all__ = [
+    "Counter",
+    "ExplainReport",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "REGISTRY",
+    "Span",
+    "Tracer",
+    "explain_to_dict",
+    "render_explain",
+    "render_span_tree",
+    "spans_to_chrome_trace",
+    "spans_to_jsonl",
+    "write_trace",
+]
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from . import explain as _explain_module
+        return getattr(_explain_module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,173 @@
+"""Span-tree exporters: pretty text, JSONL, and Chrome trace-event JSON.
+
+The Chrome trace format (``{"traceEvents": [...]}`` with complete
+``"ph": "X"`` events, microsecond timestamps) loads directly in
+Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``; each event
+carries the span's I/O deltas in ``args``, with ``page_reads_self``
+holding the *exclusive* delta, so summing it over every event
+reconstructs the run's total page reads exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .trace import Span, Tracer
+
+
+def _as_spans(spans) -> list[Span]:
+    """Accept a Tracer, one Span, or an iterable of root spans."""
+    if isinstance(spans, Tracer):
+        return list(spans.roots)
+    if isinstance(spans, Span):
+        return [spans]
+    return list(spans)
+
+
+def _io_args(span: Span) -> dict:
+    """Counter payload of one span, for JSON exporters."""
+    args = dict(span.attrs)
+    io, self_io = span.io, span.self_io
+    if io is not None:
+        args.update(
+            page_reads=io.page_reads,
+            page_reads_self=self_io.page_reads,
+            random_reads=io.random_reads,
+            sequential_reads=io.sequential_reads,
+            skipped_pages=io.skipped_pages,
+            cache_hits=io.cache_hits,
+            page_writes=io.page_writes,
+        )
+    pool, self_pool = span.pool, span.self_pool
+    if pool is not None:
+        args.update(
+            pool_hits=pool.hits,
+            pool_misses=pool.misses,
+            pool_evictions=pool.evictions,
+            pool_hits_self=self_pool.hits,
+        )
+    return args
+
+
+# -- text ------------------------------------------------------------------
+
+def render_span_tree(spans) -> str:
+    """Readable tree: wall time + page-read split per span.
+
+    ``spans`` may be a :class:`Tracer`, one root :class:`Span`, or a
+    list of roots.
+    """
+    roots = _as_spans(spans)
+    lines: list[str] = []
+    for root in roots:
+        _render_one(root, lines, prefix="", is_last=True, is_root=True)
+    return "\n".join(lines)
+
+
+def _span_label(span: Span) -> str:
+    parts = [f"{span.name}", f"{span.duration_ms:8.3f} ms"]
+    io = span.io
+    if io is not None:
+        parts.append(f"pages={io.page_reads}"
+                     f" ({io.random_reads} rnd + {io.sequential_reads} seq)")
+        if io.cache_hits:
+            parts.append(f"hits={io.cache_hits}")
+    if span.attrs:
+        attrs = " ".join(f"{k}={_fmt(v)}" for k, v in span.attrs.items())
+        parts.append(f"[{attrs}]")
+    return "  ".join(parts)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _render_one(span: Span, lines: list[str], prefix: str,
+                is_last: bool, is_root: bool = False) -> None:
+    if is_root:
+        lines.append(_span_label(span))
+        child_prefix = ""
+    else:
+        connector = "`-- " if is_last else "|-- "
+        lines.append(prefix + connector + _span_label(span))
+        child_prefix = prefix + ("    " if is_last else "|   ")
+    for i, child in enumerate(span.children):
+        _render_one(child, lines, child_prefix,
+                    is_last=(i == len(span.children) - 1))
+
+
+# -- JSONL -----------------------------------------------------------------
+
+def span_to_dict(span: Span, depth: int = 0) -> dict:
+    """Flat JSON-safe record of one span (no children)."""
+    record = {
+        "name": span.name,
+        "depth": depth,
+        "start_ns": span.t0_ns,
+        "duration_ms": span.duration_ms,
+        "children": len(span.children),
+    }
+    record.update(_io_args(span))
+    return record
+
+
+def spans_to_jsonl(spans) -> str:
+    """One JSON object per span, pre-order, ``depth`` giving nesting."""
+    lines = []
+    for root in _as_spans(spans):
+        for span, depth in root.walk():
+            lines.append(json.dumps(span_to_dict(span, depth),
+                                    sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- Chrome trace-event JSON (Perfetto) ------------------------------------
+
+def spans_to_chrome_trace(spans, process_name: str = "repro") -> dict:
+    """Chrome trace-event document for a span forest.
+
+    Events are complete (``"ph": "X"``) with microsecond ``ts``/``dur``
+    relative to the earliest span, all on one pid/tid so the nesting
+    renders as a flame graph.  Per-span counter deltas ride in ``args``.
+    """
+    roots = _as_spans(spans)
+    events: list[dict] = [{
+        "name": "process_name", "ph": "M", "pid": 1, "tid": 1,
+        "args": {"name": process_name},
+    }]
+    if roots:
+        base_ns = min(root.t0_ns for root in roots)
+        for root in roots:
+            for span, _depth in root.walk():
+                events.append({
+                    "name": span.name,
+                    "cat": "repro",
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": 1,
+                    "ts": (span.t0_ns - base_ns) / 1e3,
+                    "dur": (span.t1_ns - span.t0_ns) / 1e3,
+                    "args": _io_args(span),
+                })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_trace(spans, path: str | Path,
+                process_name: str = "repro") -> int:
+    """Write a span forest to ``path``; returns the span count.
+
+    A ``.jsonl`` suffix selects the flat JSONL format; anything else
+    gets Chrome trace-event JSON (Perfetto-loadable).
+    """
+    path = Path(path)
+    roots = _as_spans(spans)
+    count = sum(1 for root in roots for _ in root.walk())
+    if path.suffix == ".jsonl":
+        path.write_text(spans_to_jsonl(roots))
+    else:
+        path.write_text(json.dumps(spans_to_chrome_trace(
+            roots, process_name=process_name), indent=1))
+    return count

@@ -16,7 +16,18 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from ..obs.metrics import REGISTRY
 from .disk import DiskManager
+
+_POOL_READS = REGISTRY.counter(
+    "repro_pool_reads_total",
+    "Buffer-pool read outcomes per backing file (event: hit|miss).")
+_POOL_EVICTIONS = REGISTRY.counter(
+    "repro_pool_evictions_total",
+    "LRU evictions per backing file (capacity pressure only).")
+_POOL_FRAMES = REGISTRY.gauge(
+    "repro_pool_frames",
+    "Resident frames per backing file at last update.")
 
 
 @dataclass(frozen=True)
@@ -80,8 +91,12 @@ class BufferPool:
             self._frames.move_to_end(page_id)
             self.hits += 1
             self.disk.stats.cache_hits += 1
+            if REGISTRY.enabled:
+                _POOL_READS.inc(1, disk=self.disk.name, event="hit")
             return self._frames[page_id]
         self.misses += 1
+        if REGISTRY.enabled:
+            _POOL_READS.inc(1, disk=self.disk.name, event="miss")
         data = self.disk.read(page_id)
         self._admit(page_id, data)
         return data
@@ -131,6 +146,12 @@ class BufferPool:
         self._shrink()
 
     def _shrink(self) -> None:
+        evicted = 0
         while len(self._frames) > self.capacity:
             self._frames.popitem(last=False)
             self.evictions += 1
+            evicted += 1
+        if REGISTRY.enabled:
+            if evicted:
+                _POOL_EVICTIONS.inc(evicted, disk=self.disk.name)
+            _POOL_FRAMES.set(len(self._frames), disk=self.disk.name)

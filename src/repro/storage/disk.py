@@ -9,10 +9,24 @@ of the same file.
 
 from __future__ import annotations
 
+from ..obs.metrics import REGISTRY
 from .stats import IOStats
 
 #: Page size used throughout the system; matches the paper's 4 KB pages.
 PAGE_SIZE = 4096
+
+_READS = REGISTRY.counter(
+    "repro_disk_page_reads_total",
+    "Accounted page reads per simulated file, split by sequentiality.")
+_SKIPPED = REGISTRY.counter(
+    "repro_disk_skipped_pages_total",
+    "Pages streamed past by short forward seeks, per simulated file.")
+_WRITES = REGISTRY.counter(
+    "repro_disk_page_writes_total",
+    "Accounted page writes per simulated file.")
+_ALLOCS = REGISTRY.counter(
+    "repro_disk_pages_allocated_total",
+    "Pages allocated per simulated file.")
 
 
 class PageError(Exception):
@@ -60,6 +74,8 @@ class DiskManager:
         """Allocate a zeroed page and return its id."""
         self._pages.append(bytes(self.page_size))
         self.stats.pages_allocated += 1
+        if REGISTRY.enabled:
+            _ALLOCS.inc(1, disk=self.name)
         return len(self._pages) - 1
 
     def allocate_many(self, count: int) -> int:
@@ -69,6 +85,8 @@ class DiskManager:
         first = len(self._pages)
         self._pages.extend(bytes(self.page_size) for _ in range(count))
         self.stats.pages_allocated += count
+        if REGISTRY.enabled and count:
+            _ALLOCS.inc(count, disk=self.name)
         return first
 
     def read(self, page_id: int) -> bytes:
@@ -81,8 +99,14 @@ class DiskManager:
             # Short forward hop: the head streams over the gap.
             self.stats.sequential_reads += 1
             self.stats.skipped_pages += gap
+            if REGISTRY.enabled:
+                _READS.inc(1, disk=self.name, kind="sequential")
+                if gap:
+                    _SKIPPED.inc(gap, disk=self.name)
         else:
             self.stats.random_reads += 1
+            if REGISTRY.enabled:
+                _READS.inc(1, disk=self.name, kind="random")
         self._last_read = page_id
         return self._pages[page_id]
 
@@ -97,6 +121,8 @@ class DiskManager:
             data = bytes(data) + bytes(self.page_size - len(data))
         self._pages[page_id] = bytes(data)
         self.stats.page_writes += 1
+        if REGISTRY.enabled:
+            _WRITES.inc(1, disk=self.name)
 
     def reset_head(self) -> None:
         """Forget the last-read position (e.g. between queries).

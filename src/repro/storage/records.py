@@ -14,7 +14,7 @@ from collections.abc import Iterable, Iterator
 import numpy as np
 
 from .buffer import BufferPool
-from .disk import DiskManager, PAGE_SIZE
+from .disk import DiskManager
 
 
 class RecordStore:

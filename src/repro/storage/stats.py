@@ -10,7 +10,7 @@ layout of I-Hilbert earns its advantage.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, replace
 
 
 @dataclass
@@ -34,37 +34,27 @@ class IOStats:
 
     def reset(self) -> None:
         """Zero every counter in place."""
-        self.page_reads = 0
-        self.sequential_reads = 0
-        self.random_reads = 0
-        self.skipped_pages = 0
-        self.page_writes = 0
-        self.pages_allocated = 0
-        self.cache_hits = 0
+        for f in fields(self):
+            setattr(self, f.name, 0)
 
     def snapshot(self) -> "IOStats":
         """Return an independent copy of the current counters."""
-        return IOStats(
-            page_reads=self.page_reads,
-            sequential_reads=self.sequential_reads,
-            random_reads=self.random_reads,
-            skipped_pages=self.skipped_pages,
-            page_writes=self.page_writes,
-            pages_allocated=self.pages_allocated,
-            cache_hits=self.cache_hits,
-        )
+        return replace(self)
 
     def diff(self, earlier: "IOStats") -> "IOStats":
         """Return the counter deltas accumulated since ``earlier``."""
-        return IOStats(
-            page_reads=self.page_reads - earlier.page_reads,
-            sequential_reads=self.sequential_reads - earlier.sequential_reads,
-            random_reads=self.random_reads - earlier.random_reads,
-            skipped_pages=self.skipped_pages - earlier.skipped_pages,
-            page_writes=self.page_writes - earlier.page_writes,
-            pages_allocated=self.pages_allocated - earlier.pages_allocated,
-            cache_hits=self.cache_hits - earlier.cache_hits,
-        )
+        return type(self)(**{
+            f.name: getattr(self, f.name) - getattr(earlier, f.name)
+            for f in fields(self)})
+
+    def restore(self, earlier: "IOStats") -> None:
+        """Copy every counter of ``earlier`` into this instance.
+
+        Lets metadata passes (e.g. EXPLAIN's statistics scan) roll their
+        accounting back so they stay invisible to the experiment.
+        """
+        for f in fields(self):
+            setattr(self, f.name, getattr(earlier, f.name))
 
     def simulated_cost(self, *, random_read: float = 1.0,
                        sequential_read: float = 0.1) -> float:

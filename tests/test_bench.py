@@ -1,6 +1,5 @@
 """Tests for the experiment harness, reporting and CLI."""
 
-import numpy as np
 import pytest
 
 from repro.bench import format_result, run_experiment, standard_methods

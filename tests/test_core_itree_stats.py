@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.core import (
     FieldStatistics,
-    IHilbertIndex,
     ITreeIndex,
     LinearScanIndex,
     ValueQuery,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import IHilbertIndex, ValueQuery
+from repro.core import IHilbertIndex
 from repro.field import (
     DEMField,
     TINField,

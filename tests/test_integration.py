@@ -16,7 +16,7 @@ from repro import (
     save_index,
 )
 from repro.bench import run_experiment, standard_methods
-from repro.field import extract_isolines, extract_regions, total_area
+from repro.field import extract_isolines, total_area
 from repro.synth import (
     fractal_dem_heights,
     lyon_like,

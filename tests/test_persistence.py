@@ -1,6 +1,5 @@
 """Unit tests for disk snapshots and index save/load."""
 
-import numpy as np
 import pytest
 
 from repro.core import (
