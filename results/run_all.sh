@@ -1,6 +1,7 @@
 #!/bin/bash
 set -x
 cd /root/repo
+export PYTHONPATH="${PYTHONPATH:+$PYTHONPATH:}$PWD/src"
 python -m repro.bench fig10 > results/fig10.txt 2>&1
 python -m repro.bench fig7 > results/fig7.txt 2>&1
 python -m repro.bench fig8b > results/fig8b_cold.txt 2>&1
@@ -32,5 +33,20 @@ printf '150 250\n200 320\n450 500\n300 310\n' > results/demo_queries.txt
 python -m repro batch results/demo_index results/demo_queries.txt --quiet \
     --trace results/batch_trace.json \
     --metrics-out results/metrics.json > /dev/null 2>&1
+# Durability check (runs last: it deliberately corrupts the demo index).
+# Scrub the freshly built index (manifest checksums + every page frame),
+# then show that a flipped bit in one data page is detected and
+# attributed to its page id.
+python -m repro scrub results/demo_index > results/scrub.txt 2>&1
+python - >> results/scrub.txt 2>&1 <<'PYEOF'
+import glob
+path = glob.glob('results/demo_index/data-*.pages')[0]
+raw = bytearray(open(path, 'rb').read())
+raw[24 + 3 * 4096 + 16 + 1] ^= 0x40   # payload byte of data page 3
+open(path, 'wb').write(raw)
+print()
+print('--- after flipping one bit in data page 3 ---')
+PYEOF
+python -m repro scrub results/demo_index >> results/scrub.txt 2>&1
 rm -rf results/demo_index results/demo_terrain.npy results/demo_queries.txt
 echo DONE > results/FINAL_DONE

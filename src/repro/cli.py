@@ -10,6 +10,9 @@ A small database-style front end over the library:
 * ``explain`` — print the cost-based plan for a query (``--analyze``
   also executes it and reports estimation error);
 * ``info``    — describe a saved index;
+* ``scrub``   — verify a saved index offline (manifest checksums and
+  every page frame; ``--repair`` fixes manifest drift), exit 1 on
+  corruption;
 * ``point``   — conventional (Q1) query on a ``.npy`` height grid.
 
 ``query`` and ``batch`` accept ``--trace FILE`` (span tree as Chrome
@@ -24,6 +27,7 @@ Examples::
     python -m repro batch terrain-index/ queries.txt --compare
     python -m repro explain terrain-index/ 300 320 --analyze
     python -m repro info terrain-index/
+    python -m repro scrub terrain-index/
     python -m repro point terrain.npy 30.5 99.25
 """
 
@@ -51,6 +55,7 @@ from .obs.explain import explain, explain_to_dict, render_explain
 from .obs.export import write_trace
 from .obs.metrics import REGISTRY
 from .obs.trace import Tracer
+from .storage.scrub import repair_index, scrub_index
 
 
 def _load_field(path: Path):
@@ -233,6 +238,27 @@ def cmd_info(args) -> int:
     return 0
 
 
+def cmd_scrub(args) -> int:
+    """Verify a saved index offline; exit 1 when corruption is found."""
+    try:
+        if args.repair:
+            report, actions = repair_index(args.index_dir)
+        else:
+            report, actions = scrub_index(args.index_dir), []
+    except FileNotFoundError as exc:
+        raise SystemExit(f"error: {exc}")
+    if args.json:
+        payload = report.to_dict()
+        if args.repair:
+            payload["repairs"] = actions
+        print(json.dumps(payload, indent=1))
+    else:
+        print(report.render())
+        for action in actions:
+            print(f"repair: {action}")
+    return 0 if report.ok else 1
+
+
 def cmd_point(args) -> int:
     """Answer a conventional (Q1) point query on a field file."""
     field = _load_field(Path(args.field))
@@ -325,6 +351,19 @@ def main(argv: list[str] | None = None) -> int:
     info = sub.add_parser("info", help="describe a saved index")
     info.add_argument("index_dir")
     info.set_defaults(func=cmd_info)
+
+    scrub = sub.add_parser("scrub", help="verify a saved index offline "
+                                         "(checksums every file and "
+                                         "page frame)")
+    scrub.add_argument("index_dir")
+    scrub.add_argument("--json", action="store_true",
+                       help="emit the report as JSON instead of text")
+    scrub.add_argument("--repair", action="store_true",
+                       help="recompute stale manifest checksums over "
+                            "files whose pages all verify (corrupt "
+                            "pages are only reported; restore those "
+                            "from a snapshot or rebuild)")
+    scrub.set_defaults(func=cmd_scrub)
 
     point = sub.add_parser("point", help="conventional (Q1) point query")
     point.add_argument("field", help=".npy heights or .npz TIN")

@@ -20,10 +20,13 @@ from ..field.base import Field
 from ..field.extraction import extract_regions, total_area
 from ..obs.metrics import REGISTRY
 from ..obs.trace import NULL_TRACER
-from ..storage import DiskManager, IOStats, PAGE_SIZE, RecordStore
+from ..storage import (CorruptPageError, DiskManager, FaultInjector, IOStats,
+                       PAGE_SIZE, PageFault, RecordStore,
+                       RetryingDiskManager, RetryPolicy, TransientIOError)
 from .query import QueryResult, ValueQuery
 
 EstimateMode = Literal["none", "area", "regions"]
+FaultMode = Literal["raise", "skip"]
 
 _QUERIES = REGISTRY.counter(
     "repro_queries_total",
@@ -34,6 +37,10 @@ _QUERY_PAGES = REGISTRY.histogram(
 _QUERY_CANDIDATES = REGISTRY.histogram(
     "repro_query_candidates",
     "Candidate cells produced by the filtering step, per access method.")
+_QUERY_DEGRADED = REGISTRY.counter(
+    "repro_queries_degraded_total",
+    "Queries that skipped unreadable data pages (on_fault='skip'), "
+    "per access method.")
 
 
 class ValueIndex(abc.ABC):
@@ -51,6 +58,12 @@ class ValueIndex(abc.ABC):
         Optional shared I/O counter (a private one is created otherwise).
     page_size:
         Page size of the simulated store (default 4 KiB, the paper's).
+    retry_policy:
+        When given, every disk this index creates is a
+        :class:`~repro.storage.retry.RetryingDiskManager` using this
+        policy, so transient read faults are retried transparently.
+        ``None`` (default) creates plain disks: the first transient
+        fault propagates.
     """
 
     #: Human-readable method name, as used in the paper's plots.
@@ -58,7 +71,8 @@ class ValueIndex(abc.ABC):
 
     def __init__(self, field: Field, cache_pages: int = 0,
                  stats: IOStats | None = None,
-                 page_size: int = PAGE_SIZE) -> None:
+                 page_size: int = PAGE_SIZE,
+                 retry_policy: RetryPolicy | None = None) -> None:
         self.field = field
         self.field_type = type(field)
         self.stats = stats if stats is not None else IOStats()
@@ -66,15 +80,39 @@ class ValueIndex(abc.ABC):
         #: tracer is free — install a real one with ``Tracer.attach``.
         self.tracer = NULL_TRACER
         self.page_size = page_size
-        self.data_disk = DiskManager(stats=self.stats, name="data",
-                                     page_size=page_size)
+        self.retry_policy = retry_policy
+        self._fault_mode: FaultMode = "raise"
+        self._query_faults: list[PageFault] = []
+        self.data_disk = self._make_disk("data")
         self.store = RecordStore(self.data_disk, field.record_dtype,
                                  cache_pages=cache_pages)
+
+    def _make_disk(self, name: str) -> DiskManager:
+        """Create a page file honouring this index's retry policy."""
+        if self.retry_policy is not None:
+            return RetryingDiskManager(stats=self.stats, name=name,
+                                       page_size=self.page_size,
+                                       retry_policy=self.retry_policy)
+        return DiskManager(stats=self.stats, name=name,
+                           page_size=self.page_size)
+
+    def inject_faults(self, injector: FaultInjector) -> FaultInjector:
+        """Attach a fault injector to every disk this index owns.
+
+        Covers the data file and, for indexed methods, the index file;
+        returns the injector for chaining.  Pass ``None`` to detach.
+        """
+        self.data_disk.fault_injector = injector
+        index_disk = getattr(self, "index_disk", None)
+        if index_disk is not None:
+            index_disk.fault_injector = injector
+        return injector
 
     # -- query pipeline ----------------------------------------------------
 
     def query(self, query: ValueQuery,
-              estimate: EstimateMode = "area") -> QueryResult:
+              estimate: EstimateMode = "area",
+              on_fault: FaultMode = "raise") -> QueryResult:
         """Run one field value query and return its result.
 
         ``estimate`` selects the estimation step output: ``"none"`` stops
@@ -82,32 +120,76 @@ class ValueIndex(abc.ABC):
         answer area with the vectorized closed form, ``"regions"``
         additionally materializes exact answer polygons.
 
+        ``on_fault`` selects how storage faults surface.  ``"raise"``
+        (default) propagates the typed error
+        (:class:`~repro.storage.faults.CorruptPageError` or
+        :class:`~repro.storage.faults.TransientIOError`) — the query
+        never returns a silently wrong answer.  ``"skip"`` degrades
+        gracefully: a *data* page that cannot be read is skipped, the
+        fault is reported in ``result.faults``, and the answer is an
+        explicit lower bound (``result.degraded`` is True).  Index/tree
+        page faults always raise — a damaged index cannot bound what it
+        missed.
+
         With a real tracer installed (see
         :meth:`repro.obs.trace.Tracer.attach`), the run records a
         ``query`` span whose children cover the lifecycle phases
         (``plan``/``filter``/``fetch`` from the method's filtering step,
         ``estimate`` from the estimation step).
         """
+        if on_fault not in ("raise", "skip"):
+            raise ValueError(
+                f"on_fault must be 'raise' or 'skip', got {on_fault!r}")
         tracer = self.tracer
         before = self.stats.snapshot()
-        if tracer.enabled:
-            with tracer.span("query", {"method": self.name,
-                                       "lo": query.lo,
-                                       "hi": query.hi}) as span:
+        self._fault_mode = on_fault
+        self._query_faults = []
+        try:
+            if tracer.enabled:
+                with tracer.span("query", {"method": self.name,
+                                           "lo": query.lo,
+                                           "hi": query.hi}) as span:
+                    candidates = self._candidates(query.lo, query.hi)
+                    with tracer.span("estimate", {"mode": estimate}):
+                        result = self._finish(query, candidates, estimate)
+                    span.attrs["candidates"] = result.candidate_count
+                    if self._query_faults:
+                        span.attrs["faults"] = len(self._query_faults)
+            else:
                 candidates = self._candidates(query.lo, query.hi)
-                with tracer.span("estimate", {"mode": estimate}):
-                    result = self._finish(query, candidates, estimate)
-                span.attrs["candidates"] = result.candidate_count
-        else:
-            candidates = self._candidates(query.lo, query.hi)
-            result = self._finish(query, candidates, estimate)
+                result = self._finish(query, candidates, estimate)
+            result.faults = self._query_faults
+        finally:
+            self._fault_mode = "raise"
+            self._query_faults = []
         result.io = self.stats.diff(before)
         if REGISTRY.enabled:
             _QUERIES.inc(1, method=self.name)
             _QUERY_PAGES.observe(result.io.page_reads, method=self.name)
             _QUERY_CANDIDATES.observe(result.candidate_count,
                                       method=self.name)
+            if result.faults:
+                _QUERY_DEGRADED.inc(1, method=self.name)
         return result
+
+    def _read_data_page(self, page_no: int) -> np.ndarray | None:
+        """Read one store page, honouring the query's fault mode.
+
+        In ``on_fault="skip"`` mode an unreadable *data* page is
+        recorded as a :class:`~repro.storage.faults.PageFault` and
+        ``None`` is returned so the caller drops just that page; in the
+        default mode the typed error propagates unchanged.
+        """
+        try:
+            return self.store.read_page(page_no)
+        except (CorruptPageError, TransientIOError) as exc:
+            if self._fault_mode != "skip":
+                raise
+            self.store.pool.invalidate(self.store.page_ids[page_no])
+            self._query_faults.append(PageFault(
+                disk=exc.disk, page_id=exc.page_id,
+                kind=type(exc).__name__, detail=str(exc)))
+            return None
 
     def _finish(self, query: ValueQuery, candidates: np.ndarray,
                 estimate: EstimateMode) -> QueryResult:

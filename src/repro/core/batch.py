@@ -37,7 +37,7 @@ import numpy as np
 
 from ..obs.metrics import REGISTRY
 from ..storage import IOStats, PoolCounters
-from .base import EstimateMode, ValueIndex
+from .base import EstimateMode, FaultMode, ValueIndex
 from .query import QueryResult, ValueQuery
 
 #: Default shared-cache capacity for a batch: 1024 pages = 4 MiB of the
@@ -158,7 +158,8 @@ class BatchQueryEngine:
         self.merge = merge
 
     def run(self, queries: Sequence[ValueQuery],
-            estimate: EstimateMode = "area") -> BatchResult:
+            estimate: EstimateMode = "area",
+            on_fault: FaultMode = "raise") -> BatchResult:
         """Execute a batch and return per-query + aggregate results.
 
         Results come back in the caller's query order regardless of the
@@ -166,7 +167,15 @@ class BatchQueryEngine:
         group's first member; later members of the group are answered
         from the in-memory candidate superset and report zero I/O —
         which is precisely the amortization the batch buys.
+
+        ``on_fault`` follows :meth:`~repro.core.base.ValueIndex.query`:
+        with ``"skip"``, data pages that cannot be read are dropped from
+        the group's fetch and the surviving faults are attached to the
+        group's first member (the query that performed the I/O).
         """
+        if on_fault not in ("raise", "skip"):
+            raise ValueError(
+                f"on_fault must be 'raise' or 'skip', got {on_fault!r}")
         queries = list(queries)
         if not queries:
             return BatchResult()
@@ -193,10 +202,11 @@ class BatchQueryEngine:
                                          {"lo": group.lo, "hi": group.hi,
                                           "size": group.size}):
                             self._run_group(group, queries, results,
-                                            estimate)
+                                            estimate, on_fault)
                 else:
                     for group in groups:
-                        self._run_group(group, queries, results, estimate)
+                        self._run_group(group, queries, results, estimate,
+                                        on_fault)
                 pool_traffic = sum(
                     (p.counters().diff(b)
                      for p, b in zip(pools, before_pool)),
@@ -218,11 +228,19 @@ class BatchQueryEngine:
 
     def _run_group(self, group: QueryGroup, queries: list[ValueQuery],
                    results: list[QueryResult | None],
-                   estimate: EstimateMode) -> None:
+                   estimate: EstimateMode,
+                   on_fault: FaultMode = "raise") -> None:
         """One filtering pass over the group's union interval."""
         tracer = self.index.tracer
         before = self.index.stats.snapshot()
-        candidates = self.index._candidates(group.lo, group.hi)
+        self.index._fault_mode = on_fault
+        self.index._query_faults = []
+        try:
+            candidates = self.index._candidates(group.lo, group.hi)
+            group_faults = self.index._query_faults
+        finally:
+            self.index._fault_mode = "raise"
+            self.index._query_faults = []
         fetch_io = self.index.stats.diff(before)
         # Candidate records of a member query are exactly the union
         # candidates intersecting its own interval: the same predicate
@@ -240,6 +258,10 @@ class BatchQueryEngine:
             else:
                 result = self.index._finish(q, mine, estimate)
             result.io = fetch_io if ordinal == 0 else IOStats()
+            if ordinal == 0:
+                # Faults belong to the member that performed the fetch,
+                # mirroring the I/O attribution above.
+                result.faults = group_faults
             results[i] = result
 
     def _pools(self):

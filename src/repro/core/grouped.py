@@ -13,7 +13,7 @@ import numpy as np
 from ..field.base import Field
 from ..geometry import Rect
 from ..rstar import RStarTree
-from ..storage import DiskManager, IOStats, PAGE_SIZE
+from ..storage import IOStats, PAGE_SIZE, RetryPolicy
 from .base import ValueIndex
 from .subfield import Subfield
 
@@ -38,9 +38,10 @@ class GroupedIntervalIndex(ValueIndex):
     def __init__(self, field: Field, order: np.ndarray,
                  groups: list[tuple[int, int]], cache_pages: int = 0,
                  stats: IOStats | None = None,
-                 page_size: int = PAGE_SIZE) -> None:
+                 page_size: int = PAGE_SIZE,
+                 retry_policy: RetryPolicy | None = None) -> None:
         super().__init__(field, cache_pages=cache_pages, stats=stats,
-                         page_size=page_size)
+                         page_size=page_size, retry_policy=retry_policy)
         order = np.asarray(order, dtype=np.int64)
         records = field.cell_records()
         if len(order) != len(records):
@@ -61,8 +62,7 @@ class GroupedIntervalIndex(ValueIndex):
             self.subfields.append(Subfield(sf_id, lo, hi, start, end))
             rects.append(Rect.from_interval(lo, hi))
 
-        self.index_disk = DiskManager(stats=self.stats, name="sf-tree",
-                                      page_size=page_size)
+        self.index_disk = self._make_disk("sf-tree")
         self.tree = RStarTree(dim=1, disk=self.index_disk,
                               cache_pages=cache_pages)
         self.tree.bulk_load(rects, range(len(rects)))
@@ -171,7 +171,9 @@ class GroupedIntervalIndex(ValueIndex):
             chunks = []
             for first, last in runs:
                 for page_no in range(first, last + 1):
-                    block = self.store.read_page(page_no)
+                    block = self._read_data_page(page_no)
+                    if block is None:
+                        continue
                     mask = ((block["vmin"].astype(np.float64) <= hi)
                             & (block["vmax"].astype(np.float64) >= lo))
                     if mask.any():

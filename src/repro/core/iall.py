@@ -14,7 +14,7 @@ import numpy as np
 from ..field.base import Field
 from ..geometry import Rect
 from ..rstar import RStarTree
-from ..storage import DiskManager, IOStats, PAGE_SIZE
+from ..storage import IOStats, PAGE_SIZE, RetryPolicy
 from .base import ValueIndex
 
 
@@ -37,13 +37,13 @@ class IAllIndex(ValueIndex):
 
     def __init__(self, field: Field, bulk: bool = True,
                  cache_pages: int = 0, stats: IOStats | None = None,
-                 page_size: int = PAGE_SIZE) -> None:
+                 page_size: int = PAGE_SIZE,
+                 retry_policy: RetryPolicy | None = None) -> None:
         super().__init__(field, cache_pages=cache_pages, stats=stats,
-                         page_size=page_size)
+                         page_size=page_size, retry_policy=retry_policy)
         records = field.cell_records()
         self.store.extend(records)
-        self.index_disk = DiskManager(stats=self.stats, name="iall-tree",
-                                      page_size=page_size)
+        self.index_disk = self._make_disk("iall-tree")
         self.tree = RStarTree(dim=1, disk=self.index_disk,
                               cache_pages=cache_pages)
         intervals = [Rect.from_interval(float(lo), float(hi))
@@ -84,9 +84,12 @@ class IAllIndex(ValueIndex):
             start = 0
             for end in range(1, len(pages) + 1):
                 if end == len(pages) or pages[end] != pages[start]:
-                    page_records = self.store.read_page(int(pages[start]))
-                    chunks.append(page_records[slots[start:end]])
+                    page_records = self._read_data_page(int(pages[start]))
+                    if page_records is not None:
+                        chunks.append(page_records[slots[start:end]])
                     start = end
+        if not chunks:
+            return np.empty(0, dtype=self.store.dtype)
         if len(chunks) == 1:
             return chunks[0]
         return np.concatenate(chunks)

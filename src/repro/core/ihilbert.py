@@ -21,7 +21,7 @@ from ..curves import (
     SpaceFillingCurve,
 )
 from ..field.base import Field
-from ..storage import IOStats, PAGE_SIZE
+from ..storage import IOStats, PAGE_SIZE, RetryPolicy
 from .cost import CostBasedGrouping, GroupingPolicy, group_cells
 from .grouped import GroupedIntervalIndex
 
@@ -90,7 +90,8 @@ class IHilbertIndex(GroupedIntervalIndex):
                  curve: str | SpaceFillingCurve = "hilbert",
                  grouping: GroupingPolicy | None = None,
                  cache_pages: int = 0, stats: IOStats | None = None,
-                 page_size: int = PAGE_SIZE) -> None:
+                 page_size: int = PAGE_SIZE,
+                 retry_policy: RetryPolicy | None = None) -> None:
         if isinstance(curve, str):
             dim = field.cell_centroids().shape[1]
             curve = make_curve(curve, default_curve_order(field, dim), dim)
@@ -110,7 +111,8 @@ class IHilbertIndex(GroupedIntervalIndex):
                              records["vmax"][order].astype(np.float64),
                              self.grouping)
         super().__init__(field, order, groups, cache_pages=cache_pages,
-                         stats=stats, page_size=page_size)
+                         stats=stats, page_size=page_size,
+                         retry_policy=retry_policy)
 
     def describe(self) -> dict:
         info = super().describe()

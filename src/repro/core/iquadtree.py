@@ -16,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..field.base import Field
-from ..storage import IOStats, PAGE_SIZE
+from ..storage import IOStats, PAGE_SIZE, RetryPolicy
 from .grouped import GroupedIntervalIndex
 
 #: Hard stop for quadtree recursion depth.
@@ -43,7 +43,8 @@ class IntervalQuadtreeIndex(GroupedIntervalIndex):
     def __init__(self, field: Field, threshold: float | None = None,
                  unit: float = 1.0, cache_pages: int = 0,
                  stats: IOStats | None = None,
-                 page_size: int = PAGE_SIZE) -> None:
+                 page_size: int = PAGE_SIZE,
+                 retry_policy: RetryPolicy | None = None) -> None:
         records = field.cell_records()
         vmins = records["vmin"].astype(np.float64)
         vmaxs = records["vmax"].astype(np.float64)
@@ -89,7 +90,7 @@ class IntervalQuadtreeIndex(GroupedIntervalIndex):
         divide(np.arange(field.num_cells), xmin, ymin, side, 0)
         super().__init__(field, np.asarray(order), groups,
                          cache_pages=cache_pages, stats=stats,
-                         page_size=page_size)
+                         page_size=page_size, retry_policy=retry_policy)
 
     def describe(self) -> dict:
         info = super().describe()

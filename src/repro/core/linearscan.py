@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..field.base import Field
-from ..storage import IOStats, PAGE_SIZE
+from ..storage import IOStats, PAGE_SIZE, RetryPolicy
 from .base import ValueIndex
 
 
@@ -22,9 +22,10 @@ class LinearScanIndex(ValueIndex):
 
     def __init__(self, field: Field, cache_pages: int = 0,
                  stats: IOStats | None = None,
-                 page_size: int = PAGE_SIZE) -> None:
+                 page_size: int = PAGE_SIZE,
+                 retry_policy: RetryPolicy | None = None) -> None:
         super().__init__(field, cache_pages=cache_pages, stats=stats,
-                         page_size=page_size)
+                         page_size=page_size, retry_policy=retry_policy)
         self.store.extend(field.cell_records())
 
     def _candidates(self, lo: float, hi: float) -> np.ndarray:
@@ -32,7 +33,10 @@ class LinearScanIndex(ValueIndex):
             if span.enabled:
                 span.attrs["path"] = "scan"
             matches = []
-            for page in self.store.scan():
+            for page_no in range(self.store.num_pages):
+                page = self._read_data_page(page_no)
+                if page is None:
+                    continue
                 # Compare in float64: float32 records vs. a float64 query
                 # bound would otherwise round the bound to float32 (NEP 50),
                 # disagreeing with the R*-tree's float64 arithmetic.

@@ -1,21 +1,34 @@
-"""Saving and loading built value indexes.
+"""Saving and loading built value indexes, crash-safely.
 
 A grouped index (I-Hilbert, Interval Quadtree) is fully described by its
 clustered cell file, its subfield list, and its R*-tree pages; all three
 serialize to a directory so an index built once can be reloaded — field
 data not required — and queried immediately.
 
-Layout of the index directory::
+Layout of the index directory (format 2)::
 
-    meta.json     dtype, counts, subfields, tree shape, field type
-    data.pages    DiskManager snapshot of the cell record file
-    tree.pages    DiskManager snapshot of the subfield R*-tree
-    order.npy     the cell permutation (for provenance/debugging)
+    meta.json         manifest: dtype, counts, subfields, tree shape,
+                      field type, and per-file SHA-256 checksums
+    data-<g>.pages    DiskManager snapshot of the cell record file
+    tree-<g>.pages    DiskManager snapshot of the subfield R*-tree
+    order-<g>.npy     the cell permutation (for provenance/debugging)
+
+``<g>`` is a generation number that increments on every save.  Data
+files are written first under fresh generation names, fsynced, and only
+then does ``meta.json`` move to the new generation via an atomic
+write-to-temp + rename — the manifest rename *is* the commit point.  A
+crash anywhere before it leaves the previous generation fully intact
+(the half-written files are unreferenced orphans, garbage-collected by
+the next save); a crash after it leaves the new generation committed.
+Either way a reload sees one complete, checksummed index — never a torn
+mixture.  ``python -m repro scrub`` verifies exactly these invariants
+offline.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import numpy as np
@@ -24,9 +37,9 @@ from ..field.dem import DEMField
 from ..field.tin import TINField
 from ..field.volume import VolumeField
 from ..storage import IOStats, RecordStore
-from ..storage.snapshot import load_disk, save_disk
-from .grouped import GroupedIntervalIndex
-from .subfield import Subfield
+from ..storage.faults import SimulatedCrash
+from ..storage.scrub import file_sha256
+from ..storage.snapshot import fsync_dir, load_disk, save_disk
 
 #: Field classes reconstructible by name (record semantics only).
 FIELD_TYPES = {
@@ -35,7 +48,16 @@ FIELD_TYPES = {
     "VolumeField": VolumeField,
 }
 
-_FORMAT_VERSION = 1
+#: Format 2 = checksummed page frames + generational manifest commit.
+_FORMAT_VERSION = 2
+
+#: Crash points honoured by :func:`save_index`, in execution order.
+SAVE_INDEX_CRASH_POINTS = ("data-written", "tree-written", "order-written",
+                          "pre-commit", "post-commit")
+
+#: Role → generation-stamped file name.
+_ROLE_PATTERNS = {"data": "data-{g}.pages", "tree": "tree-{g}.pages",
+                  "order": "order-{g}.npy"}
 
 
 class PersistError(Exception):
@@ -53,8 +75,59 @@ def _dtype_from_descr(descr: list) -> np.dtype:
     return np.dtype(fields)
 
 
-def save_index(index: GroupedIntervalIndex, directory: str | Path) -> None:
-    """Serialize a grouped index into ``directory`` (created if needed)."""
+def _maybe_crash(point: str, crash_point: str | None) -> None:
+    if crash_point == point:
+        raise SimulatedCrash(point)
+
+
+def _read_meta(directory: Path) -> dict | None:
+    meta_path = directory / "meta.json"
+    if not meta_path.exists():
+        return None
+    with open(meta_path) as fh:
+        return json.load(fh)
+
+
+def _manifest_entry(directory: Path, name: str) -> dict:
+    path = directory / name
+    return {"name": name, "sha256": file_sha256(path),
+            "bytes": path.stat().st_size}
+
+
+def _save_order(order: np.ndarray, path: Path) -> None:
+    """Write the permutation array with the same fsync discipline as
+    the page snapshots (content durability before the commit point)."""
+    with open(path, "wb") as fh:
+        np.save(fh, order)
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+def _collect_garbage(directory: Path, keep: set[str]) -> None:
+    """Remove generation files no manifest references (orphans from a
+    superseded generation or an aborted save)."""
+    for path in directory.iterdir():
+        name = path.name
+        if name in keep or name == "meta.json":
+            continue
+        if name.endswith((".pages", ".npy", ".tmp")):
+            path.unlink(missing_ok=True)
+
+
+def save_index(index, directory: str | Path,
+               crash_point: str | None = None) -> None:
+    """Serialize a grouped index into ``directory`` (created if needed).
+
+    Crash-safe: the previous save (if any) stays loadable until the new
+    manifest lands atomically; see the module docstring for the
+    protocol.  ``crash_point`` (tests only) aborts with
+    :class:`~repro.storage.faults.SimulatedCrash` at a named step — one
+    of :data:`SAVE_INDEX_CRASH_POINTS`.
+    """
+    if crash_point is not None and crash_point not in SAVE_INDEX_CRASH_POINTS:
+        raise ValueError(
+            f"unknown crash point {crash_point!r}; expected one of "
+            f"{SAVE_INDEX_CRASH_POINTS}")
     field_name = index.field_type.__name__
     if field_name not in FIELD_TYPES:
         raise PersistError(
@@ -64,11 +137,23 @@ def save_index(index: GroupedIntervalIndex, directory: str | Path) -> None:
     directory.mkdir(parents=True, exist_ok=True)
     if index.tree._dirty:
         index.tree.flush()
-    save_disk(index.data_disk, directory / "data.pages")
-    save_disk(index.index_disk, directory / "tree.pages")
-    np.save(directory / "order.npy", index.order)
+
+    previous = _read_meta(directory)
+    generation = (int(previous.get("generation", 0)) + 1
+                  if previous else 0)
+    names = {role: pattern.format(g=generation)
+             for role, pattern in _ROLE_PATTERNS.items()}
+
+    save_disk(index.data_disk, directory / names["data"])
+    _maybe_crash("data-written", crash_point)
+    save_disk(index.index_disk, directory / names["tree"])
+    _maybe_crash("tree-written", crash_point)
+    _save_order(index.order, directory / names["order"])
+    _maybe_crash("order-written", crash_point)
+
     meta = {
         "format": _FORMAT_VERSION,
+        "generation": generation,
         "method": index.name,
         "field_type": field_name,
         "record_dtype": index.store.dtype.descr,
@@ -84,53 +169,94 @@ def save_index(index: GroupedIntervalIndex, directory: str | Path) -> None:
             "count": index.tree._count,
             "node_ids": sorted(index.tree._nodes),
         },
+        "files": {role: _manifest_entry(directory, name)
+                  for role, name in names.items()},
     }
-    with open(directory / "meta.json", "w") as fh:
+    _maybe_crash("pre-commit", crash_point)
+    tmp = directory / "meta.json.tmp"
+    with open(tmp, "w") as fh:
         json.dump(meta, fh, indent=1)
+        fh.write("\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, directory / "meta.json")
+    fsync_dir(directory)
+    _maybe_crash("post-commit", crash_point)
+    _collect_garbage(directory, keep=set(names.values()))
 
 
 def load_index(directory: str | Path, cache_pages: int = 0,
-               stats: IOStats | None = None) -> GroupedIntervalIndex:
+               stats: IOStats | None = None, verify: bool = True):
     """Reload an index saved by :func:`save_index`.
 
     The returned object answers queries exactly like the original (same
     records, same subfields, same tree pages); it carries no in-memory
-    field, so ``index.field`` is None.
+    field, so ``index.field`` is None.  With ``verify=True`` (default)
+    every file is checked against its manifest SHA-256 and every page
+    frame against its checksum before the index is handed back, so
+    on-disk corruption raises :class:`PersistError` instead of
+    producing silently wrong answers.
     """
     directory = Path(directory)
-    meta_path = directory / "meta.json"
-    if not meta_path.exists():
+    meta = _read_meta(directory)
+    if meta is None:
         raise PersistError(f"{directory}: no meta.json — not an index "
                            f"directory")
-    with open(meta_path) as fh:
-        meta = json.load(fh)
     if meta.get("format") != _FORMAT_VERSION:
         raise PersistError(
-            f"{directory}: unsupported index format {meta.get('format')}")
+            f"{directory}: unsupported index format {meta.get('format')} "
+            f"(format {_FORMAT_VERSION} adds checksummed page frames; "
+            f"rebuild the index and save it again)")
     try:
         field_type = FIELD_TYPES[meta["field_type"]]
     except KeyError:
         raise PersistError(
             f"{directory}: unknown field type "
             f"{meta['field_type']!r}") from None
+    files = meta["files"]
+    for role, entry in files.items():
+        path = directory / entry["name"]
+        if not path.exists():
+            raise PersistError(
+                f"{directory}: missing {entry['name']} ({role} file)")
+        if verify:
+            size = path.stat().st_size
+            if size != entry["bytes"]:
+                raise PersistError(
+                    f"{path}: {size} bytes, manifest says "
+                    f"{entry['bytes']}")
+            if file_sha256(path) != entry["sha256"]:
+                raise PersistError(
+                    f"{path}: whole-file checksum mismatch — run "
+                    f"'python -m repro scrub {directory}' for details")
 
+    from .grouped import GroupedIntervalIndex
     index = GroupedIntervalIndex.__new__(GroupedIntervalIndex)
     index.name = meta["method"]
     index.field = None
     index.field_type = field_type
     index.stats = stats if stats is not None else IOStats()
+    index.retry_policy = None
+    index._fault_mode = "raise"
+    index._query_faults = []
     from ..obs.trace import NULL_TRACER
     index.tracer = NULL_TRACER
 
     # Cell record file.
-    index.data_disk = load_disk(directory / "data.pages",
-                                stats=index.stats, name="data")
+    from ..storage.snapshot import SnapshotError
+    try:
+        index.data_disk = load_disk(directory / files["data"]["name"],
+                                    stats=index.stats, name="data",
+                                    verify=verify)
+    except SnapshotError as exc:
+        raise PersistError(str(exc)) from exc
     index.page_size = index.data_disk.page_size
     dtype = _dtype_from_descr(meta["record_dtype"])
     store = RecordStore.__new__(RecordStore)
     store.disk = index.data_disk
     store.dtype = dtype
-    store.records_per_page = index.data_disk.page_size // dtype.itemsize
+    store.records_per_page = (index.data_disk.usable_page_size
+                              // dtype.itemsize)
     from ..storage import BufferPool
     store.pool = BufferPool(index.data_disk, capacity=cache_pages)
     store._page_ids = list(meta["store_page_ids"])
@@ -144,7 +270,8 @@ def load_index(directory: str | Path, cache_pages: int = 0,
     index.store = store
 
     # Subfields.
-    index.order = np.load(directory / "order.npy")
+    from .subfield import Subfield
+    index.order = np.load(directory / files["order"]["name"])
     index.subfields = [
         Subfield(sf_id, lo, hi, int(start), int(end))
         for sf_id, (lo, hi, start, end) in enumerate(meta["subfields"])
@@ -153,8 +280,12 @@ def load_index(directory: str | Path, cache_pages: int = 0,
     # Subfield R*-tree.
     from ..rstar import RStarTree
     from ..rstar.node import Node
-    index.index_disk = load_disk(directory / "tree.pages",
-                                 stats=index.stats, name="sf-tree")
+    try:
+        index.index_disk = load_disk(directory / files["tree"]["name"],
+                                     stats=index.stats, name="sf-tree",
+                                     verify=verify)
+    except SnapshotError as exc:
+        raise PersistError(str(exc)) from exc
     tree_meta = meta["tree"]
     tree = RStarTree.__new__(RStarTree)
     tree.dim = tree_meta["dim"]

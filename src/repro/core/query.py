@@ -59,7 +59,21 @@ class QueryResult:
     regions: list[AnswerRegion] | None = None
     #: I/O performed by this query (page reads, seq/random split, hits).
     io: IOStats = field(default_factory=IOStats)
+    #: Storage faults survived in ``on_fault="skip"`` mode — one
+    #: :class:`~repro.storage.faults.PageFault` per skipped page.  Empty
+    #: for a clean query (and always empty in ``on_fault="raise"`` mode,
+    #: where the fault propagates as a typed error instead).
+    faults: list = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.candidate_count < 0:
             raise ValueError("candidate_count cannot be negative")
+
+    @property
+    def degraded(self) -> bool:
+        """True when storage faults forced this query to skip pages.
+
+        A degraded result is a *lower bound*: every reported candidate
+        is genuine, but cells on the skipped pages are missing.
+        """
+        return bool(self.faults)

@@ -39,6 +39,12 @@ def _io_args(span: Span) -> dict:
             cache_hits=io.cache_hits,
             page_writes=io.page_writes,
         )
+        # Fault-path counters only appear when something actually went
+        # wrong, keeping the common-case payload unchanged.
+        if io.read_retries:
+            args["read_retries"] = io.read_retries
+        if io.checksum_failures:
+            args["checksum_failures"] = io.checksum_failures
     pool, self_pool = span.pool, span.self_pool
     if pool is not None:
         args.update(

@@ -52,7 +52,7 @@ class RStarTree:
                  max_entries: int | None = None) -> None:
         self.dim = dim
         self.disk = disk if disk is not None else DiskManager(name="rstar")
-        page_cap = node_capacity(self.disk.page_size, dim)
+        page_cap = node_capacity(self.disk.usable_page_size, dim)
         if max_entries is None:
             self.capacity = page_cap
         else:
@@ -235,7 +235,8 @@ class RStarTree:
         """Serialize every node to its page (mirror for accounted reads)."""
         for node in self._nodes.values():
             self.disk.write(node.page_id,
-                            node.to_bytes(self.disk.page_size, self.dim))
+                            node.to_bytes(self.disk.usable_page_size,
+                                          self.dim))
         self.pool.clear()
         self._dirty = False
 

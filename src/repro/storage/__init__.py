@@ -1,21 +1,46 @@
-"""Simulated paged storage: disk manager, buffer pool, record files."""
+"""Simulated paged storage: checksummed disk, buffer pool, record files,
+fault injection, retries, snapshots, and offline scrub."""
 
 from .buffer import BufferPool, PoolCounters
-from .disk import DiskManager, PAGE_SIZE, PageError
+from .disk import (CHECKSUM_NAME, DiskManager, PAGE_HEADER_SIZE, PAGE_SIZE,
+                   page_checksum)
+from .faults import (CorruptPageError, FaultEvent, FaultInjector, FaultSpec,
+                     PageError, PageFault, SimulatedCrash, TransientIOError)
 from .records import RecordStore
-from .snapshot import SnapshotError, load_disk, save_disk
+from .retry import RetryingDiskManager, RetryPolicy
+from .scrub import ScrubReport, file_sha256, repair_index, scrub_index
+from .snapshot import (SAVE_DISK_CRASH_POINTS, SnapshotError, load_disk,
+                       save_disk, verify_snapshot)
 from .stats import CostModelParams, IOStats
 
 __all__ = [
     "BufferPool",
+    "CHECKSUM_NAME",
+    "CorruptPageError",
     "CostModelParams",
     "DiskManager",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSpec",
     "IOStats",
+    "PAGE_HEADER_SIZE",
     "PAGE_SIZE",
     "PageError",
+    "PageFault",
     "PoolCounters",
     "RecordStore",
+    "RetryPolicy",
+    "RetryingDiskManager",
+    "SAVE_DISK_CRASH_POINTS",
+    "ScrubReport",
+    "SimulatedCrash",
     "SnapshotError",
+    "TransientIOError",
+    "file_sha256",
     "load_disk",
+    "page_checksum",
+    "repair_index",
     "save_disk",
+    "scrub_index",
+    "verify_snapshot",
 ]

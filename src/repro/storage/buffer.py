@@ -130,6 +130,16 @@ class BufferPool:
         self.misses = 0
         self.evictions = 0
 
+    def invalidate(self, page_id: int) -> None:
+        """Drop one cached frame, if resident.
+
+        Used after out-of-band page mutations (fault injection, snapshot
+        restore) so the pool cannot serve bytes the disk no longer
+        holds.  Not an eviction — invalidation is correctness, not
+        capacity pressure.
+        """
+        self._frames.pop(page_id, None)
+
     def clear(self) -> None:
         """Drop every cached frame (simulates a cold cache).
 

@@ -1,19 +1,59 @@
-"""A simulated disk of fixed-size pages.
+"""A simulated disk of fixed-size, checksummed pages.
 
-Each :class:`DiskManager` models one file of 4 KiB pages (the page size used
-in the paper's experiments, §4).  Reads and writes are accounted in an
-:class:`~repro.storage.stats.IOStats` object; a read is classified as
-sequential when it targets the page directly after the previously read page
-of the same file.
+Each :class:`DiskManager` models one file of 4 KiB pages (the page size
+used in the paper's experiments, §4).  Reads and writes are accounted in
+an :class:`~repro.storage.stats.IOStats` object; a read is classified as
+sequential when it targets the page directly after the previously read
+page of the same file.
+
+Every page is stored as a *frame*: a 16-byte header (magic, format
+version, checksum algorithm, payload length, CRC of the payload)
+followed by the payload, which therefore holds at most
+:attr:`DiskManager.usable_page_size` = ``page_size - 16`` bytes.
+:meth:`DiskManager.write` computes the checksum; :meth:`DiskManager.read`
+verifies it and raises :class:`CorruptPageError` on mismatch, so bit rot
+and torn writes surface as typed errors instead of silently wrong
+query answers.  In memory the header fields live beside the payload (no
+per-read slicing or copying); :meth:`DiskManager.frame_bytes`
+materializes the full on-disk frame for snapshots and scrubbing.
+
+Failure injection hooks into the same object: attach a
+:class:`~repro.storage.faults.FaultInjector` via :attr:`fault_injector`
+and reads/writes start failing on the injector's deterministic
+schedule.  With no injector attached the only hot-path overhead is the
+checksum verification itself.
 """
 
 from __future__ import annotations
 
+import struct
+
 from ..obs.metrics import REGISTRY
+from .faults import CorruptPageError, PageError, TransientIOError
 from .stats import IOStats
+
+try:                                    # pragma: no cover - optional wheel
+    from crc32c import crc32c as page_checksum
+    CHECKSUM_ALGO = 2
+    CHECKSUM_NAME = "crc32c"
+except ImportError:                     # stdlib fallback, same guarantees
+    from zlib import crc32 as page_checksum
+    CHECKSUM_ALGO = 1
+    CHECKSUM_NAME = "crc32"
 
 #: Page size used throughout the system; matches the paper's 4 KB pages.
 PAGE_SIZE = 4096
+
+#: Bytes of every page reserved for the frame header.
+PAGE_HEADER_SIZE = 16
+
+#: Frame header: magic, format version, checksum algorithm, payload
+#: length, payload CRC, 4 reserved bytes.
+_FRAME = struct.Struct("<4sBBHI4x")
+_FRAME_MAGIC = b"RPG\x01"
+FRAME_VERSION = 1
+
+assert _FRAME.size == PAGE_HEADER_SIZE
 
 _READS = REGISTRY.counter(
     "repro_disk_page_reads_total",
@@ -27,14 +67,16 @@ _WRITES = REGISTRY.counter(
 _ALLOCS = REGISTRY.counter(
     "repro_disk_pages_allocated_total",
     "Pages allocated per simulated file.")
-
-
-class PageError(Exception):
-    """Raised for out-of-range page ids or oversized payloads."""
+_CORRUPT = REGISTRY.counter(
+    "repro_disk_corrupt_pages_total",
+    "Reads that failed page-checksum verification, per simulated file.")
+_INJECTED = REGISTRY.counter(
+    "repro_disk_injected_faults_total",
+    "Faults fired by an attached FaultInjector, per file and kind.")
 
 
 class DiskManager:
-    """An in-memory array of pages with I/O accounting.
+    """An in-memory array of checksummed pages with I/O accounting.
 
     Parameters
     ----------
@@ -44,7 +86,9 @@ class DiskManager:
     name:
         Label used in error messages and debugging output.
     page_size:
-        Page capacity in bytes; defaults to :data:`PAGE_SIZE`.
+        Page capacity in bytes; defaults to :data:`PAGE_SIZE`.  Must
+        exceed :data:`PAGE_HEADER_SIZE`; payloads may use at most
+        :attr:`usable_page_size` bytes.
     """
 
     #: Forward gaps up to this many pages count as streaming past (the
@@ -54,13 +98,24 @@ class DiskManager:
     def __init__(self, stats: IOStats | None = None, name: str = "disk",
                  page_size: int = PAGE_SIZE,
                  near_window: int | None = None) -> None:
+        if page_size <= PAGE_HEADER_SIZE:
+            raise PageError(
+                f"page size {page_size} leaves no payload room after the "
+                f"{PAGE_HEADER_SIZE}-byte frame header")
         self.stats = stats if stats is not None else IOStats()
         self.name = name
         self.page_size = page_size
         self.near_window = (self.NEAR_WINDOW if near_window is None
                             else near_window)
-        self._pages: list[bytes] = []
+        #: Optional :class:`~repro.storage.faults.FaultInjector`; when
+        #: None (default) reads and writes never fail on purpose.
+        self.fault_injector = None
+        self._pages: list[bytes] = []    # payloads, usable_page_size each
+        self._crcs: list[int] = []       # stored payload checksums
+        self._lens: list[int] = []       # payload length as written
         self._last_read: int | None = None
+        self._zero_payload = bytes(self.usable_page_size)
+        self._zero_crc = page_checksum(self._zero_payload)
 
     def __len__(self) -> int:
         return len(self._pages)
@@ -70,9 +125,16 @@ class DiskManager:
         """Number of allocated pages."""
         return len(self._pages)
 
+    @property
+    def usable_page_size(self) -> int:
+        """Payload bytes available per page after the frame header."""
+        return self.page_size - PAGE_HEADER_SIZE
+
     def allocate(self) -> int:
         """Allocate a zeroed page and return its id."""
-        self._pages.append(bytes(self.page_size))
+        self._pages.append(self._zero_payload)
+        self._crcs.append(self._zero_crc)
+        self._lens.append(0)
         self.stats.pages_allocated += 1
         if REGISTRY.enabled:
             _ALLOCS.inc(1, disk=self.name)
@@ -83,14 +145,23 @@ class DiskManager:
         if count < 0:
             raise PageError(f"cannot allocate {count} pages")
         first = len(self._pages)
-        self._pages.extend(bytes(self.page_size) for _ in range(count))
+        self._pages.extend(self._zero_payload for _ in range(count))
+        self._crcs.extend(self._zero_crc for _ in range(count))
+        self._lens.extend(0 for _ in range(count))
         self.stats.pages_allocated += count
         if REGISTRY.enabled and count:
             _ALLOCS.inc(count, disk=self.name)
         return first
 
     def read(self, page_id: int) -> bytes:
-        """Return the page contents, charging one accounted read."""
+        """Return the page payload, charging one accounted read.
+
+        The payload checksum is verified against the frame header on
+        every read; a mismatch raises :class:`CorruptPageError` (the
+        read is still accounted — a failed transfer moved the head).
+        With a fault injector attached, the injector may raise
+        :class:`TransientIOError` or damage the page first.
+        """
         self._check(page_id)
         self.stats.page_reads += 1
         gap = (page_id - self._last_read - 1
@@ -108,18 +179,48 @@ class DiskManager:
             if REGISTRY.enabled:
                 _READS.inc(1, disk=self.name, kind="random")
         self._last_read = page_id
-        return self._pages[page_id]
+        if self.fault_injector is not None:
+            self._injected_read(page_id)
+        data = self._pages[page_id]
+        if page_checksum(data) != self._crcs[page_id]:
+            self.stats.checksum_failures += 1
+            if REGISTRY.enabled:
+                _CORRUPT.inc(1, disk=self.name)
+            raise CorruptPageError(self.name, page_id)
+        return data
 
     def write(self, page_id: int, data: bytes) -> None:
-        """Replace the page contents, charging one accounted write."""
+        """Frame and store the payload, charging one accounted write.
+
+        Payloads larger than :attr:`usable_page_size` are rejected —
+        the frame header claims the first :data:`PAGE_HEADER_SIZE`
+        bytes of every page.  Shorter payloads are zero-padded; the
+        header records the original length and the checksum of the
+        padded payload.
+        """
         self._check(page_id)
-        if len(data) > self.page_size:
+        if len(data) > self.usable_page_size:
             raise PageError(
-                f"{self.name}: payload of {len(data)} bytes exceeds page size "
-                f"{self.page_size}")
-        if len(data) < self.page_size:
-            data = bytes(data) + bytes(self.page_size - len(data))
-        self._pages[page_id] = bytes(data)
+                f"{self.name}: payload of {len(data)} bytes exceeds the "
+                f"usable page size {self.usable_page_size} "
+                f"({self.page_size}-byte page minus {PAGE_HEADER_SIZE}-byte "
+                f"frame header)")
+        length = len(data)
+        if length < self.usable_page_size:
+            data = bytes(data) + bytes(self.usable_page_size - length)
+        else:
+            data = bytes(data)
+        crc = page_checksum(data)
+        if self.fault_injector is not None:
+            data, crc = self.fault_injector.on_write(self, page_id,
+                                                     data, crc)
+            if REGISTRY.enabled and self.fault_injector.events:
+                last = self.fault_injector.events[-1]
+                if last.kind == "torn_write" and last.page_id == page_id:
+                    _INJECTED.inc(1, disk=self.name, kind="torn_write")
+        self._pages[page_id] = data
+        self._crcs[page_id] = crc
+        self._lens[page_id] = length
         self.stats.page_writes += 1
         if REGISTRY.enabled:
             _WRITES.inc(1, disk=self.name)
@@ -131,8 +232,89 @@ class DiskManager:
         """
         self._last_read = None
 
+    # -- framing (snapshots, scrub) ------------------------------------------
+
+    def frame_bytes(self, page_id: int) -> bytes:
+        """Full on-disk frame of one page (header + payload)."""
+        self._check(page_id)
+        header = _FRAME.pack(_FRAME_MAGIC, FRAME_VERSION, CHECKSUM_ALGO,
+                             self._lens[page_id], self._crcs[page_id])
+        return header + self._pages[page_id]
+
+    def store_frame(self, page_id: int, frame: bytes,
+                    verify: bool = True) -> None:
+        """Install a serialized frame (snapshot load path).
+
+        Parses and validates the frame header; with ``verify=True`` the
+        payload checksum is also recomputed and compared, raising
+        :class:`CorruptPageError` on mismatch.  Not accounted I/O.
+        """
+        self._check(page_id)
+        length, crc, payload = parse_frame(self.name, page_id, frame,
+                                           self.page_size)
+        if verify and page_checksum(payload) != crc:
+            raise CorruptPageError(self.name, page_id)
+        self._pages[page_id] = payload
+        self._crcs[page_id] = crc
+        self._lens[page_id] = length
+
+    def verify_page(self, page_id: int) -> bool:
+        """Unaccounted checksum check of one page (scrub path)."""
+        self._check(page_id)
+        return page_checksum(self._pages[page_id]) == self._crcs[page_id]
+
+    # -- fault-injection internals -------------------------------------------
+
+    def _injected_read(self, page_id: int) -> None:
+        try:
+            self.fault_injector.on_read(self, page_id)
+        except TransientIOError:
+            if REGISTRY.enabled:
+                _INJECTED.inc(1, disk=self.name, kind="read_error")
+            raise
+        if REGISTRY.enabled and self.fault_injector.events:
+            last = self.fault_injector.events[-1]
+            if last.page_id == page_id and last.kind in ("bit_flip",
+                                                         "latency"):
+                _INJECTED.inc(1, disk=self.name, kind=last.kind)
+
+    def _flip_bit(self, page_id: int, byte_index: int, bit: int) -> None:
+        """Flip one stored payload bit in place (bit-rot injection)."""
+        page = bytearray(self._pages[page_id])
+        page[byte_index] ^= 1 << bit
+        self._pages[page_id] = bytes(page)
+
     def _check(self, page_id: int) -> None:
         if not 0 <= page_id < len(self._pages):
             raise PageError(
                 f"{self.name}: page {page_id} out of range "
                 f"(file has {len(self._pages)} pages)")
+
+
+def parse_frame(disk: str, page_id: int, frame: bytes,
+                page_size: int) -> tuple[int, int, bytes]:
+    """Split one serialized frame into ``(payload_len, crc, payload)``.
+
+    Validates size, magic, version, and checksum algorithm; raises
+    :class:`CorruptPageError` describing what is wrong.  The checksum
+    itself is *not* recomputed here — callers decide whether to verify.
+    """
+    if len(frame) != page_size:
+        raise CorruptPageError(
+            disk, page_id,
+            f"frame of {len(frame)} bytes, expected {page_size}")
+    magic, version, algo, length, crc = _FRAME.unpack_from(frame, 0)
+    if magic != _FRAME_MAGIC:
+        raise CorruptPageError(disk, page_id, "bad frame magic")
+    if version != FRAME_VERSION:
+        raise CorruptPageError(
+            disk, page_id, f"unsupported frame version {version}")
+    if algo != CHECKSUM_ALGO:
+        raise CorruptPageError(
+            disk, page_id,
+            f"frame written with checksum algorithm {algo}, this build "
+            f"uses {CHECKSUM_ALGO} ({CHECKSUM_NAME})")
+    if length > page_size - PAGE_HEADER_SIZE:
+        raise CorruptPageError(
+            disk, page_id, f"payload length {length} exceeds the page")
+    return length, crc, frame[PAGE_HEADER_SIZE:]

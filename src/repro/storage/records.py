@@ -35,11 +35,14 @@ class RecordStore:
                  cache_pages: int = 0) -> None:
         self.disk = disk
         self.dtype = np.dtype(dtype)
-        if self.dtype.itemsize > disk.page_size:
+        if self.dtype.itemsize > disk.usable_page_size:
             raise ValueError(
-                f"record of {self.dtype.itemsize} bytes does not fit in a "
-                f"{disk.page_size}-byte page")
-        self.records_per_page = disk.page_size // self.dtype.itemsize
+                f"record of {self.dtype.itemsize} bytes does not fit in "
+                f"the {disk.usable_page_size} usable bytes of a "
+                f"{disk.page_size}-byte page (frame header included)")
+        # Capacity derives from the *usable* page size: the checksummed
+        # frame header claims the first bytes of every page.
+        self.records_per_page = disk.usable_page_size // self.dtype.itemsize
         self.pool = BufferPool(disk, capacity=cache_pages)
         self._page_ids: list[int] = []
         self._count = 0

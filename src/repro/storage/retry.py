@@ -1,0 +1,89 @@
+"""Retry-with-backoff over the simulated disk.
+
+Production storage distinguishes *transient* faults (a timed-out
+request — retry it) from *permanent* ones (a page whose checksum fails —
+retrying re-reads the same rotten bytes).  :class:`RetryingDiskManager`
+encodes that policy: :class:`~repro.storage.faults.TransientIOError` is
+retried up to :attr:`RetryPolicy.max_attempts` times with exponential
+(simulated) backoff, while :class:`~repro.storage.faults.CorruptPageError`
+propagates immediately.  Every retry is accounted — as an extra page
+read in :class:`~repro.storage.stats.IOStats` (``read_retries``), as a
+``repro_disk_read_retries_total`` metric, and as simulated backoff time
+in :attr:`RetryingDiskManager.simulated_backoff_ms` — so experiments can
+report exactly what fault tolerance costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..obs.metrics import REGISTRY
+from .disk import DiskManager
+from .faults import TransientIOError
+
+_RETRIES = REGISTRY.counter(
+    "repro_disk_read_retries_total",
+    "Read attempts repeated after a transient fault, per simulated file.")
+_EXHAUSTED = REGISTRY.counter(
+    "repro_disk_retries_exhausted_total",
+    "Reads abandoned after max_attempts transient faults, per file.")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry a transient read fault, and how fast.
+
+    ``backoff_ms(attempt)`` grows exponentially:
+    ``backoff_base_ms * backoff_factor ** (attempt - 1)`` for the
+    attempt-th retry (1-based).
+    """
+
+    max_attempts: int = 4
+    backoff_base_ms: float = 1.0
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+
+    def backoff_ms(self, attempt: int) -> float:
+        """Simulated delay before the ``attempt``-th retry (1-based)."""
+        return self.backoff_base_ms * self.backoff_factor ** (attempt - 1)
+
+
+class RetryingDiskManager(DiskManager):
+    """A :class:`DiskManager` whose reads survive transient faults.
+
+    Only :class:`~repro.storage.faults.TransientIOError` is retried;
+    permanent faults (:class:`~repro.storage.faults.CorruptPageError`,
+    out-of-range ids) propagate unchanged on the first attempt.  When
+    every attempt fails the last ``TransientIOError`` propagates, so
+    callers always see a typed error.
+    """
+
+    def __init__(self, *args, retry_policy: RetryPolicy | None = None,
+                 **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.retry_policy = (retry_policy if retry_policy is not None
+                             else RetryPolicy())
+        #: Total simulated backoff delay spent on retries.
+        self.simulated_backoff_ms = 0.0
+
+    def read(self, page_id: int) -> bytes:
+        """Accounted read with transient-fault retries (see class doc)."""
+        policy = self.retry_policy
+        attempt = 1
+        while True:
+            try:
+                return super().read(page_id)
+            except TransientIOError:
+                if attempt >= policy.max_attempts:
+                    if REGISTRY.enabled:
+                        _EXHAUSTED.inc(1, disk=self.name)
+                    raise
+                self.stats.read_retries += 1
+                self.simulated_backoff_ms += policy.backoff_ms(attempt)
+                if REGISTRY.enabled:
+                    _RETRIES.inc(1, disk=self.name)
+                attempt += 1

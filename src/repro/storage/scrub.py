@@ -1,0 +1,200 @@
+"""Offline verification (and light repair) of saved index directories.
+
+``python -m repro scrub <index-dir>`` walks a directory written by
+:func:`~repro.core.persist.save_index`: it checks the manifest's
+whole-file checksums, then opens every ``.pages`` snapshot and verifies
+each page frame, reporting per-page status — which page ids are
+damaged, in which file.  A clean report means the index can be loaded
+and every page read without a :class:`~repro.storage.faults.CorruptPageError`.
+
+Repair is deliberately conservative: page payloads carry no redundancy,
+so a page whose checksum fails is *reported*, never guessed at.  What
+``repair_index`` can fix is manifest drift — a stale whole-file
+checksum over a file whose pages all verify — by recomputing the
+manifest entries and rewriting ``meta.json`` atomically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..obs.metrics import REGISTRY
+from .snapshot import SnapshotError, fsync_dir, verify_snapshot
+
+_SCRUBBED = REGISTRY.counter(
+    "repro_scrub_pages_total",
+    "Pages examined by scrub, per verification outcome.")
+
+
+def file_sha256(path: str | Path) -> str:
+    """Hex SHA-256 of a file's contents (streamed)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+@dataclass
+class FileStatus:
+    """Scrub outcome of one manifest file."""
+
+    role: str
+    name: str
+    ok: bool
+    detail: str = "ok"
+    pages: int = 0
+    #: ``(page_id, reason)`` for every page that failed verification.
+    bad_pages: list = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """JSON-safe dump."""
+        return {"role": self.role, "name": self.name, "ok": self.ok,
+                "detail": self.detail, "pages": self.pages,
+                "bad_pages": [{"page_id": pid, "detail": why}
+                              for pid, why in self.bad_pages]}
+
+
+@dataclass
+class ScrubReport:
+    """Full scrub outcome of one index directory."""
+
+    directory: str
+    generation: int
+    files: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every file and every page verified."""
+        return all(f.ok for f in self.files)
+
+    @property
+    def bad_page_count(self) -> int:
+        """Total pages that failed verification."""
+        return sum(len(f.bad_pages) for f in self.files)
+
+    def to_dict(self) -> dict:
+        """JSON-safe dump (the CLI's ``--json`` output)."""
+        return {"directory": self.directory, "generation": self.generation,
+                "ok": self.ok, "files": [f.to_dict() for f in self.files]}
+
+    def render(self) -> str:
+        """Human-readable report, one line per file plus bad pages."""
+        lines = [f"scrub {self.directory} (generation {self.generation})"]
+        for f in self.files:
+            if f.pages:
+                good = f.pages - len(f.bad_pages)
+                lines.append(f"  {f.name} [{f.role}]: "
+                             f"{good}/{f.pages} pages ok — {f.detail}")
+            else:
+                lines.append(f"  {f.name} [{f.role}]: {f.detail}")
+            for page_id, why in f.bad_pages:
+                lines.append(f"    page {page_id}: {why}")
+        lines.append(f"status: {'CLEAN' if self.ok else 'CORRUPT'}")
+        return "\n".join(lines)
+
+
+def _read_manifest(directory: Path) -> dict:
+    meta_path = directory / "meta.json"
+    if not meta_path.exists():
+        raise FileNotFoundError(
+            f"{directory}: no meta.json — not an index directory")
+    with open(meta_path) as fh:
+        return json.load(fh)
+
+
+def _scrub_file(directory: Path, role: str, entry: dict) -> FileStatus:
+    """Verify one manifest entry: size, whole-file hash, page frames."""
+    name = entry["name"]
+    path = directory / name
+    status = FileStatus(role=role, name=name, ok=True)
+    if not path.exists():
+        status.ok = False
+        status.detail = "missing"
+        return status
+    size = path.stat().st_size
+    if size != entry["bytes"]:
+        status.ok = False
+        status.detail = f"size {size}, manifest says {entry['bytes']}"
+    elif file_sha256(path) != entry["sha256"]:
+        status.ok = False
+        status.detail = "whole-file checksum mismatch"
+    if name.endswith(".pages"):
+        try:
+            from .snapshot import read_snapshot_header
+            _page_size, num_pages = read_snapshot_header(path)
+            status.pages = num_pages
+            status.bad_pages = verify_snapshot(path)
+        except SnapshotError as exc:
+            status.ok = False
+            status.detail = str(exc)
+            return status
+        if status.bad_pages:
+            status.ok = False
+            if status.detail == "ok":
+                status.detail = f"{len(status.bad_pages)} corrupt pages"
+        if REGISTRY.enabled:
+            good = status.pages - len(status.bad_pages)
+            if good:
+                _SCRUBBED.inc(good, status="ok")
+            if status.bad_pages:
+                _SCRUBBED.inc(len(status.bad_pages), status="corrupt")
+    return status
+
+
+def scrub_index(directory: str | Path) -> ScrubReport:
+    """Verify every file and page of a saved index directory.
+
+    Raises ``FileNotFoundError`` when the directory holds no manifest;
+    damaged files/pages are *reported* in the returned
+    :class:`ScrubReport`, not raised.
+    """
+    directory = Path(directory)
+    manifest = _read_manifest(directory)
+    report = ScrubReport(directory=str(directory),
+                         generation=int(manifest.get("generation", 0)))
+    for role, entry in sorted(manifest.get("files", {}).items()):
+        report.files.append(_scrub_file(directory, role, entry))
+    return report
+
+
+def repair_index(directory: str | Path) -> tuple[ScrubReport, list[str]]:
+    """Repair what can honestly be repaired; returns (report, actions).
+
+    Manifest entries whose file's pages all verify but whose recorded
+    size/hash disagree are recomputed and the manifest rewritten
+    atomically.  Pages with checksum damage carry no redundancy and are
+    left alone — the returned report still lists them, and the caller
+    should restore from a good snapshot or rebuild.
+    """
+    directory = Path(directory)
+    report = scrub_index(directory)
+    actions: list[str] = []
+    manifest = _read_manifest(directory)
+    changed = False
+    for status in report.files:
+        if status.ok or status.bad_pages:
+            continue
+        path = directory / status.name
+        if not path.exists():
+            continue
+        entry = manifest["files"][status.role]
+        entry["sha256"] = file_sha256(path)
+        entry["bytes"] = path.stat().st_size
+        actions.append(f"recomputed manifest entry for {status.name}")
+        changed = True
+    if changed:
+        tmp = directory / "meta.json.tmp"
+        with open(tmp, "w") as fh:
+            json.dump(manifest, fh, indent=1)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, directory / "meta.json")
+        fsync_dir(directory)
+        report = scrub_index(directory)
+    return report, actions

@@ -31,6 +31,11 @@ class IOStats:
     page_writes: int = 0
     pages_allocated: int = 0
     cache_hits: int = 0
+    #: Read attempts repeated after a transient fault (each retry is
+    #: also charged as a page read; see RetryingDiskManager).
+    read_retries: int = 0
+    #: Reads that failed page-checksum verification (CorruptPageError).
+    checksum_failures: int = 0
 
     def reset(self) -> None:
         """Zero every counter in place."""

@@ -1,0 +1,300 @@
+"""Crash-recovery and scrub tests for the persistence layer.
+
+The invariant under test is *old-or-new*: a process killed at any point
+during `save_disk`/`save_index` leaves the on-disk state loadable as
+either the complete previous version or the complete new version —
+never a torn mixture.  Crashes are simulated with the ``crash_point``
+parameter, which stops the writer dead at a named step.  The second
+half covers ``python -m repro scrub``: detecting deliberately corrupted
+pages (reporting their page ids), repairing manifest drift, and
+refusing to repair what carries no redundancy.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import (
+    IHilbertIndex,
+    PersistError,
+    ValueQuery,
+    load_index,
+    save_index,
+)
+from repro.core.persist import SAVE_INDEX_CRASH_POINTS
+from repro.storage import (
+    DiskManager,
+    PAGE_HEADER_SIZE,
+    SAVE_DISK_CRASH_POINTS,
+    SimulatedCrash,
+    load_disk,
+    save_disk,
+    scrub_index,
+    repair_index,
+    verify_snapshot,
+)
+from repro.storage.snapshot import read_snapshot_header
+
+#: Byte offset of the snapshot file header (magic, version, page size,
+#: page count) — page frames start right after it.
+_SNAPSHOT_HEADER_SIZE = 24
+
+
+def _make_disk(tag: int) -> DiskManager:
+    disk = DiskManager(page_size=80)
+    for i in range(4):
+        disk.write(disk.allocate(), bytes([tag]) * (i + 1))
+    return disk
+
+
+def _disk_payloads(disk: DiskManager) -> list[bytes]:
+    return [disk.read(pid) for pid in range(disk.num_pages)]
+
+
+def _corrupt_page(path, page_id: int) -> None:
+    """Flip one payload byte of one page frame inside a snapshot file."""
+    page_size, _num_pages = read_snapshot_header(path)
+    raw = bytearray(path.read_bytes())
+    offset = (_SNAPSHOT_HEADER_SIZE + page_id * page_size
+              + PAGE_HEADER_SIZE + 1)
+    raw[offset] ^= 0x40
+    path.write_bytes(bytes(raw))
+
+
+# -- save_disk crash matrix --------------------------------------------------
+
+
+@pytest.mark.parametrize("point", SAVE_DISK_CRASH_POINTS)
+def test_save_disk_crash_leaves_old_or_new(tmp_path, point):
+    path = tmp_path / "disk.pages"
+    old = _make_disk(tag=1)
+    save_disk(old, path)
+    new = _make_disk(tag=2)
+    with pytest.raises(SimulatedCrash):
+        save_disk(new, path, crash_point=point)
+    # Whatever survived must be one complete version, checksums intact.
+    back = _disk_payloads(load_disk(path))
+    if point == "post-rename":
+        assert back == _disk_payloads(new)
+    else:
+        assert back == _disk_payloads(old)
+
+
+def test_save_disk_crash_with_no_previous_version(tmp_path):
+    # Crashing before the rename of a first-ever save leaves no
+    # destination file at all — "old" state here is "nothing".
+    path = tmp_path / "disk.pages"
+    with pytest.raises(SimulatedCrash):
+        save_disk(_make_disk(tag=1), path, crash_point="pre-rename")
+    assert not path.exists()
+
+
+def test_save_disk_rejects_unknown_crash_point(tmp_path):
+    with pytest.raises(ValueError):
+        save_disk(_make_disk(tag=1), tmp_path / "d.pages",
+                  crash_point="mid-air")
+
+
+# -- save_index crash matrix -------------------------------------------------
+
+
+def _query_signature(index, field) -> list[int]:
+    vr = field.value_range
+    counts = []
+    for q in (ValueQuery(vr.lo, vr.hi),
+              ValueQuery(vr.lo + 0.25 * vr.length,
+                         vr.lo + 0.5 * vr.length)):
+        index.clear_caches()
+        counts.append(index.query(q).candidate_count)
+    return counts
+
+
+@pytest.mark.parametrize("point", SAVE_INDEX_CRASH_POINTS)
+def test_save_index_crash_leaves_old_or_new(tmp_path, smooth_dem,
+                                            rough_dem, point):
+    # Generation 0: an index over one field.  Generation 1: an index
+    # over a *different* field into the same slot — so old and new give
+    # different query answers and the reload is unambiguous.
+    directory = tmp_path / "idx"
+    old_index = IHilbertIndex(smooth_dem)
+    new_index = IHilbertIndex(rough_dem)
+    old_sig = _query_signature(old_index, smooth_dem)
+    new_sig = _query_signature(new_index, rough_dem)
+    assert old_sig != new_sig
+
+    save_index(old_index, directory)
+    with pytest.raises(SimulatedCrash):
+        save_index(new_index, directory, crash_point=point)
+
+    # The reload must verify cleanly (manifest hashes + page checksums)
+    # and answer exactly as one complete generation.
+    back = load_index(directory)
+    field = rough_dem if point == "post-commit" else smooth_dem
+    expected = new_sig if point == "post-commit" else old_sig
+    assert _query_signature(back, field) == expected
+    report = scrub_index(directory)
+    assert report.ok
+    assert report.generation == (1 if point == "post-commit" else 0)
+
+
+def test_save_index_crash_then_resave_collects_orphans(tmp_path,
+                                                       smooth_dem,
+                                                       rough_dem):
+    directory = tmp_path / "idx"
+    save_index(IHilbertIndex(smooth_dem), directory)
+    new_index = IHilbertIndex(rough_dem)
+    with pytest.raises(SimulatedCrash):
+        save_index(new_index, directory, crash_point="pre-commit")
+    # The aborted generation left orphan files behind the commit point.
+    assert (directory / "data-1.pages").exists()
+    # A later save completes, commits, and sweeps every orphan.
+    save_index(new_index, directory)
+    assert sorted(p.name for p in directory.iterdir()) == [
+        "data-1.pages", "meta.json", "order-1.npy", "tree-1.pages"]
+    back = load_index(directory)
+    assert (_query_signature(back, rough_dem)
+            == _query_signature(new_index, rough_dem))
+
+
+def test_save_index_rejects_unknown_crash_point(tmp_path, smooth_dem):
+    with pytest.raises(ValueError):
+        save_index(IHilbertIndex(smooth_dem), tmp_path / "idx",
+                   crash_point="mid-air")
+
+
+# -- scrub -------------------------------------------------------------------
+
+
+def test_scrub_clean_index(tmp_path, smooth_dem):
+    directory = tmp_path / "idx"
+    save_index(IHilbertIndex(smooth_dem), directory)
+    report = scrub_index(directory)
+    assert report.ok
+    assert report.bad_page_count == 0
+    assert {f.role for f in report.files} == {"data", "tree", "order"}
+    assert report.render().endswith("status: CLEAN")
+
+
+def test_scrub_detects_corrupted_page_and_reports_its_id(tmp_path,
+                                                         smooth_dem):
+    directory = tmp_path / "idx"
+    index = IHilbertIndex(smooth_dem, page_size=256)
+    save_index(index, directory)
+    _corrupt_page(directory / "data-0.pages", page_id=2)
+
+    report = scrub_index(directory)
+    assert not report.ok
+    assert report.bad_page_count == 1
+    data_status = next(f for f in report.files if f.role == "data")
+    assert [pid for pid, _why in data_status.bad_pages] == [2]
+    rendered = report.render()
+    assert "page 2" in rendered
+    assert rendered.endswith("status: CORRUPT")
+    # Loading refuses the damaged directory outright.
+    with pytest.raises(PersistError):
+        load_index(directory)
+
+
+def test_scrub_requires_a_manifest(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        scrub_index(tmp_path)
+
+
+def test_repair_fixes_manifest_drift(tmp_path, smooth_dem):
+    directory = tmp_path / "idx"
+    save_index(IHilbertIndex(smooth_dem), directory)
+    meta = json.loads((directory / "meta.json").read_text())
+    meta["files"]["order"]["sha256"] = "0" * 64
+    (directory / "meta.json").write_text(json.dumps(meta))
+
+    assert not scrub_index(directory).ok
+    report, actions = repair_index(directory)
+    assert report.ok
+    assert actions == ["recomputed manifest entry for order-0.npy"]
+    load_index(directory)   # verifies cleanly again
+
+
+def test_repair_never_touches_corrupt_pages(tmp_path, smooth_dem):
+    directory = tmp_path / "idx"
+    save_index(IHilbertIndex(smooth_dem, page_size=256), directory)
+    _corrupt_page(directory / "data-0.pages", page_id=1)
+    report, actions = repair_index(directory)
+    # Page payloads carry no redundancy: the damage is reported, the
+    # file is left exactly as found, and nothing claims to have fixed it.
+    assert not report.ok
+    assert actions == []
+    assert scrub_index(directory).bad_page_count == 1
+
+
+def test_verify_snapshot_reports_every_bad_page(tmp_path):
+    disk = DiskManager(page_size=80)
+    for i in range(6):
+        disk.write(disk.allocate(), bytes([i + 1]) * 20)
+    path = tmp_path / "disk.pages"
+    save_disk(disk, path)
+    _corrupt_page(path, page_id=1)
+    _corrupt_page(path, page_id=4)
+    bad = verify_snapshot(path)
+    assert [pid for pid, _why in bad] == [1, 4]
+
+
+def test_load_rejects_size_mismatch(tmp_path, smooth_dem):
+    directory = tmp_path / "idx"
+    save_index(IHilbertIndex(smooth_dem), directory)
+    with open(directory / "data-0.pages", "ab") as fh:
+        fh.write(b"trailing garbage")
+    with pytest.raises(PersistError):
+        load_index(directory)
+
+
+# -- the scrub CLI -----------------------------------------------------------
+
+
+def _build_cli_index(tmp_path, smooth_dem):
+    directory = tmp_path / "idx"
+    save_index(IHilbertIndex(smooth_dem, page_size=256), directory)
+    return directory
+
+
+def test_cli_scrub_clean(tmp_path, smooth_dem, capsys):
+    directory = _build_cli_index(tmp_path, smooth_dem)
+    assert main(["scrub", str(directory)]) == 0
+    assert "status: CLEAN" in capsys.readouterr().out
+
+
+def test_cli_scrub_reports_corruption_and_exits_nonzero(tmp_path,
+                                                        smooth_dem,
+                                                        capsys):
+    directory = _build_cli_index(tmp_path, smooth_dem)
+    _corrupt_page(directory / "data-0.pages", page_id=3)
+    assert main(["scrub", str(directory)]) == 1
+    out = capsys.readouterr().out
+    assert "page 3" in out
+    assert "status: CORRUPT" in out
+
+
+def test_cli_scrub_json(tmp_path, smooth_dem, capsys):
+    directory = _build_cli_index(tmp_path, smooth_dem)
+    _corrupt_page(directory / "data-0.pages", page_id=0)
+    assert main(["scrub", str(directory), "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    data_file = next(f for f in payload["files"] if f["role"] == "data")
+    assert data_file["bad_pages"][0]["page_id"] == 0
+
+
+def test_cli_scrub_repair(tmp_path, smooth_dem, capsys):
+    directory = _build_cli_index(tmp_path, smooth_dem)
+    meta = json.loads((directory / "meta.json").read_text())
+    meta["files"]["tree"]["sha256"] = "f" * 64
+    (directory / "meta.json").write_text(json.dumps(meta))
+    assert main(["scrub", str(directory), "--repair"]) == 0
+    out = capsys.readouterr().out
+    assert "recomputed manifest entry" in out
+    assert "status: CLEAN" in out
+
+
+def test_cli_scrub_rejects_non_index_dir(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["scrub", str(tmp_path)])

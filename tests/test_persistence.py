@@ -107,7 +107,7 @@ def test_load_rejects_bad_format(tmp_path, smooth_dem):
     index = IHilbertIndex(smooth_dem)
     save_index(index, tmp_path / "idx")
     meta = (tmp_path / "idx" / "meta.json")
-    meta.write_text(meta.read_text().replace('"format": 1',
+    meta.write_text(meta.read_text().replace('"format": 2',
                                              '"format": 99'))
     with pytest.raises(PersistError):
         load_index(tmp_path / "idx")

@@ -1,0 +1,438 @@
+"""Failure-matrix tests: fault kind × access method × workload.
+
+The contract under test: a query against faulty storage returns the
+exact answer or raises a typed error (`TransientIOError`,
+`CorruptPageError`) — it never returns a silently wrong answer.  With
+``on_fault="skip"`` it may instead return an explicitly *degraded*
+answer that reports every skipped page.  All fault schedules are driven
+by one seeded RNG, so every test here is exactly reproducible.
+"""
+
+import pytest
+
+from repro.core import (
+    BatchQueryEngine,
+    IAllIndex,
+    IHilbertIndex,
+    LinearScanIndex,
+    ValueQuery,
+)
+from repro.obs.metrics import REGISTRY
+from repro.storage import (
+    CorruptPageError,
+    DiskManager,
+    FaultInjector,
+    FaultSpec,
+    PageFault,
+    RetryingDiskManager,
+    RetryPolicy,
+    TransientIOError,
+)
+
+METHODS = {
+    "LinearScan": LinearScanIndex,
+    "I-All": IAllIndex,
+    "I-Hilbert": IHilbertIndex,
+}
+
+
+def _workloads(field) -> list[ValueQuery]:
+    """Three query shapes: full-range, narrow band, exact value."""
+    vr = field.value_range
+    mid = (vr.lo + vr.hi) / 2
+    return [
+        ValueQuery(vr.lo, vr.hi),
+        ValueQuery(vr.lo + 0.3 * vr.length, vr.lo + 0.4 * vr.length),
+        ValueQuery.exact(mid),
+    ]
+
+
+# -- FaultSpec / FaultInjector mechanics ------------------------------------
+
+
+def test_fault_spec_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        FaultSpec(kind="gamma_ray")
+
+
+def test_fault_spec_rejects_bad_probability():
+    with pytest.raises(ValueError):
+        FaultSpec(kind="read_error", probability=1.5)
+
+
+def _one_page_disk(payload=b"stored payload"):
+    disk = DiskManager(page_size=80)
+    pid = disk.allocate()
+    disk.write(pid, payload)
+    return disk, pid
+
+
+def test_schedule_fires_at_exact_operations():
+    disk, pid = _one_page_disk()
+    injector = FaultInjector(seed=0)
+    injector.add("read_error", schedule={1})
+    disk.fault_injector = injector
+    disk.read(pid)                      # op 0: clean
+    with pytest.raises(TransientIOError):
+        disk.read(pid)                  # op 1: scheduled fault
+    disk.read(pid)                      # op 2: clean again
+    assert [e.op_index for e in injector.events] == [1]
+    assert injector.events[0].kind == "read_error"
+    assert injector.events[0].page_id == pid
+
+
+def test_page_targeting_limits_blast_radius():
+    disk = DiskManager(page_size=80)
+    a, b = disk.allocate(), disk.allocate()
+    disk.write(a, b"page a")
+    disk.write(b, b"page b")
+    injector = FaultInjector(seed=0)
+    injector.add("read_error", page_ids={b})
+    disk.fault_injector = injector
+    assert disk.read(a)[:6] == b"page a"
+    with pytest.raises(TransientIOError):
+        disk.read(b)
+
+
+def test_max_faults_bounds_the_injection():
+    disk, pid = _one_page_disk()
+    disk.fault_injector = FaultInjector(seed=0)
+    disk.fault_injector.add("read_error", max_faults=2)
+    for _ in range(2):
+        with pytest.raises(TransientIOError):
+            disk.read(pid)
+    # Budget spent: reads succeed from now on.
+    assert disk.read(pid)[:6] == b"stored"
+    assert len(disk.fault_injector.events) == 2
+
+
+def test_latency_is_accounted_not_fatal():
+    disk, pid = _one_page_disk()
+    injector = FaultInjector(seed=0)
+    injector.add("latency", latency_ms=2.5, schedule={0, 1})
+    disk.fault_injector = injector
+    disk.read(pid)
+    disk.read(pid)
+    disk.read(pid)
+    assert injector.injected_latency_ms == pytest.approx(5.0)
+    assert [e.kind for e in injector.events] == ["latency", "latency"]
+
+
+def test_bit_flip_damage_is_permanent():
+    disk, pid = _one_page_disk()
+    disk.fault_injector = FaultInjector(seed=5)
+    disk.fault_injector.add("bit_flip", max_faults=1)
+    with pytest.raises(CorruptPageError):
+        disk.read(pid)
+    # Detaching the injector does not heal the page: the stored bytes
+    # themselves are damaged, exactly like real bit rot.
+    disk.fault_injector = None
+    with pytest.raises(CorruptPageError):
+        disk.read(pid)
+    assert disk.stats.checksum_failures == 2
+
+
+def test_torn_write_detected_on_next_read():
+    disk, pid = _one_page_disk(b"first version of this page")
+    injector = FaultInjector(seed=3)
+    injector.add("torn_write")
+    disk.fault_injector = injector
+    disk.write(pid, bytes(range(64)))
+    disk.fault_injector = None
+    assert [e.kind for e in injector.events] == ["torn_write"]
+    # The new header landed but only a prefix of the new payload did;
+    # the checksum catches the mixture.
+    with pytest.raises(CorruptPageError):
+        disk.read(pid)
+
+
+def test_disk_level_fault_sequence_is_seed_deterministic():
+    def run(seed):
+        disk = DiskManager(page_size=80)
+        for i in range(8):
+            disk.write(disk.allocate(), bytes([i]) * 10)
+        injector = FaultInjector(seed=seed)
+        injector.add("read_error", probability=0.4)
+        disk.fault_injector = injector
+        outcomes = []
+        for pid in list(range(8)) * 4:
+            try:
+                disk.read(pid)
+                outcomes.append("ok")
+            except TransientIOError:
+                outcomes.append("fault")
+        return outcomes, injector.events
+
+    outcomes_a, events_a = run(seed=42)
+    outcomes_b, events_b = run(seed=42)
+    assert outcomes_a == outcomes_b
+    assert events_a == events_b
+    assert "fault" in outcomes_a and "ok" in outcomes_a
+    _outcomes_c, events_c = run(seed=43)
+    assert events_c != events_a
+
+
+# -- retry policy ------------------------------------------------------------
+
+
+def test_retry_policy_backoff_is_exponential():
+    policy = RetryPolicy(max_attempts=4, backoff_base_ms=1.0,
+                         backoff_factor=2.0)
+    assert [policy.backoff_ms(a) for a in (1, 2, 3)] == [1.0, 2.0, 4.0]
+
+
+def test_retry_policy_rejects_zero_attempts():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+
+
+def test_retries_cure_transient_faults():
+    disk = RetryingDiskManager(page_size=80,
+                               retry_policy=RetryPolicy(max_attempts=4))
+    pid = disk.allocate()
+    disk.write(pid, b"survives")
+    disk.fault_injector = FaultInjector(seed=0)
+    disk.fault_injector.add("read_error", max_faults=2)
+    assert disk.read(pid)[:8] == b"survives"
+    assert disk.stats.read_retries == 2
+    # Every attempt is an accounted transfer.
+    assert disk.stats.page_reads == 3
+    assert disk.simulated_backoff_ms == pytest.approx(1.0 + 2.0)
+
+
+def test_retry_exhaustion_raises_typed_error():
+    disk = RetryingDiskManager(page_size=80,
+                               retry_policy=RetryPolicy(max_attempts=3))
+    pid = disk.allocate()
+    disk.fault_injector = FaultInjector(seed=0)
+    disk.fault_injector.add("read_error")   # every attempt fails
+    with pytest.raises(TransientIOError):
+        disk.read(pid)
+    assert disk.stats.read_retries == 2     # 3 attempts = 2 retries
+
+
+def test_corruption_is_never_retried():
+    disk = RetryingDiskManager(page_size=80,
+                               retry_policy=RetryPolicy(max_attempts=4))
+    pid = disk.allocate()
+    disk.write(pid, b"rotten")
+    disk._flip_bit(pid, byte_index=2, bit=4)
+    with pytest.raises(CorruptPageError):
+        disk.read(pid)
+    # Re-reading rotten bytes cannot help; exactly one attempt was made.
+    assert disk.stats.read_retries == 0
+    assert disk.stats.page_reads == 1
+
+
+# -- the failure matrix ------------------------------------------------------
+
+
+@pytest.mark.parametrize("kind", ["read_error", "bit_flip"])
+@pytest.mark.parametrize("method", sorted(METHODS))
+def test_matrix_exact_answer_or_typed_error(method, kind, smooth_dem):
+    """Under random faults every query is exactly right or typed-fails."""
+    clean = METHODS[method](smooth_dem)
+    queries = _workloads(smooth_dem)
+    expected = []
+    for q in queries:
+        clean.clear_caches()
+        expected.append(clean.query(q).candidate_count)
+
+    faulty = METHODS[method](smooth_dem)
+    injector = faulty.inject_faults(FaultInjector(seed=11))
+    injector.add(kind, probability=0.25)
+    outcomes = []
+    for q, want in zip(queries, expected):
+        faulty.clear_caches()
+        try:
+            got = faulty.query(q).candidate_count
+        except (TransientIOError, CorruptPageError):
+            outcomes.append("error")
+        else:
+            assert got == want, (
+                f"{method}/{kind}: survived the fault schedule but "
+                f"answered {got} instead of {want}")
+            outcomes.append("exact")
+    # The schedule actually fired; the seed makes this reproducible.
+    assert injector.events
+
+
+@pytest.mark.parametrize("method", sorted(METHODS))
+def test_matrix_retry_policy_recovers_exact_answers(method, smooth_dem):
+    """With retries enabled, transient faults cost I/O, not correctness."""
+    clean = METHODS[method](smooth_dem)
+    policy = RetryPolicy(max_attempts=5, backoff_base_ms=0.5)
+    faulty = METHODS[method](smooth_dem, retry_policy=policy)
+    injector = faulty.inject_faults(FaultInjector(seed=3))
+    injector.add("read_error", max_faults=3)
+    for q in _workloads(smooth_dem):
+        clean.clear_caches()
+        faulty.clear_caches()
+        assert (faulty.query(q).candidate_count
+                == clean.query(q).candidate_count)
+    assert faulty.stats.read_retries == 3
+    assert len(injector.events) == 3
+
+
+def test_matrix_fault_sequence_is_seed_deterministic(smooth_dem):
+    def run(seed):
+        index = IHilbertIndex(smooth_dem)
+        injector = index.inject_faults(FaultInjector(seed=seed))
+        injector.add("read_error", probability=0.5)
+        outcomes = []
+        for q in _workloads(smooth_dem):
+            index.clear_caches()
+            try:
+                outcomes.append(index.query(q).candidate_count)
+            except TransientIOError as exc:
+                outcomes.append(("transient", exc.disk, exc.page_id))
+        return outcomes, injector.events
+
+    outcomes_a, events_a = run(seed=21)
+    outcomes_b, events_b = run(seed=21)
+    assert outcomes_a == outcomes_b
+    assert events_a == events_b
+
+
+# -- graceful degradation (on_fault="skip") ----------------------------------
+
+
+def test_skip_mode_is_an_explicit_lower_bound(smooth_dem):
+    index = LinearScanIndex(smooth_dem)
+    vr = smooth_dem.value_range
+    q = ValueQuery(vr.lo, vr.hi)
+    total = index.query(q).candidate_count
+    assert total == len(index.store)
+
+    lost = len(index.store.read_page(2))
+    pid = index.store.page_ids[2]
+    index.data_disk._flip_bit(pid, byte_index=5, bit=1)
+    index.clear_caches()
+    result = index.query(q, on_fault="skip")
+    assert result.degraded
+    assert result.candidate_count == total - lost
+    assert [f.page_id for f in result.faults] == [pid]
+    assert result.faults[0].kind == "CorruptPageError"
+    assert result.faults[0].disk == "data"
+    # The default mode refuses to answer from the same damage.
+    index.clear_caches()
+    with pytest.raises(CorruptPageError):
+        index.query(q)
+
+
+def test_clean_query_is_never_marked_degraded(smooth_dem):
+    index = LinearScanIndex(smooth_dem)
+    result = index.query(_workloads(smooth_dem)[0], on_fault="skip")
+    assert not result.degraded
+    assert result.faults == []
+
+
+@pytest.mark.parametrize("method", ["I-All", "I-Hilbert"])
+def test_skip_mode_indexed_methods_report_the_page(method, smooth_dem):
+    index = METHODS[method](smooth_dem)
+    q = _workloads(smooth_dem)[0]
+    clean_count = index.query(q).candidate_count
+    pid = index.store.page_ids[1]
+    index.data_disk._flip_bit(pid, byte_index=0, bit=7)
+    index.clear_caches()
+    result = index.query(q, on_fault="skip")
+    assert result.degraded
+    assert result.candidate_count < clean_count
+    assert {f.page_id for f in result.faults} == {pid}
+    assert all(isinstance(f, PageFault) for f in result.faults)
+
+
+@pytest.mark.parametrize("method", ["I-All", "I-Hilbert"])
+def test_index_page_faults_always_raise(method, smooth_dem):
+    # A damaged tree cannot bound what it missed, so skip mode still
+    # raises for index-file pages.
+    index = METHODS[method](smooth_dem)
+    index.index_disk._flip_bit(index.tree._root_id, byte_index=0, bit=0)
+    index.clear_caches()
+    with pytest.raises(CorruptPageError):
+        index.query(_workloads(smooth_dem)[0], on_fault="skip")
+
+
+def test_query_rejects_unknown_fault_mode(smooth_dem):
+    index = LinearScanIndex(smooth_dem)
+    with pytest.raises(ValueError):
+        index.query(_workloads(smooth_dem)[0], on_fault="ignore")
+
+
+def test_fault_mode_is_reset_after_a_degraded_query(smooth_dem):
+    index = LinearScanIndex(smooth_dem)
+    pid = index.store.page_ids[0]
+    index.data_disk._flip_bit(pid, byte_index=1, bit=1)
+    q = _workloads(smooth_dem)[0]
+    index.query(q, on_fault="skip")
+    index.clear_caches()
+    # The skip mode must not leak into the next (default-mode) query.
+    with pytest.raises(CorruptPageError):
+        index.query(q)
+
+
+# -- batch engine ------------------------------------------------------------
+
+
+def test_batch_skip_attaches_faults_to_the_fetching_member(smooth_dem):
+    index = IHilbertIndex(smooth_dem)
+    vr = smooth_dem.value_range
+    pid = index.store.page_ids[1]
+    index.data_disk._flip_bit(pid, byte_index=3, bit=2)
+    index.clear_caches()
+    engine = BatchQueryEngine(index)
+    # Two overlapping queries merge into one group; the fault belongs
+    # to the member that performed the group's fetch.
+    queries = [ValueQuery(vr.lo, vr.hi),
+               ValueQuery(vr.lo, (vr.lo + vr.hi) / 2)]
+    batch = engine.run(queries, on_fault="skip")
+    assert batch.groups == 1
+    flagged = [r for r in batch.results if r.faults]
+    assert len(flagged) == 1
+    assert flagged[0].io.page_reads > 0
+    assert flagged[0].faults[0].page_id == pid
+
+
+def test_batch_default_mode_raises(smooth_dem):
+    index = IHilbertIndex(smooth_dem)
+    pid = index.store.page_ids[1]
+    index.data_disk._flip_bit(pid, byte_index=3, bit=2)
+    index.clear_caches()
+    engine = BatchQueryEngine(index)
+    vr = smooth_dem.value_range
+    with pytest.raises(CorruptPageError):
+        engine.run([ValueQuery(vr.lo, vr.hi)])
+
+
+def test_batch_rejects_unknown_fault_mode(smooth_dem):
+    engine = BatchQueryEngine(LinearScanIndex(smooth_dem))
+    with pytest.raises(ValueError):
+        engine.run(_workloads(smooth_dem), on_fault="ignore")
+
+
+# -- metrics -----------------------------------------------------------------
+
+
+def test_fault_counters_reach_the_registry(smooth_dem):
+    REGISTRY.enable()
+    REGISTRY.reset()
+    try:
+        index = LinearScanIndex(smooth_dem,
+                                retry_policy=RetryPolicy(max_attempts=4))
+        injector = index.inject_faults(FaultInjector(seed=0))
+        injector.add("read_error", max_faults=2)
+        pid = index.store.page_ids[0]
+        index.data_disk._flip_bit(pid, byte_index=0, bit=0)
+        result = index.query(_workloads(smooth_dem)[0], on_fault="skip")
+        assert result.degraded
+        retries = REGISTRY.get("repro_disk_read_retries_total")
+        assert retries.value(disk="data") == 2
+        injected = REGISTRY.get("repro_disk_injected_faults_total")
+        assert injected.value(disk="data", kind="read_error") == 2
+        corrupt = REGISTRY.get("repro_disk_corrupt_pages_total")
+        assert corrupt.value(disk="data") == 1
+        degraded = REGISTRY.get("repro_queries_degraded_total")
+        assert degraded.value(method="LinearScan") == 1
+    finally:
+        REGISTRY.disable()
+        REGISTRY.reset()
