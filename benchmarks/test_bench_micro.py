@@ -52,6 +52,17 @@ def test_rstar_search(benchmark):
     benchmark.group = "micro: R*-tree"
     hits = benchmark(tree.search, query)
     assert len(hits) == 14
+    # Pin the traversal's node-visit count: a narrow interval query on a
+    # bulk-loaded tree descends one root-to-leaf path plus the touched
+    # leaves, so every visited node is one page read.  A regression in
+    # the child-id expansion (``ids.tolist()``) that pushed wrong or
+    # duplicate ids would change this count.
+    tree.pool.clear()
+    tree.disk.stats.reset()
+    tree.search(query)
+    visited = tree.disk.stats.page_reads
+    assert tree.height == 2
+    assert visited == 2      # root + the single overlapping leaf
 
 
 def test_record_store_scan(benchmark):

@@ -18,6 +18,9 @@ python -m repro.bench scale > results/scale.txt 2>&1
 python -m repro.bench fig11 > results/fig11_cold.txt 2>&1
 python -m repro.bench fig11 --warm > results/fig11_warm.txt 2>&1
 python -m repro.bench batch > results/batch.txt 2>&1
+# Parallel engine throughput sweep; also writes BENCH_throughput.json
+# at the repo root.
+python -m repro.bench throughput > results/throughput.txt 2>&1
 # Observability artifacts: EXPLAIN ANALYZE report + query/batch span traces
 # over a small demo index (Perfetto-loadable Chrome trace JSON).
 python -c "

@@ -24,9 +24,9 @@ def main(argv: list[str] | None = None) -> int:
                              "(only fig11 defaults to a smaller size)")
     parser.add_argument("--small", action="store_true",
                         help="force laptop-scale data sizes for a quick run")
-    parser.add_argument("--queries", type=int, default=200,
-                        help="random queries per Qinterval "
-                             "(paper: 200)")
+    parser.add_argument("--queries", type=int, default=None,
+                        help="random queries per Qinterval (default: "
+                             "each experiment's own, paper: 200)")
     parser.add_argument("--seed", type=int, default=0,
                         help="workload/data RNG seed")
     parser.add_argument("--estimate", default="area",
@@ -36,6 +36,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="warm-cache regime: buffer pool retained "
                              "across queries, time is CPU-bound "
                              "(default: cold, simulated-disk-bound)")
+    parser.add_argument("--workers", default=None,
+                        help="throughput only: comma-separated worker "
+                             "counts to sweep (default: 1,2,4,8)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="throughput only: tiny field, workers 1 "
+                             "and 4, exit 1 if 4 workers are slower "
+                             "than 1 (CI regression gate)")
     args = parser.parse_args(argv)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" \
@@ -44,14 +51,21 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--full and --small are mutually exclusive")
     for name in names:
         runner = EXPERIMENTS[name]
-        options = dict(queries=args.queries, seed=args.seed,
-                       estimate=args.estimate)
+        options = dict(seed=args.seed, estimate=args.estimate)
+        if args.queries is not None:
+            options["queries"] = args.queries
         if args.warm:
             options["warm"] = True
         if args.full:
             options["full"] = True
         elif args.small:
             options["full"] = False
+        if name == "throughput":
+            if args.workers:
+                options["workers"] = tuple(
+                    int(w) for w in args.workers.split(","))
+            if args.smoke:
+                options["smoke"] = True
         result = runner(**options)
         print(_render(result))
         print()

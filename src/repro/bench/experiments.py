@@ -347,6 +347,171 @@ def batch_compare(full: bool = False, queries: int = 200, seed: int = 0,
     return "\n".join(lines)
 
 
+def throughput(full: bool = False, queries: int | None = None,
+               seed: int = 0, estimate: str = "area",
+               workers: tuple[int, ...] = (1, 2, 4, 8),
+               smoke: bool = False,
+               json_path: str | None = "BENCH_throughput.json",
+               **_ignored) -> str:
+    """Queries/sec vs worker count on the Fig. 8a workload.
+
+    Runs the Fig. 8a query mix against LinearScan, I-All and I-Hilbert
+    (mmap-backed storage) through the
+    :class:`~repro.core.parallel.ParallelQueryEngine` at each worker
+    count, with the :class:`~repro.core.parallel.DeviceModel` turning
+    accounted page reads into real waits — the serving regime where
+    thread-level overlap pays.  Before the sweep each method's workload
+    is executed once through the serial
+    :class:`~repro.core.batch.BatchQueryEngine`; every parallel run is
+    then asserted to return identical per-query answers and identical
+    page counts, so the speedups below are speedups on *provably
+    equivalent* executions.
+
+    ``smoke=True`` shrinks everything (64² field, 24 queries, workers 1
+    and 4, no JSON artifact) and exits non-zero if workers=4 fails to
+    beat workers=1 — the CI regression gate.
+    """
+    import json as json_mod
+    import time
+
+    from ..core import (
+        BatchQueryEngine,
+        DeviceModel,
+        ParallelQueryEngine,
+    )
+    from ..storage import IOStats
+    from ..synth import value_query_workload
+
+    if smoke:
+        size, per_q, worker_counts = 64, 4, (1, 4)
+        json_path = None
+    else:
+        size = 512 if full else 256
+        per_q = 20 if queries is None else queries
+        worker_counts = tuple(workers)
+    field = roseburg_like(cells_per_side=size)
+    workload = []
+    for q in QINTERVALS_FIG8:
+        workload += value_query_workload(field.value_range, q,
+                                         count=per_q, seed=seed)
+    device = DeviceModel()
+    factories = {
+        "LinearScan": lambda f: LinearScanIndex(f, disk_backend="mmap"),
+        "I-All": lambda f: IAllIndex(f, disk_backend="mmap"),
+        "I-Hilbert": lambda f: IHilbertIndex(f, disk_backend="mmap"),
+    }
+
+    lines = [
+        f"== throughput: parallel engine on Fig. 8a workload "
+        f"({size}x{size} terrain, mmap storage) ==",
+        f"queries: {len(workload)} ({per_q} per Qinterval setting "
+        f"{QINTERVALS_FIG8}), seed={seed}, estimate={estimate}",
+        f"device model: {device.random_read_ms} ms random / "
+        f"{device.sequential_read_ms} ms sequential per page "
+        f"(x{device.scale:g})",
+        "",
+        f"{'method':>12} {'workers':>8} {'wall s':>8} {'q/s':>8} "
+        f"{'speedup':>8} {'pages':>9} {'random':>8} {'seq':>9}",
+    ]
+    payload_methods = []
+    regressions = []
+    for name, factory in factories.items():
+        t0 = time.perf_counter()
+        index = factory(field)
+        build_seconds = time.perf_counter() - t0
+        # Serial reference: same groups, no device waits — the answer
+        # and page-count oracle for every parallel run.
+        index.clear_caches()
+        index.stats.reset()
+        serial = BatchQueryEngine(index, cache_pages=0, merge=False).run(
+            workload, estimate=estimate)
+        entry = {
+            "method": name,
+            "build_seconds": round(build_seconds, 3),
+            "data_pages": index.data_pages,
+            "index_pages": index.index_pages,
+            "serial_page_reads": serial.io.page_reads,
+            "points": [],
+        }
+        qps_by_workers = {}
+        for n_workers in worker_counts:
+            index.clear_caches()
+            index.stats.reset()
+            engine = ParallelQueryEngine(index, workers=n_workers,
+                                         cache_pages=0, merge=False,
+                                         device=device)
+            t0 = time.perf_counter()
+            par = engine.run(workload, estimate=estimate)
+            wall = time.perf_counter() - t0
+            for r_ser, r_par in zip(serial.results, par.results):
+                assert r_ser.candidate_count == r_par.candidate_count, name
+                assert r_ser.area == r_par.area, name
+                assert r_ser.io == r_par.io, name
+            assert serial.io == par.io, name
+            assert sum(par.worker_io, IOStats()) == par.io, name
+            qps = len(workload) / wall
+            qps_by_workers[n_workers] = qps
+            speedup = qps / qps_by_workers[worker_counts[0]]
+            lines.append(
+                f"{name:>12} {n_workers:>8} {wall:>8.2f} {qps:>8.1f} "
+                f"{speedup:>7.2f}x {par.io.page_reads:>9} "
+                f"{par.io.random_reads:>8} {par.io.sequential_reads:>9}")
+            entry["points"].append({
+                "workers": n_workers,
+                "wall_s": round(wall, 4),
+                "qps": round(qps, 2),
+                "speedup_vs_1": round(speedup, 3),
+                "page_reads": par.io.page_reads,
+                "random_reads": par.io.random_reads,
+                "sequential_reads": par.io.sequential_reads,
+            })
+        if (len(worker_counts) > 1
+                and qps_by_workers[worker_counts[-1]]
+                < qps_by_workers[worker_counts[0]]):
+            regressions.append(name)
+        payload_methods.append(entry)
+        del index
+    lines += [
+        "",
+        "(answers, per-query I/O and total page counts verified "
+        "identical to the serial batch engine at every worker count)",
+    ]
+    if json_path:
+        payload = {
+            "schema_version": 1,
+            "experiment": "throughput",
+            "field": {
+                "type": type(field).__name__,
+                "cells_per_side": size,
+                "cells": field.num_cells,
+            },
+            "workload": {
+                "queries": len(workload),
+                "per_qinterval": per_q,
+                "qintervals": QINTERVALS_FIG8,
+                "seed": seed,
+                "estimate": estimate,
+            },
+            "device_model": {
+                "random_read_ms": device.random_read_ms,
+                "sequential_read_ms": device.sequential_read_ms,
+                "scale": device.scale,
+            },
+            "smoke": smoke,
+            "workers": list(worker_counts),
+            "methods": payload_methods,
+        }
+        with open(json_path, "w") as fh:
+            json_mod.dump(payload, fh, indent=1)
+            fh.write("\n")
+        lines.append(f"(machine-readable results written to {json_path})")
+    if regressions:
+        raise SystemExit(
+            f"throughput regression: workers={worker_counts[-1]} slower "
+            f"than workers={worker_counts[0]} for {', '.join(regressions)}")
+    return "\n".join(lines)
+
+
 def _render(result) -> str:
     if isinstance(result, str):
         return result
@@ -369,4 +534,5 @@ EXPERIMENTS: dict[str, Callable] = {
     "ablation-pagesize": ablation_pagesize,
     "scale": scale_sweep,
     "methods-extra": methods_extra,
+    "throughput": throughput,
 }

@@ -17,15 +17,14 @@ from dataclasses import dataclass, field as dc_field
 from ..core.base import EstimateMode, ValueIndex
 from ..field.base import Field
 from ..obs.trace import Tracer
+# Simulated disk service times per 4 KiB page now live next to IOStats
+# (one authoritative definition shared with the parallel engine's
+# DeviceModel); re-exported here for backwards compatibility.
+from ..storage.stats import RANDOM_READ_MS, SEQUENTIAL_READ_MS
 from ..synth.queries import value_query_workload
 
-#: Simulated disk service times per 4 KiB page, calibrated to the paper's
-#: era (c. 2001 commodity disk: ~8.5 ms average seek + rotational delay
-#: for a random page, ~0.2 ms streaming transfer for a sequential page).
-#: With these constants the reproduced absolute times land in the same
-#: range as the paper's figures (LinearScan ≈ 0.4 s on the 512² terrain).
-RANDOM_READ_MS = 8.5
-SEQUENTIAL_READ_MS = 0.2
+__all__ = ["ExperimentResult", "MethodSeries", "SweepPoint",
+           "RANDOM_READ_MS", "SEQUENTIAL_READ_MS", "run_experiment"]
 
 MethodFactory = Callable[[Field], ValueIndex]
 

@@ -16,8 +16,9 @@ A small database-style front end over the library:
 * ``point``   — conventional (Q1) query on a ``.npy`` height grid.
 
 ``query`` and ``batch`` accept ``--trace FILE`` (span tree as Chrome
-trace-event JSON, or JSONL with a ``.jsonl`` suffix) and
-``--metrics-out FILE`` (metrics-registry dump).
+trace-event JSON, or JSONL with a ``.jsonl`` suffix),
+``--metrics-out FILE`` (metrics-registry dump), and ``--workers N``
+(execute through the parallel query engine on N threads).
 
 Examples::
 
@@ -43,6 +44,7 @@ import numpy as np
 from .core import (
     BatchQueryEngine,
     IHilbertIndex,
+    ParallelQueryEngine,
     PointIndex,
     ValueQuery,
     load_index,
@@ -120,7 +122,12 @@ def cmd_query(args) -> int:
     tracer = _setup_observability(args, index)
     query = ValueQuery(args.lo, args.hi)
     mode = "regions" if args.regions else "area"
-    result = index.query(query, estimate=mode)
+    if args.workers > 1:
+        engine = ParallelQueryEngine(index, workers=args.workers,
+                                     cache_pages=0)
+        result = engine.run([query], estimate=mode).results[0]
+    else:
+        result = index.query(query, estimate=mode)
     print(f"candidates: {result.candidate_count}")
     print(f"answer area: {result.area:.4f}")
     print(f"I/O: {result.io.page_reads} pages "
@@ -169,8 +176,13 @@ def cmd_batch(args) -> int:
     tracer = _setup_observability(args, index)
     queries = _load_queries(Path(args.queries))
     try:
-        engine = BatchQueryEngine(index, cache_pages=args.cache_pages,
-                                  merge=not args.no_merge)
+        if args.workers > 1:
+            engine = ParallelQueryEngine(index, workers=args.workers,
+                                         cache_pages=args.cache_pages,
+                                         merge=not args.no_merge)
+        else:
+            engine = BatchQueryEngine(index, cache_pages=args.cache_pages,
+                                      merge=not args.no_merge)
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
     batch = engine.run(queries, estimate=args.estimate)
@@ -188,6 +200,11 @@ def cmd_batch(args) -> int:
           f"{batch.io.sequential_reads} sequential), "
           f"{batch.pool.hits} pool hits / {batch.pool.misses} misses / "
           f"{batch.pool.evictions} evictions")
+    if args.workers > 1:
+        for w, io in enumerate(batch.worker_io):
+            print(f"worker[{w}]: {io.page_reads} pages "
+                  f"({io.random_reads} random, "
+                  f"{io.sequential_reads} sequential)")
     if args.compare:
         index.clear_caches()
         seq = run_sequential(index, queries, estimate=args.estimate,
@@ -306,6 +323,9 @@ def main(argv: list[str] | None = None) -> int:
                        help="materialize exact answer polygons")
     query.add_argument("--max-regions", type=int, default=10,
                        help="polygons to print with --regions")
+    query.add_argument("--workers", type=int, default=1,
+                       help="run through the parallel engine with N "
+                            "worker threads (default: 1, serial)")
     _add_obs_flags(query)
     query.set_defaults(func=cmd_query)
 
@@ -327,6 +347,9 @@ def main(argv: list[str] | None = None) -> int:
                             "report the page-read reduction")
     batch.add_argument("--quiet", action="store_true",
                        help="suppress per-query lines, print totals only")
+    batch.add_argument("--workers", type=int, default=1,
+                       help="execute merged groups on N worker threads "
+                            "(default: 1, the serial batch engine)")
     _add_obs_flags(batch)
     batch.set_defaults(func=cmd_batch)
 

@@ -28,6 +28,7 @@ from .multiband import (
     union_query,
 )
 from .multifield import MultiFieldResult, conjunctive_query
+from .parallel import DeviceModel, ParallelQueryEngine, ParallelResult
 from .persist import PersistError, load_index, save_index
 from .planner import CostConstants, Plan, PlannedIndex
 from .statistics import FieldStatistics
@@ -65,6 +66,9 @@ __all__ = [
     "normalize_bands",
     "union_query",
     "CostConstants",
+    "DeviceModel",
+    "ParallelQueryEngine",
+    "ParallelResult",
     "PersistError",
     "Plan",
     "PlannedIndex",

@@ -21,12 +21,20 @@ from ..field.extraction import extract_regions, total_area
 from ..obs.metrics import REGISTRY
 from ..obs.trace import NULL_TRACER
 from ..storage import (CorruptPageError, DiskManager, FaultInjector, IOStats,
-                       PAGE_SIZE, PageFault, RecordStore,
-                       RetryingDiskManager, RetryPolicy, TransientIOError)
+                       MmapDiskManager, PAGE_SIZE, PageFault, RecordStore,
+                       RetryingDiskManager, RetryingMmapDiskManager,
+                       RetryPolicy, TransientIOError)
 from .query import QueryResult, ValueQuery
 
 EstimateMode = Literal["none", "area", "regions"]
 FaultMode = Literal["raise", "skip"]
+DiskBackend = Literal["list", "mmap"]
+
+#: backend name -> (plain disk class, retrying disk class)
+_DISK_BACKENDS = {
+    "list": (DiskManager, RetryingDiskManager),
+    "mmap": (MmapDiskManager, RetryingMmapDiskManager),
+}
 
 _QUERIES = REGISTRY.counter(
     "repro_queries_total",
@@ -64,6 +72,13 @@ class ValueIndex(abc.ABC):
         policy, so transient read faults are retried transparently.
         ``None`` (default) creates plain disks: the first transient
         fault propagates.
+    disk_backend:
+        Page-file implementation: ``"list"`` (default) keeps one bytes
+        object per page; ``"mmap"`` backs every disk with an anonymous
+        memory map and serves zero-copy :class:`memoryview` payloads
+        with lazily batch-verified checksums (see
+        :class:`~repro.storage.mmapdisk.MmapDiskManager`).  Both honour
+        ``retry_policy`` and behave identically under fault injection.
     """
 
     #: Human-readable method name, as used in the paper's plots.
@@ -72,7 +87,8 @@ class ValueIndex(abc.ABC):
     def __init__(self, field: Field, cache_pages: int = 0,
                  stats: IOStats | None = None,
                  page_size: int = PAGE_SIZE,
-                 retry_policy: RetryPolicy | None = None) -> None:
+                 retry_policy: RetryPolicy | None = None,
+                 disk_backend: DiskBackend = "list") -> None:
         self.field = field
         self.field_type = type(field)
         self.stats = stats if stats is not None else IOStats()
@@ -81,6 +97,11 @@ class ValueIndex(abc.ABC):
         self.tracer = NULL_TRACER
         self.page_size = page_size
         self.retry_policy = retry_policy
+        if disk_backend not in _DISK_BACKENDS:
+            raise ValueError(
+                f"unknown disk_backend {disk_backend!r}; expected one of "
+                f"{sorted(_DISK_BACKENDS)}")
+        self.disk_backend = disk_backend
         self._fault_mode: FaultMode = "raise"
         self._query_faults: list[PageFault] = []
         self.data_disk = self._make_disk("data")
@@ -88,13 +109,15 @@ class ValueIndex(abc.ABC):
                                  cache_pages=cache_pages)
 
     def _make_disk(self, name: str) -> DiskManager:
-        """Create a page file honouring this index's retry policy."""
+        """Create a page file honouring this index's backend and retry
+        policy."""
+        plain_cls, retrying_cls = _DISK_BACKENDS[self.disk_backend]
         if self.retry_policy is not None:
-            return RetryingDiskManager(stats=self.stats, name=name,
-                                       page_size=self.page_size,
-                                       retry_policy=self.retry_policy)
-        return DiskManager(stats=self.stats, name=name,
-                           page_size=self.page_size)
+            return retrying_cls(stats=self.stats, name=name,
+                                page_size=self.page_size,
+                                retry_policy=self.retry_policy)
+        return plain_cls(stats=self.stats, name=name,
+                         page_size=self.page_size)
 
     def inject_faults(self, injector: FaultInjector) -> FaultInjector:
         """Attach a fault injector to every disk this index owns.

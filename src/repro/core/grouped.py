@@ -14,7 +14,7 @@ from ..field.base import Field
 from ..geometry import Rect
 from ..rstar import RStarTree
 from ..storage import IOStats, PAGE_SIZE, RetryPolicy
-from .base import ValueIndex
+from .base import DiskBackend, ValueIndex
 from .subfield import Subfield
 
 
@@ -39,9 +39,11 @@ class GroupedIntervalIndex(ValueIndex):
                  groups: list[tuple[int, int]], cache_pages: int = 0,
                  stats: IOStats | None = None,
                  page_size: int = PAGE_SIZE,
-                 retry_policy: RetryPolicy | None = None) -> None:
+                 retry_policy: RetryPolicy | None = None,
+                 disk_backend: DiskBackend = "list") -> None:
         super().__init__(field, cache_pages=cache_pages, stats=stats,
-                         page_size=page_size, retry_policy=retry_policy)
+                         page_size=page_size, retry_policy=retry_policy,
+                         disk_backend=disk_backend)
         order = np.asarray(order, dtype=np.int64)
         records = field.cell_records()
         if len(order) != len(records):

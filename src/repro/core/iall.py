@@ -15,7 +15,7 @@ from ..field.base import Field
 from ..geometry import Rect
 from ..rstar import RStarTree
 from ..storage import IOStats, PAGE_SIZE, RetryPolicy
-from .base import ValueIndex
+from .base import DiskBackend, ValueIndex
 
 
 class IAllIndex(ValueIndex):
@@ -38,9 +38,11 @@ class IAllIndex(ValueIndex):
     def __init__(self, field: Field, bulk: bool = True,
                  cache_pages: int = 0, stats: IOStats | None = None,
                  page_size: int = PAGE_SIZE,
-                 retry_policy: RetryPolicy | None = None) -> None:
+                 retry_policy: RetryPolicy | None = None,
+                 disk_backend: DiskBackend = "list") -> None:
         super().__init__(field, cache_pages=cache_pages, stats=stats,
-                         page_size=page_size, retry_policy=retry_policy)
+                         page_size=page_size, retry_policy=retry_policy,
+                         disk_backend=disk_backend)
         records = field.cell_records()
         self.store.extend(records)
         self.index_disk = self._make_disk("iall-tree")

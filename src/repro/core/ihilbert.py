@@ -22,6 +22,7 @@ from ..curves import (
 )
 from ..field.base import Field
 from ..storage import IOStats, PAGE_SIZE, RetryPolicy
+from .base import DiskBackend
 from .cost import CostBasedGrouping, GroupingPolicy, group_cells
 from .grouped import GroupedIntervalIndex
 
@@ -91,7 +92,8 @@ class IHilbertIndex(GroupedIntervalIndex):
                  grouping: GroupingPolicy | None = None,
                  cache_pages: int = 0, stats: IOStats | None = None,
                  page_size: int = PAGE_SIZE,
-                 retry_policy: RetryPolicy | None = None) -> None:
+                 retry_policy: RetryPolicy | None = None,
+                 disk_backend: DiskBackend = "list") -> None:
         if isinstance(curve, str):
             dim = field.cell_centroids().shape[1]
             curve = make_curve(curve, default_curve_order(field, dim), dim)
@@ -112,7 +114,8 @@ class IHilbertIndex(GroupedIntervalIndex):
                              self.grouping)
         super().__init__(field, order, groups, cache_pages=cache_pages,
                          stats=stats, page_size=page_size,
-                         retry_policy=retry_policy)
+                         retry_policy=retry_policy,
+                         disk_backend=disk_backend)
 
     def describe(self) -> dict:
         info = super().describe()

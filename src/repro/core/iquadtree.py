@@ -17,6 +17,7 @@ import numpy as np
 
 from ..field.base import Field
 from ..storage import IOStats, PAGE_SIZE, RetryPolicy
+from .base import DiskBackend
 from .grouped import GroupedIntervalIndex
 
 #: Hard stop for quadtree recursion depth.
@@ -44,7 +45,8 @@ class IntervalQuadtreeIndex(GroupedIntervalIndex):
                  unit: float = 1.0, cache_pages: int = 0,
                  stats: IOStats | None = None,
                  page_size: int = PAGE_SIZE,
-                 retry_policy: RetryPolicy | None = None) -> None:
+                 retry_policy: RetryPolicy | None = None,
+                 disk_backend: DiskBackend = "list") -> None:
         records = field.cell_records()
         vmins = records["vmin"].astype(np.float64)
         vmaxs = records["vmax"].astype(np.float64)
@@ -90,7 +92,8 @@ class IntervalQuadtreeIndex(GroupedIntervalIndex):
         divide(np.arange(field.num_cells), xmin, ymin, side, 0)
         super().__init__(field, np.asarray(order), groups,
                          cache_pages=cache_pages, stats=stats,
-                         page_size=page_size, retry_policy=retry_policy)
+                         page_size=page_size, retry_policy=retry_policy,
+                         disk_backend=disk_backend)
 
     def describe(self) -> dict:
         info = super().describe()

@@ -12,7 +12,7 @@ import numpy as np
 
 from ..field.base import Field
 from ..storage import IOStats, PAGE_SIZE, RetryPolicy
-from .base import ValueIndex
+from .base import DiskBackend, ValueIndex
 
 
 class LinearScanIndex(ValueIndex):
@@ -23,9 +23,11 @@ class LinearScanIndex(ValueIndex):
     def __init__(self, field: Field, cache_pages: int = 0,
                  stats: IOStats | None = None,
                  page_size: int = PAGE_SIZE,
-                 retry_policy: RetryPolicy | None = None) -> None:
+                 retry_policy: RetryPolicy | None = None,
+                 disk_backend: DiskBackend = "list") -> None:
         super().__init__(field, cache_pages=cache_pages, stats=stats,
-                         page_size=page_size, retry_policy=retry_policy)
+                         page_size=page_size, retry_policy=retry_policy,
+                         disk_backend=disk_backend)
         self.store.extend(field.cell_records())
 
     def _candidates(self, lo: float, hi: float) -> np.ndarray:

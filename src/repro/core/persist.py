@@ -297,7 +297,7 @@ def load_index(directory: str | Path, cache_pages: int = 0,
     tree.pool = BufferPool(index.index_disk, capacity=cache_pages)
     tree._nodes = {}
     for node_id in tree_meta["node_ids"]:
-        data = index.index_disk._pages[node_id]
+        data = index.index_disk.page_payload(node_id)
         tree._nodes[node_id] = Node.from_bytes(node_id, data, tree.dim)
     tree._root_id = tree_meta["root_id"]
     tree._height = tree_meta["height"]

@@ -18,6 +18,8 @@ human-readable exposition.
 
 from __future__ import annotations
 
+import threading
+
 
 def _key(labels: dict) -> tuple:
     """Canonical, hashable form of a label set."""
@@ -25,7 +27,14 @@ def _key(labels: dict) -> tuple:
 
 
 class Metric:
-    """Common shape of one named family of labeled series."""
+    """Common shape of one named family of labeled series.
+
+    Every mutation and every snapshot-style reader takes the metric's
+    own lock: the read-modify-write in :meth:`Counter.inc` (and the
+    row mutation in :meth:`Histogram.observe`) would otherwise lose
+    updates under concurrent publishers such as the parallel query
+    engine's workers.
+    """
 
     kind = "metric"
 
@@ -33,6 +42,7 @@ class Metric:
         self.name = name
         self.help = help
         self._series: dict[tuple, float] = {}
+        self._lock = threading.Lock()
 
     def series(self) -> dict[tuple, float]:
         """Label-tuple → value mapping (live view)."""
@@ -40,21 +50,24 @@ class Metric:
 
     def value(self, **labels) -> float:
         """Current value of one labeled series (0.0 when never touched)."""
-        return self._series.get(_key(labels), 0.0)
+        with self._lock:
+            return self._series.get(_key(labels), 0.0)
 
     def reset(self) -> None:
         """Drop every series."""
-        self._series.clear()
+        with self._lock:
+            self._series.clear()
 
     def collect(self) -> dict:
         """JSON-safe dump of the family."""
-        return {
-            "name": self.name,
-            "kind": self.kind,
-            "help": self.help,
-            "series": [{"labels": dict(key), "value": value}
-                       for key, value in sorted(self._series.items())],
-        }
+        with self._lock:
+            return {
+                "name": self.name,
+                "kind": self.kind,
+                "help": self.help,
+                "series": [{"labels": dict(key), "value": value}
+                           for key, value in sorted(self._series.items())],
+            }
 
 
 class Counter(Metric):
@@ -67,7 +80,8 @@ class Counter(Metric):
         if amount < 0:
             raise ValueError(f"counters only go up, got {amount}")
         key = _key(labels)
-        self._series[key] = self._series.get(key, 0.0) + amount
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
 
 
 class Gauge(Metric):
@@ -77,12 +91,14 @@ class Gauge(Metric):
 
     def set(self, value: float, **labels) -> None:
         """Set the series selected by ``labels`` to ``value``."""
-        self._series[_key(labels)] = float(value)
+        with self._lock:
+            self._series[_key(labels)] = float(value)
 
     def inc(self, amount: float = 1.0, **labels) -> None:
         """Add ``amount`` (may be negative) to the labeled series."""
         key = _key(labels)
-        self._series[key] = self._series.get(key, 0.0) + amount
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
 
 
 #: Default histogram buckets, sized for page counts and candidate
@@ -108,49 +124,54 @@ class Histogram(Metric):
     def observe(self, value: float, **labels) -> None:
         """Record one observation into the labeled series."""
         key = _key(labels)
-        row = self._series.get(key)
-        if row is None:
-            row = [0] * (len(self.buckets) + 1) + [0.0, 0]
-            self._series[key] = row
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                row[i] += 1
-                break
-        else:
-            row[len(self.buckets)] += 1
-        row[-2] += value
-        row[-1] += 1
+        with self._lock:
+            row = self._series.get(key)
+            if row is None:
+                row = [0] * (len(self.buckets) + 1) + [0.0, 0]
+                self._series[key] = row
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    row[i] += 1
+                    break
+            else:
+                row[len(self.buckets)] += 1
+            row[-2] += value
+            row[-1] += 1
 
     def value(self, **labels) -> float:
         """Observation count of one labeled series."""
-        row = self._series.get(_key(labels))
-        return float(row[-1]) if row is not None else 0.0
+        with self._lock:
+            row = self._series.get(_key(labels))
+            return float(row[-1]) if row is not None else 0.0
 
     def sum(self, **labels) -> float:
         """Sum of observed values of one labeled series."""
-        row = self._series.get(_key(labels))
-        return float(row[-2]) if row is not None else 0.0
+        with self._lock:
+            row = self._series.get(_key(labels))
+            return float(row[-2]) if row is not None else 0.0
 
     def mean(self, **labels) -> float:
         """Mean observed value (0.0 when empty)."""
-        row = self._series.get(_key(labels))
-        if row is None or not row[-1]:
-            return 0.0
-        return row[-2] / row[-1]
+        with self._lock:
+            row = self._series.get(_key(labels))
+            if row is None or not row[-1]:
+                return 0.0
+            return row[-2] / row[-1]
 
     def collect(self) -> dict:
-        return {
-            "name": self.name,
-            "kind": self.kind,
-            "help": self.help,
-            "buckets": list(self.buckets),
-            "series": [
-                {"labels": dict(key),
-                 "bucket_counts": list(row[:len(self.buckets) + 1]),
-                 "sum": row[-2], "count": row[-1]}
-                for key, row in sorted(self._series.items())
-            ],
-        }
+        with self._lock:
+            return {
+                "name": self.name,
+                "kind": self.kind,
+                "help": self.help,
+                "buckets": list(self.buckets),
+                "series": [
+                    {"labels": dict(key),
+                     "bucket_counts": list(row[:len(self.buckets) + 1]),
+                     "sum": row[-2], "count": row[-1]}
+                    for key, row in sorted(self._series.items())
+                ],
+            }
 
 
 class MetricsRegistry:

@@ -6,8 +6,9 @@ from .disk import (CHECKSUM_NAME, DiskManager, PAGE_HEADER_SIZE, PAGE_SIZE,
                    page_checksum)
 from .faults import (CorruptPageError, FaultEvent, FaultInjector, FaultSpec,
                      PageError, PageFault, SimulatedCrash, TransientIOError)
+from .mmapdisk import MmapDiskManager, RetryingMmapDiskManager
 from .records import RecordStore
-from .retry import RetryingDiskManager, RetryPolicy
+from .retry import RetryingDiskManager, RetryingReadMixin, RetryPolicy
 from .scrub import ScrubReport, file_sha256, repair_index, scrub_index
 from .snapshot import (SAVE_DISK_CRASH_POINTS, SnapshotError, load_disk,
                        save_disk, verify_snapshot)
@@ -23,6 +24,7 @@ __all__ = [
     "FaultInjector",
     "FaultSpec",
     "IOStats",
+    "MmapDiskManager",
     "PAGE_HEADER_SIZE",
     "PAGE_SIZE",
     "PageError",
@@ -31,6 +33,8 @@ __all__ = [
     "RecordStore",
     "RetryPolicy",
     "RetryingDiskManager",
+    "RetryingMmapDiskManager",
+    "RetryingReadMixin",
     "SAVE_DISK_CRASH_POINTS",
     "ScrubReport",
     "SimulatedCrash",

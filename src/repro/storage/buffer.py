@@ -13,6 +13,7 @@ duration of a batch and hand it back unchanged afterwards.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -81,32 +82,42 @@ class BufferPool:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # One coarse lock covers the frame map, the pool counters, and
+        # the backing disk's IOStats accounting on the miss path, so
+        # concurrent readers (the parallel query engine's workers, or
+        # any future caller) can never lose counter increments or
+        # corrupt the LRU order.  Uncontended cost is one C-level
+        # acquire/release per access.
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._frames)
 
     def read(self, page_id: int) -> bytes:
         """Return page bytes, from cache when resident."""
-        if page_id in self._frames:
-            self._frames.move_to_end(page_id)
-            self.hits += 1
-            self.disk.stats.cache_hits += 1
+        with self._lock:
+            if page_id in self._frames:
+                self._frames.move_to_end(page_id)
+                self.hits += 1
+                self.disk.stats.cache_hits += 1
+                if REGISTRY.enabled:
+                    _POOL_READS.inc(1, disk=self.disk.name, event="hit")
+                return self._frames[page_id]
+            self.misses += 1
             if REGISTRY.enabled:
-                _POOL_READS.inc(1, disk=self.disk.name, event="hit")
-            return self._frames[page_id]
-        self.misses += 1
-        if REGISTRY.enabled:
-            _POOL_READS.inc(1, disk=self.disk.name, event="miss")
-        data = self.disk.read(page_id)
-        self._admit(page_id, data)
-        return data
+                _POOL_READS.inc(1, disk=self.disk.name, event="miss")
+            data = self.disk.read(page_id)
+            self._admit(page_id, data)
+            return data
 
     def write(self, page_id: int, data: bytes) -> None:
         """Write through to disk and refresh the cached copy."""
-        self.disk.write(page_id, data)
-        if page_id in self._frames or self.capacity:
-            # Re-read nothing: the disk normalizes padding, so mirror that.
-            self._admit(page_id, self.disk._pages[page_id])
+        with self._lock:
+            self.disk.write(page_id, data)
+            if page_id in self._frames or self.capacity:
+                # Re-read nothing: the disk normalizes padding, so
+                # mirror its stored payload.
+                self._admit(page_id, self.disk.page_payload(page_id))
 
     def resize(self, capacity: int) -> None:
         """Change the pool capacity in place.
@@ -116,19 +127,22 @@ class BufferPool:
         """
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
-        self.capacity = capacity
-        self._shrink()
+        with self._lock:
+            self.capacity = capacity
+            self._shrink()
 
     def counters(self) -> PoolCounters:
         """Snapshot of the cumulative hit/miss/eviction counters."""
-        return PoolCounters(hits=self.hits, misses=self.misses,
-                            evictions=self.evictions)
+        with self._lock:
+            return PoolCounters(hits=self.hits, misses=self.misses,
+                                evictions=self.evictions)
 
     def reset_counters(self) -> None:
         """Zero the hit/miss/eviction counters (frames stay resident)."""
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     def invalidate(self, page_id: int) -> None:
         """Drop one cached frame, if resident.
@@ -138,7 +152,8 @@ class BufferPool:
         holds.  Not an eviction — invalidation is correctness, not
         capacity pressure.
         """
-        self._frames.pop(page_id, None)
+        with self._lock:
+            self._frames.pop(page_id, None)
 
     def clear(self) -> None:
         """Drop every cached frame (simulates a cold cache).
@@ -146,7 +161,8 @@ class BufferPool:
         A deliberate cold reset is not cache pressure, so it does not
         count toward :attr:`evictions`.
         """
-        self._frames.clear()
+        with self._lock:
+            self._frames.clear()
 
     def _admit(self, page_id: int, data: bytes) -> None:
         if not self.capacity:

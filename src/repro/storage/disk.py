@@ -110,15 +110,19 @@ class DiskManager:
         #: Optional :class:`~repro.storage.faults.FaultInjector`; when
         #: None (default) reads and writes never fail on purpose.
         self.fault_injector = None
-        self._pages: list[bytes] = []    # payloads, usable_page_size each
-        self._crcs: list[int] = []       # stored payload checksums
-        self._lens: list[int] = []       # payload length as written
         self._last_read: int | None = None
         self._zero_payload = bytes(self.usable_page_size)
         self._zero_crc = page_checksum(self._zero_payload)
+        self._init_storage()
+
+    def _init_storage(self) -> None:
+        """Create the backing store (overridable by other backends)."""
+        self._pages: list[bytes] = []    # payloads, usable_page_size each
+        self._crcs: list[int] = []       # stored payload checksums
+        self._lens: list[int] = []       # payload length as written
 
     def __len__(self) -> int:
-        return len(self._pages)
+        return self.num_pages
 
     @property
     def num_pages(self) -> int:
@@ -132,26 +136,28 @@ class DiskManager:
 
     def allocate(self) -> int:
         """Allocate a zeroed page and return its id."""
-        self._pages.append(self._zero_payload)
-        self._crcs.append(self._zero_crc)
-        self._lens.append(0)
+        self._append_pages(1)
         self.stats.pages_allocated += 1
         if REGISTRY.enabled:
             _ALLOCS.inc(1, disk=self.name)
-        return len(self._pages) - 1
+        return self.num_pages - 1
 
     def allocate_many(self, count: int) -> int:
         """Allocate ``count`` contiguous pages; return the first id."""
         if count < 0:
             raise PageError(f"cannot allocate {count} pages")
-        first = len(self._pages)
-        self._pages.extend(self._zero_payload for _ in range(count))
-        self._crcs.extend(self._zero_crc for _ in range(count))
-        self._lens.extend(0 for _ in range(count))
+        first = self.num_pages
+        self._append_pages(count)
         self.stats.pages_allocated += count
         if REGISTRY.enabled and count:
             _ALLOCS.inc(count, disk=self.name)
         return first
+
+    def _append_pages(self, count: int) -> None:
+        """Grow the backing store by ``count`` zeroed pages."""
+        self._pages.extend(self._zero_payload for _ in range(count))
+        self._crcs.extend(self._zero_crc for _ in range(count))
+        self._lens.extend(0 for _ in range(count))
 
     def read(self, page_id: int) -> bytes:
         """Return the page payload, charging one accounted read.
@@ -181,13 +187,22 @@ class DiskManager:
         self._last_read = page_id
         if self.fault_injector is not None:
             self._injected_read(page_id)
+        return self._verified_payload(page_id)
+
+    def _verified_payload(self, page_id: int) -> bytes:
+        """Checksum-verified payload of an already-accounted read."""
         data = self._pages[page_id]
         if page_checksum(data) != self._crcs[page_id]:
-            self.stats.checksum_failures += 1
-            if REGISTRY.enabled:
-                _CORRUPT.inc(1, disk=self.name)
-            raise CorruptPageError(self.name, page_id)
+            self._checksum_failed(page_id)
         return data
+
+    def _checksum_failed(self, page_id: int,
+                         detail: str = "checksum mismatch") -> None:
+        """Account one verification failure and raise the typed error."""
+        self.stats.checksum_failures += 1
+        if REGISTRY.enabled:
+            _CORRUPT.inc(1, disk=self.name)
+        raise CorruptPageError(self.name, page_id, detail)
 
     def write(self, page_id: int, data: bytes) -> None:
         """Frame and store the payload, charging one accounted write.
@@ -218,12 +233,28 @@ class DiskManager:
                 last = self.fault_injector.events[-1]
                 if last.kind == "torn_write" and last.page_id == page_id:
                     _INJECTED.inc(1, disk=self.name, kind="torn_write")
-        self._pages[page_id] = data
-        self._crcs[page_id] = crc
-        self._lens[page_id] = length
+        self._store_payload(page_id, data, crc, length)
         self.stats.page_writes += 1
         if REGISTRY.enabled:
             _WRITES.inc(1, disk=self.name)
+
+    def _store_payload(self, page_id: int, data: bytes, crc: int,
+                       length: int) -> None:
+        """Persist one framed payload into the backing store."""
+        self._pages[page_id] = data
+        self._crcs[page_id] = crc
+        self._lens[page_id] = length
+
+    def page_payload(self, page_id: int) -> bytes:
+        """Stored payload of one page, unaccounted and unverified.
+
+        Internal plumbing for the buffer pool's write-through admission,
+        the fault injector's torn-write path and snapshot loading —
+        places that need the raw stored bytes without charging I/O or
+        re-running verification.
+        """
+        self._check(page_id)
+        return self._pages[page_id]
 
     def reset_head(self) -> None:
         """Forget the last-read position (e.g. between queries).
@@ -285,10 +316,10 @@ class DiskManager:
         self._pages[page_id] = bytes(page)
 
     def _check(self, page_id: int) -> None:
-        if not 0 <= page_id < len(self._pages):
+        if not 0 <= page_id < self.num_pages:
             raise PageError(
                 f"{self.name}: page {page_id} out of range "
-                f"(file has {len(self._pages)} pages)")
+                f"(file has {self.num_pages} pages)")
 
 
 def parse_frame(disk: str, page_id: int, frame: bytes,

@@ -231,7 +231,7 @@ class FaultInjector:
             if not self._fires(i, spec, "write", op_index, page_id):
                 continue
             self._record(op_index, spec.kind, disk.name, page_id)
-            old = disk._pages[page_id]
+            old = bytes(disk.page_payload(page_id))
             tear = self._rng.randrange(1, len(payload))
             torn = payload[:tear] + old[tear:]
             if torn != payload:

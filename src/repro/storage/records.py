@@ -139,12 +139,18 @@ class RecordStore:
             return np.empty(0, dtype=self.dtype)
         self._check_rid(rid_start)
         self._check_rid(rid_end)
-        first_page = rid_start // self.records_per_page
-        last_page = rid_end // self.records_per_page
-        parts = [self.read_page(p) for p in range(first_page, last_page + 1)]
-        block = np.concatenate(parts) if len(parts) > 1 else parts[0]
-        offset = first_page * self.records_per_page
-        return block[rid_start - offset:rid_end - offset + 1]
+        rpp = self.records_per_page
+        first_page = rid_start // rpp
+        last_page = rid_end // rpp
+        parts = []
+        for p in range(first_page, last_page + 1):
+            page = self.read_page(p)
+            # Trim the partial first/last pages *before* concatenating,
+            # so a mid-page range never copies records it will discard.
+            lo = rid_start - p * rpp if p == first_page else 0
+            hi = rid_end - p * rpp + 1 if p == last_page else len(page)
+            parts.append(page[lo:hi])
+        return np.concatenate(parts) if len(parts) > 1 else parts[0]
 
     def _records_on_page(self, page_no: int) -> int:
         if page_no == len(self._page_ids) - 1:

@@ -52,10 +52,12 @@ class RetryPolicy:
         return self.backoff_base_ms * self.backoff_factor ** (attempt - 1)
 
 
-class RetryingDiskManager(DiskManager):
-    """A :class:`DiskManager` whose reads survive transient faults.
+class RetryingReadMixin:
+    """Retry loop shared by every retrying disk backend.
 
-    Only :class:`~repro.storage.faults.TransientIOError` is retried;
+    Mix in front of a :class:`DiskManager` subclass (method resolution
+    order matters: the mixin's :meth:`read` wraps the backend's).  Only
+    :class:`~repro.storage.faults.TransientIOError` is retried;
     permanent faults (:class:`~repro.storage.faults.CorruptPageError`,
     out-of-range ids) propagate unchanged on the first attempt.  When
     every attempt fails the last ``TransientIOError`` propagates, so
@@ -87,3 +89,7 @@ class RetryingDiskManager(DiskManager):
                 if REGISTRY.enabled:
                     _RETRIES.inc(1, disk=self.name)
                 attempt += 1
+
+
+class RetryingDiskManager(RetryingReadMixin, DiskManager):
+    """A :class:`DiskManager` whose reads survive transient faults."""

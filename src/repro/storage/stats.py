@@ -12,6 +12,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, fields, replace
 
+#: Simulated disk service times per 4 KiB page, calibrated to the paper's
+#: era (c. 2001 commodity disk: ~8.5 ms average seek + rotational delay
+#: for a random page, ~0.2 ms streaming transfer for a sequential page).
+#: The bench harness and the parallel engine's device model both derive
+#: their timing from these constants, so "simulated disk time" means the
+#: same thing everywhere.
+RANDOM_READ_MS = 8.5
+SEQUENTIAL_READ_MS = 0.2
+
 
 @dataclass
 class IOStats:
@@ -51,6 +60,18 @@ class IOStats:
         return type(self)(**{
             f.name: getattr(self, f.name) - getattr(earlier, f.name)
             for f in fields(self)})
+
+    def __add__(self, other: "IOStats") -> "IOStats":
+        """Field-wise sum (e.g. merging per-worker counters)."""
+        return type(self)(**{
+            f.name: getattr(self, f.name) + getattr(other, f.name)
+            for f in fields(self)})
+
+    def __iadd__(self, other: "IOStats") -> "IOStats":
+        for f in fields(self):
+            setattr(self, f.name,
+                    getattr(self, f.name) + getattr(other, f.name))
+        return self
 
     def restore(self, earlier: "IOStats") -> None:
         """Copy every counter of ``earlier`` into this instance.

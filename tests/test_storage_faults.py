@@ -6,6 +6,11 @@ exact answer or raises a typed error (`TransientIOError`,
 ``on_fault="skip"`` it may instead return an explicitly *degraded*
 answer that reports every skipped page.  All fault schedules are driven
 by one seeded RNG, so every test here is exactly reproducible.
+
+Everything is parametrized over both storage backends: the per-page
+``list`` backend and the zero-copy ``mmap`` backend with lazy batch
+checksum verification must be indistinguishable under every fault kind
+— same typed errors, same counters, same degraded answers.
 """
 
 import pytest
@@ -23,8 +28,10 @@ from repro.storage import (
     DiskManager,
     FaultInjector,
     FaultSpec,
+    MmapDiskManager,
     PageFault,
     RetryingDiskManager,
+    RetryingMmapDiskManager,
     RetryPolicy,
     TransientIOError,
 )
@@ -34,6 +41,11 @@ METHODS = {
     "I-All": IAllIndex,
     "I-Hilbert": IHilbertIndex,
 }
+
+BACKENDS = ["list", "mmap"]
+DISK_CLASSES = {"list": DiskManager, "mmap": MmapDiskManager}
+RETRYING_CLASSES = {"list": RetryingDiskManager,
+                    "mmap": RetryingMmapDiskManager}
 
 
 def _workloads(field) -> list[ValueQuery]:
@@ -60,15 +72,16 @@ def test_fault_spec_rejects_bad_probability():
         FaultSpec(kind="read_error", probability=1.5)
 
 
-def _one_page_disk(payload=b"stored payload"):
-    disk = DiskManager(page_size=80)
+def _one_page_disk(payload=b"stored payload", backend="list"):
+    disk = DISK_CLASSES[backend](page_size=80)
     pid = disk.allocate()
     disk.write(pid, payload)
     return disk, pid
 
 
-def test_schedule_fires_at_exact_operations():
-    disk, pid = _one_page_disk()
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_schedule_fires_at_exact_operations(backend):
+    disk, pid = _one_page_disk(backend=backend)
     injector = FaultInjector(seed=0)
     injector.add("read_error", schedule={1})
     disk.fault_injector = injector
@@ -81,8 +94,9 @@ def test_schedule_fires_at_exact_operations():
     assert injector.events[0].page_id == pid
 
 
-def test_page_targeting_limits_blast_radius():
-    disk = DiskManager(page_size=80)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_page_targeting_limits_blast_radius(backend):
+    disk = DISK_CLASSES[backend](page_size=80)
     a, b = disk.allocate(), disk.allocate()
     disk.write(a, b"page a")
     disk.write(b, b"page b")
@@ -94,8 +108,9 @@ def test_page_targeting_limits_blast_radius():
         disk.read(b)
 
 
-def test_max_faults_bounds_the_injection():
-    disk, pid = _one_page_disk()
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_max_faults_bounds_the_injection(backend):
+    disk, pid = _one_page_disk(backend=backend)
     disk.fault_injector = FaultInjector(seed=0)
     disk.fault_injector.add("read_error", max_faults=2)
     for _ in range(2):
@@ -106,8 +121,9 @@ def test_max_faults_bounds_the_injection():
     assert len(disk.fault_injector.events) == 2
 
 
-def test_latency_is_accounted_not_fatal():
-    disk, pid = _one_page_disk()
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_latency_is_accounted_not_fatal(backend):
+    disk, pid = _one_page_disk(backend=backend)
     injector = FaultInjector(seed=0)
     injector.add("latency", latency_ms=2.5, schedule={0, 1})
     disk.fault_injector = injector
@@ -118,8 +134,9 @@ def test_latency_is_accounted_not_fatal():
     assert [e.kind for e in injector.events] == ["latency", "latency"]
 
 
-def test_bit_flip_damage_is_permanent():
-    disk, pid = _one_page_disk()
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_bit_flip_damage_is_permanent(backend):
+    disk, pid = _one_page_disk(backend=backend)
     disk.fault_injector = FaultInjector(seed=5)
     disk.fault_injector.add("bit_flip", max_faults=1)
     with pytest.raises(CorruptPageError):
@@ -132,8 +149,10 @@ def test_bit_flip_damage_is_permanent():
     assert disk.stats.checksum_failures == 2
 
 
-def test_torn_write_detected_on_next_read():
-    disk, pid = _one_page_disk(b"first version of this page")
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_torn_write_detected_on_next_read(backend):
+    disk, pid = _one_page_disk(b"first version of this page",
+                               backend=backend)
     injector = FaultInjector(seed=3)
     injector.add("torn_write")
     disk.fault_injector = injector
@@ -146,9 +165,10 @@ def test_torn_write_detected_on_next_read():
         disk.read(pid)
 
 
-def test_disk_level_fault_sequence_is_seed_deterministic():
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_disk_level_fault_sequence_is_seed_deterministic(backend):
     def run(seed):
-        disk = DiskManager(page_size=80)
+        disk = DISK_CLASSES[backend](page_size=80)
         for i in range(8):
             disk.write(disk.allocate(), bytes([i]) * 10)
         injector = FaultInjector(seed=seed)
@@ -186,9 +206,10 @@ def test_retry_policy_rejects_zero_attempts():
         RetryPolicy(max_attempts=0)
 
 
-def test_retries_cure_transient_faults():
-    disk = RetryingDiskManager(page_size=80,
-                               retry_policy=RetryPolicy(max_attempts=4))
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_retries_cure_transient_faults(backend):
+    disk = RETRYING_CLASSES[backend](
+        page_size=80, retry_policy=RetryPolicy(max_attempts=4))
     pid = disk.allocate()
     disk.write(pid, b"survives")
     disk.fault_injector = FaultInjector(seed=0)
@@ -200,9 +221,10 @@ def test_retries_cure_transient_faults():
     assert disk.simulated_backoff_ms == pytest.approx(1.0 + 2.0)
 
 
-def test_retry_exhaustion_raises_typed_error():
-    disk = RetryingDiskManager(page_size=80,
-                               retry_policy=RetryPolicy(max_attempts=3))
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_retry_exhaustion_raises_typed_error(backend):
+    disk = RETRYING_CLASSES[backend](
+        page_size=80, retry_policy=RetryPolicy(max_attempts=3))
     pid = disk.allocate()
     disk.fault_injector = FaultInjector(seed=0)
     disk.fault_injector.add("read_error")   # every attempt fails
@@ -211,9 +233,10 @@ def test_retry_exhaustion_raises_typed_error():
     assert disk.stats.read_retries == 2     # 3 attempts = 2 retries
 
 
-def test_corruption_is_never_retried():
-    disk = RetryingDiskManager(page_size=80,
-                               retry_policy=RetryPolicy(max_attempts=4))
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_corruption_is_never_retried(backend):
+    disk = RETRYING_CLASSES[backend](
+        page_size=80, retry_policy=RetryPolicy(max_attempts=4))
     pid = disk.allocate()
     disk.write(pid, b"rotten")
     disk._flip_bit(pid, byte_index=2, bit=4)
@@ -227,18 +250,20 @@ def test_corruption_is_never_retried():
 # -- the failure matrix ------------------------------------------------------
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("kind", ["read_error", "bit_flip"])
 @pytest.mark.parametrize("method", sorted(METHODS))
-def test_matrix_exact_answer_or_typed_error(method, kind, smooth_dem):
+def test_matrix_exact_answer_or_typed_error(method, kind, backend,
+                                            smooth_dem):
     """Under random faults every query is exactly right or typed-fails."""
-    clean = METHODS[method](smooth_dem)
+    clean = METHODS[method](smooth_dem, disk_backend=backend)
     queries = _workloads(smooth_dem)
     expected = []
     for q in queries:
         clean.clear_caches()
         expected.append(clean.query(q).candidate_count)
 
-    faulty = METHODS[method](smooth_dem)
+    faulty = METHODS[method](smooth_dem, disk_backend=backend)
     injector = faulty.inject_faults(FaultInjector(seed=11))
     injector.add(kind, probability=0.25)
     outcomes = []
@@ -257,12 +282,15 @@ def test_matrix_exact_answer_or_typed_error(method, kind, smooth_dem):
     assert injector.events
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("method", sorted(METHODS))
-def test_matrix_retry_policy_recovers_exact_answers(method, smooth_dem):
+def test_matrix_retry_policy_recovers_exact_answers(method, backend,
+                                                    smooth_dem):
     """With retries enabled, transient faults cost I/O, not correctness."""
     clean = METHODS[method](smooth_dem)
     policy = RetryPolicy(max_attempts=5, backoff_base_ms=0.5)
-    faulty = METHODS[method](smooth_dem, retry_policy=policy)
+    faulty = METHODS[method](smooth_dem, retry_policy=policy,
+                             disk_backend=backend)
     injector = faulty.inject_faults(FaultInjector(seed=3))
     injector.add("read_error", max_faults=3)
     for q in _workloads(smooth_dem):
@@ -274,9 +302,10 @@ def test_matrix_retry_policy_recovers_exact_answers(method, smooth_dem):
     assert len(injector.events) == 3
 
 
-def test_matrix_fault_sequence_is_seed_deterministic(smooth_dem):
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_matrix_fault_sequence_is_seed_deterministic(backend, smooth_dem):
     def run(seed):
-        index = IHilbertIndex(smooth_dem)
+        index = IHilbertIndex(smooth_dem, disk_backend=backend)
         injector = index.inject_faults(FaultInjector(seed=seed))
         injector.add("read_error", probability=0.5)
         outcomes = []
@@ -294,11 +323,31 @@ def test_matrix_fault_sequence_is_seed_deterministic(smooth_dem):
     assert events_a == events_b
 
 
+def test_backends_agree_on_fault_outcomes(smooth_dem):
+    """Same seed, same schedule: both backends fail identically."""
+    def run(backend):
+        index = IHilbertIndex(smooth_dem, disk_backend=backend)
+        injector = index.inject_faults(FaultInjector(seed=21))
+        injector.add("read_error", probability=0.5)
+        outcomes = []
+        for q in _workloads(smooth_dem):
+            index.clear_caches()
+            try:
+                outcomes.append(index.query(q).candidate_count)
+            except TransientIOError as exc:
+                outcomes.append(("transient", exc.disk, exc.page_id))
+        return outcomes, [(e.kind, e.page_id, e.op_index)
+                          for e in injector.events]
+
+    assert run("list") == run("mmap")
+
+
 # -- graceful degradation (on_fault="skip") ----------------------------------
 
 
-def test_skip_mode_is_an_explicit_lower_bound(smooth_dem):
-    index = LinearScanIndex(smooth_dem)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_skip_mode_is_an_explicit_lower_bound(backend, smooth_dem):
+    index = LinearScanIndex(smooth_dem, disk_backend=backend)
     vr = smooth_dem.value_range
     q = ValueQuery(vr.lo, vr.hi)
     total = index.query(q).candidate_count
@@ -327,9 +376,11 @@ def test_clean_query_is_never_marked_degraded(smooth_dem):
     assert result.faults == []
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("method", ["I-All", "I-Hilbert"])
-def test_skip_mode_indexed_methods_report_the_page(method, smooth_dem):
-    index = METHODS[method](smooth_dem)
+def test_skip_mode_indexed_methods_report_the_page(method, backend,
+                                                   smooth_dem):
+    index = METHODS[method](smooth_dem, disk_backend=backend)
     q = _workloads(smooth_dem)[0]
     clean_count = index.query(q).candidate_count
     pid = index.store.page_ids[1]
@@ -342,11 +393,12 @@ def test_skip_mode_indexed_methods_report_the_page(method, smooth_dem):
     assert all(isinstance(f, PageFault) for f in result.faults)
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("method", ["I-All", "I-Hilbert"])
-def test_index_page_faults_always_raise(method, smooth_dem):
+def test_index_page_faults_always_raise(method, backend, smooth_dem):
     # A damaged tree cannot bound what it missed, so skip mode still
     # raises for index-file pages.
-    index = METHODS[method](smooth_dem)
+    index = METHODS[method](smooth_dem, disk_backend=backend)
     index.index_disk._flip_bit(index.tree._root_id, byte_index=0, bit=0)
     index.clear_caches()
     with pytest.raises(CorruptPageError):
@@ -359,8 +411,9 @@ def test_query_rejects_unknown_fault_mode(smooth_dem):
         index.query(_workloads(smooth_dem)[0], on_fault="ignore")
 
 
-def test_fault_mode_is_reset_after_a_degraded_query(smooth_dem):
-    index = LinearScanIndex(smooth_dem)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_fault_mode_is_reset_after_a_degraded_query(backend, smooth_dem):
+    index = LinearScanIndex(smooth_dem, disk_backend=backend)
     pid = index.store.page_ids[0]
     index.data_disk._flip_bit(pid, byte_index=1, bit=1)
     q = _workloads(smooth_dem)[0]
@@ -374,8 +427,10 @@ def test_fault_mode_is_reset_after_a_degraded_query(smooth_dem):
 # -- batch engine ------------------------------------------------------------
 
 
-def test_batch_skip_attaches_faults_to_the_fetching_member(smooth_dem):
-    index = IHilbertIndex(smooth_dem)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_batch_skip_attaches_faults_to_the_fetching_member(backend,
+                                                           smooth_dem):
+    index = IHilbertIndex(smooth_dem, disk_backend=backend)
     vr = smooth_dem.value_range
     pid = index.store.page_ids[1]
     index.data_disk._flip_bit(pid, byte_index=3, bit=2)
@@ -393,8 +448,9 @@ def test_batch_skip_attaches_faults_to_the_fetching_member(smooth_dem):
     assert flagged[0].faults[0].page_id == pid
 
 
-def test_batch_default_mode_raises(smooth_dem):
-    index = IHilbertIndex(smooth_dem)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_batch_default_mode_raises(backend, smooth_dem):
+    index = IHilbertIndex(smooth_dem, disk_backend=backend)
     pid = index.store.page_ids[1]
     index.data_disk._flip_bit(pid, byte_index=3, bit=2)
     index.clear_caches()
@@ -413,12 +469,14 @@ def test_batch_rejects_unknown_fault_mode(smooth_dem):
 # -- metrics -----------------------------------------------------------------
 
 
-def test_fault_counters_reach_the_registry(smooth_dem):
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_fault_counters_reach_the_registry(backend, smooth_dem):
     REGISTRY.enable()
     REGISTRY.reset()
     try:
         index = LinearScanIndex(smooth_dem,
-                                retry_policy=RetryPolicy(max_attempts=4))
+                                retry_policy=RetryPolicy(max_attempts=4),
+                                disk_backend=backend)
         injector = index.inject_faults(FaultInjector(seed=0))
         injector.add("read_error", max_faults=2)
         pid = index.store.page_ids[0]

@@ -146,6 +146,32 @@ def test_read_range_out_of_bounds():
         store.read_range(0, 1)
 
 
+def test_read_range_mid_page_boundaries():
+    # 4 records per page: rids 5..14 start mid-page 1 and end mid-page 3.
+    # The first and last page slices must be trimmed before the
+    # concatenate, so no neighbouring record leaks in at either edge.
+    store = make_store(page_size=80)
+    store.extend(np.array([(k, float(k)) for k in range(20)], dtype=DTYPE))
+    block = store.read_range(5, 14)
+    assert list(block["key"]) == list(range(5, 15))
+    assert len(block) == 10
+    # Whole-page interior slices are untouched by the trimming.
+    assert list(store.read_range(4, 11)["key"]) == list(range(4, 12))
+    # Start and end inside the same page.
+    assert list(store.read_range(9, 10)["key"]) == [9, 10]
+    # End lands on the partially filled tail page.
+    assert list(store.read_range(14, 19)["key"]) == list(range(14, 20))
+
+
+def test_read_range_reads_each_page_once():
+    store = make_store(page_size=80)
+    store.extend(np.array([(k, 0.0) for k in range(20)], dtype=DTYPE))
+    store.disk.stats.reset()
+    store.disk.reset_head()
+    store.read_range(5, 14)   # pages 1..3
+    assert store.disk.stats.page_reads == 3
+
+
 def test_page_ids_are_contiguous_for_burst_build():
     store = make_store(page_size=80)
     store.extend(np.array([(k, 0.0) for k in range(20)], dtype=DTYPE))

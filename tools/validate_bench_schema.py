@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Validate BENCH_throughput.json against its committed schema.
+
+Standard library only — this runs in the CI lint job, which installs no
+scientific stack.  The checks are deliberately structural *and*
+semantic: a file that parses but reports a parallel slowdown, mismatched
+page counts across worker sweeps, or a missing method is as much a
+regression as malformed JSON.
+
+Usage: python tools/validate_bench_schema.py [BENCH_throughput.json]
+Exit status: 0 valid, 1 invalid, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+SCHEMA_VERSION = 1
+REQUIRED_METHODS = {"LinearScan", "I-All", "I-Hilbert"}
+
+_errors: list[str] = []
+
+
+def err(msg: str) -> None:
+    _errors.append(msg)
+
+
+def expect(obj: dict, field: str, types, ctx: str):
+    if field not in obj:
+        err(f"{ctx}: missing field {field!r}")
+        return None
+    value = obj[field]
+    if not isinstance(value, types):
+        names = (types.__name__ if isinstance(types, type)
+                 else "/".join(t.__name__ for t in types))
+        err(f"{ctx}: field {field!r} must be {names}, "
+            f"got {type(value).__name__}")
+        return None
+    return value
+
+
+def check_point(point: dict, ctx: str) -> None:
+    workers = expect(point, "workers", int, ctx)
+    if workers is not None and workers < 1:
+        err(f"{ctx}: workers must be >= 1, got {workers}")
+    for field in ("wall_s", "qps", "speedup_vs_1"):
+        value = expect(point, field, (int, float), ctx)
+        if value is not None and value <= 0:
+            err(f"{ctx}: {field} must be positive, got {value}")
+    for field in ("page_reads", "random_reads", "sequential_reads"):
+        value = expect(point, field, int, ctx)
+        if value is not None and value < 0:
+            err(f"{ctx}: {field} must be >= 0, got {value}")
+
+
+def check_method(entry: dict, workers: list) -> None:
+    name = entry.get("method", "<unnamed>")
+    ctx = f"methods[{name}]"
+    expect(entry, "method", str, ctx)
+    expect(entry, "build_seconds", (int, float), ctx)
+    expect(entry, "data_pages", int, ctx)
+    expect(entry, "index_pages", int, ctx)
+    expect(entry, "serial_page_reads", int, ctx)
+    points = expect(entry, "points", list, ctx)
+    if points is None:
+        return
+    before = len(_errors)
+    for i, point in enumerate(points):
+        if not isinstance(point, dict):
+            err(f"{ctx}.points[{i}]: must be an object")
+            return
+        check_point(point, f"{ctx}.points[{i}]")
+    if len(_errors) > before or "serial_page_reads" not in entry:
+        return    # structure is broken; skip the semantic checks
+    if [p["workers"] for p in points] != workers:
+        err(f"{ctx}: points sweep {[p['workers'] for p in points]} "
+            f"!= declared workers {workers}")
+    # Parallelism must be invisible in the I/O accounting: every sweep
+    # point of a method reads exactly the serial page count.
+    serial = entry["serial_page_reads"]
+    for point in points:
+        if point["page_reads"] != serial:
+            err(f"{ctx}: workers={point['workers']} read "
+                f"{point['page_reads']} pages, serial read {serial}")
+        if point["random_reads"] + point["sequential_reads"] \
+                != point["page_reads"]:
+            err(f"{ctx}: workers={point['workers']}: random + sequential "
+                f"!= page_reads")
+    # The point of the engine: more workers must not lose throughput.
+    first, last = points[0], points[-1]
+    if last["qps"] < first["qps"]:
+        err(f"{ctx}: qps regressed from {first['qps']} "
+            f"(workers={first['workers']}) to {last['qps']} "
+            f"(workers={last['workers']})")
+
+
+def validate(doc) -> None:
+    if not isinstance(doc, dict):
+        err("top level: must be a JSON object")
+        return
+    version = expect(doc, "schema_version", int, "top level")
+    if version is not None and version != SCHEMA_VERSION:
+        err(f"top level: schema_version {version} != {SCHEMA_VERSION}")
+    experiment = expect(doc, "experiment", str, "top level")
+    if experiment is not None and experiment != "throughput":
+        err(f"top level: experiment {experiment!r} != 'throughput'")
+    expect(doc, "smoke", bool, "top level")
+
+    field = expect(doc, "field", dict, "top level")
+    if field is not None:
+        expect(field, "type", str, "field")
+        side = expect(field, "cells_per_side", int, "field")
+        cells = expect(field, "cells", int, "field")
+        if side is not None and cells is not None and side * side != cells:
+            err(f"field: cells_per_side² = {side * side} != cells {cells}")
+
+    workload = expect(doc, "workload", dict, "top level")
+    if workload is not None:
+        queries = expect(workload, "queries", int, "workload")
+        per_q = expect(workload, "per_qinterval", int, "workload")
+        qintervals = expect(workload, "qintervals", list, "workload")
+        expect(workload, "seed", int, "workload")
+        expect(workload, "estimate", str, "workload")
+        if None not in (queries, per_q, qintervals) \
+                and queries != per_q * len(qintervals):
+            err(f"workload: queries {queries} != per_qinterval {per_q} "
+                f"x {len(qintervals)} qintervals")
+
+    device = expect(doc, "device_model", dict, "top level")
+    if device is not None:
+        for key in ("random_read_ms", "sequential_read_ms", "scale"):
+            expect(device, key, (int, float), "device_model")
+
+    workers = expect(doc, "workers", list, "top level")
+    if workers is not None:
+        if not workers or not all(isinstance(w, int) and w >= 1
+                                  for w in workers):
+            err(f"top level: workers must be a non-empty list of "
+                f"ints >= 1, got {workers}")
+        elif workers != sorted(workers):
+            err(f"top level: workers must be ascending, got {workers}")
+
+    methods = expect(doc, "methods", list, "top level")
+    if methods is None or workers is None:
+        return
+    names = set()
+    for entry in methods:
+        if not isinstance(entry, dict):
+            err("methods: every entry must be an object")
+            return
+        names.add(entry.get("method"))
+        check_method(entry, workers)
+    missing = REQUIRED_METHODS - names
+    if missing:
+        err(f"methods: missing {sorted(missing)}")
+
+
+def main(argv: list[str]) -> int:
+    path = argv[1] if len(argv) > 1 else "BENCH_throughput.json"
+    if len(argv) > 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: {path} is not valid JSON: {exc}", file=sys.stderr)
+        return 1
+    validate(doc)
+    if _errors:
+        for message in _errors:
+            print(f"error: {path}: {message}", file=sys.stderr)
+        return 1
+    print(f"{path}: valid (schema v{SCHEMA_VERSION}, "
+          f"{len(doc['methods'])} methods, workers {doc['workers']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
