@@ -21,6 +21,9 @@ python -m repro.bench batch > results/batch.txt 2>&1
 # Parallel engine throughput sweep; also writes BENCH_throughput.json
 # at the repo root.
 python -m repro.bench throughput > results/throughput.txt 2>&1
+# Live-update degradation/compaction/WAL-recovery experiment; also
+# writes BENCH_update.json at the repo root.
+python -m repro.bench update > results/update.txt 2>&1
 # Observability artifacts: EXPLAIN ANALYZE report + query/batch span traces
 # over a small demo index (Perfetto-loadable Chrome trace JSON).
 python -c "

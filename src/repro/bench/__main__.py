@@ -40,9 +40,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="throughput only: comma-separated worker "
                              "counts to sweep (default: 1,2,4,8)")
     parser.add_argument("--smoke", action="store_true",
-                        help="throughput only: tiny field, workers 1 "
-                             "and 4, exit 1 if 4 workers are slower "
-                             "than 1 (CI regression gate)")
+                        help="throughput/update only: tiny field and "
+                             "workload, exit 1 on regression "
+                             "(CI gate)")
+    parser.add_argument("--updates", type=int, default=None,
+                        help="update only: length of the random vertex "
+                             "update stream (default: 1000)")
     args = parser.parse_args(argv)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" \
@@ -66,6 +69,11 @@ def main(argv: list[str] | None = None) -> int:
                     int(w) for w in args.workers.split(","))
             if args.smoke:
                 options["smoke"] = True
+        if name == "update":
+            if args.smoke:
+                options["smoke"] = True
+            if args.updates is not None:
+                options["updates"] = args.updates
         result = runner(**options)
         print(_render(result))
         print()

@@ -512,6 +512,262 @@ def throughput(full: bool = False, queries: int | None = None,
     return "\n".join(lines)
 
 
+def update_stream(full: bool = False, queries: int | None = None,
+                  seed: int = 0, estimate: str = "area",
+                  updates: int | None = None, smoke: bool = False,
+                  json_path: str | None = "BENCH_update.json",
+                  **_ignored) -> str:
+    """Query cost vs. update fraction, compaction recovery, and WAL
+    crash recovery on the Fig. 8a terrain.
+
+    A stream of random vertex updates (values drawn uniformly over the
+    field's initial value range, destroying the spatial value locality
+    the clustering exploits) is applied in cumulative fractions to
+    LinearScan, I-All and I-Hilbert.  After each fraction the Fig. 8a
+    query mix is replayed cold, giving the degradation curve; I-Hilbert
+    additionally reports the §3.1.2 cost-drift staleness metric and its
+    cumulative maintenance I/O.  After the full stream:
+
+    * every method's answers are verified identical to a from-scratch
+      rebuild over the updated field (the acceptance bar for in-place
+      maintenance);
+    * I-Hilbert is compacted and must recover to within 10% of a
+      fresh-built index's page reads;
+    * a separate small index is crashed between WAL append and page
+      write, reloaded, and verified against an uncrashed twin.
+
+    Violating any of the three gates exits non-zero, so ``--smoke`` is
+    a CI regression gate alongside ``throughput --smoke``.
+    """
+    import json as json_mod
+    import tempfile
+    from pathlib import Path
+
+    from ..core import ValueQuery, load_index, run_sequential, save_index
+    from ..field.dem import DEMField
+    from ..storage import SimulatedCrash
+    from ..synth import value_query_workload
+
+    if smoke:
+        size, per_q, n_updates = 64, 3, 200
+        fractions = (0.5, 1.0)
+        json_path = None
+    else:
+        size = 512 if full else 256
+        per_q = 10 if queries is None else queries
+        n_updates = 1000 if updates is None else updates
+        fractions = (0.1, 0.25, 0.5, 1.0)
+
+    base = roseburg_like(cells_per_side=size)
+    vrange = base.value_range
+    lo0, hi0 = vrange.lo, vrange.hi
+    workload = []
+    for q in QINTERVALS_FIG8:
+        workload += value_query_workload(vrange, q,
+                                         count=per_q, seed=seed)
+
+    rng = np.random.default_rng(seed + 1)
+    up_ids = rng.integers(0, base.num_vertices, n_updates)
+    up_vals = rng.uniform(lo0, hi0, n_updates).astype(np.float32)
+
+    # Each method maintains its own field copy so the three update
+    # paths are exercised fully independently.
+    factories = {
+        "LinearScan": LinearScanIndex,
+        "I-All": IAllIndex,
+        "I-Hilbert": IHilbertIndex,
+    }
+    indexes = {name: cls(DEMField(base.heights.copy()))
+               for name, cls in factories.items()}
+
+    def cold_pages(index):
+        index.clear_caches()
+        return run_sequential(index, workload, estimate=estimate,
+                              cold=True).io.page_reads
+
+    baseline = {name: cold_pages(ix) for name, ix in indexes.items()}
+
+    lines = [
+        f"== update: live vertex updates on {size}x{size} terrain DEM ==",
+        f"queries: {len(workload)} ({per_q} per Qinterval setting "
+        f"{QINTERVALS_FIG8}), seed={seed}, estimate={estimate}",
+        f"updates: {n_updates} random vertices, values uniform over "
+        f"[{lo0:.0f}, {hi0:.0f}] (locality-destroying), seed={seed + 1}",
+        "",
+        f"{'updates':>8} {'frac':>6} "
+        + " ".join(f"{name:>12}" for name in factories)
+        + f" {'IH drift':>9} {'IH maint r/w':>13}",
+        f"{'0':>8} {'0%':>6} "
+        + " ".join(f"{baseline[name]:>12}" for name in factories)
+        + f" {'—':>9} {'—':>13}",
+    ]
+    steps = []
+    applied = 0
+    for frac in fractions:
+        upto = int(round(frac * n_updates))
+        if upto > applied:
+            for index in indexes.values():
+                index.apply_updates(up_ids[applied:upto],
+                                    up_vals[applied:upto])
+            applied = upto
+        pages = {name: cold_pages(ix) for name, ix in indexes.items()}
+        ih = indexes["I-Hilbert"]
+        st = ih.staleness()
+        lines.append(
+            f"{applied:>8} {frac:>6.0%} "
+            + " ".join(f"{pages[name]:>12}" for name in factories)
+            + f" {st['max_drift']:>+8.1%} "
+            f"{ih.maint_stats.page_reads:>6}/"
+            f"{ih.maint_stats.page_writes:<6}")
+        steps.append({
+            "updates_applied": applied,
+            "fraction": frac,
+            "page_reads": pages,
+            "ratio_vs_baseline": {
+                name: round(pages[name] / max(baseline[name], 1), 4)
+                for name in factories},
+            "ih_staleness": {k: (round(v, 6) if isinstance(v, float)
+                                 else v) for k, v in st.items()},
+            "ih_maint_page_reads": ih.maint_stats.page_reads,
+            "ih_maint_page_writes": ih.maint_stats.page_writes,
+        })
+
+    # Gate 1: every method must now answer exactly like a fresh build
+    # over the updated field.
+    final_field = indexes["I-Hilbert"].field
+    for index in indexes.values():
+        assert np.array_equal(index.field.heights, final_field.heights)
+    equivalent = True
+    for name, cls in factories.items():
+        fresh = cls(DEMField(final_field.heights.copy()))
+        updated = indexes[name]
+        updated.clear_caches()
+        fresh.clear_caches()
+        for query in workload:
+            a = updated.query(query, estimate=estimate)
+            b = fresh.query(query, estimate=estimate)
+            if (a.candidate_count != b.candidate_count
+                    or not np.isclose(a.area, b.area,
+                                      rtol=1e-9, atol=1e-9)):
+                equivalent = False
+        del fresh
+    lines += [
+        "",
+        "equivalence vs from-scratch rebuild after all updates: "
+        + ("PASS (answers identical for all methods)" if equivalent
+           else "FAIL"),
+    ]
+
+    # Gate 2: compaction must bring I-Hilbert back within 10% of a
+    # fresh-built index.
+    ih = indexes["I-Hilbert"]
+    degraded_pages = cold_pages(ih)
+    report = ih.compact()
+    compacted_pages = cold_pages(ih)
+    fresh_ih = IHilbertIndex(DEMField(final_field.heights.copy()))
+    fresh_pages = cold_pages(fresh_ih)
+    recovery_ratio = compacted_pages / max(fresh_pages, 1)
+    del fresh_ih
+    lines += [
+        f"compaction: {report['reclustered_cells']} cells re-clustered "
+        f"in {report['stale_runs']} run(s), "
+        f"{report['subfields_before']} -> {report['subfields_after']} "
+        f"subfields",
+        f"I-Hilbert page reads: degraded {degraded_pages}, "
+        f"compacted {compacted_pages}, fresh build {fresh_pages} "
+        f"(recovery ratio {recovery_ratio:.3f}, gate <= 1.10)",
+    ]
+
+    # Gate 3: an update acknowledged by the WAL but crashed before any
+    # page write must survive reload.
+    wal_recovered = True
+    crash_field = roseburg_like(cells_per_side=32)
+    crash_ids = rng.integers(0, crash_field.num_vertices, 50)
+    crash_vals = rng.uniform(lo0, hi0, 50).astype(np.float32)
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = Path(tmp) / "idx"
+        victim = IHilbertIndex(DEMField(crash_field.heights.copy()))
+        save_index(victim, directory)
+        victim.attach_wal(directory / "wal.log")
+        try:
+            victim.apply_updates(crash_ids, crash_vals,
+                                 crash_point="wal-appended")
+        except SimulatedCrash:
+            pass
+        recovered = load_index(directory)
+        twin = IHilbertIndex(DEMField(crash_field.heights.copy()))
+        twin.apply_updates(crash_ids, crash_vals)
+        for q in QINTERVALS_FIG8:
+            span = (hi0 - lo0) * q
+            query = ValueQuery(lo0 + span, lo0 + 2 * span + 1.0)
+            a = recovered.query(query, estimate=estimate)
+            b = twin.query(query, estimate=estimate)
+            if (a.candidate_count != b.candidate_count
+                    or not np.isclose(a.area, b.area,
+                                      rtol=1e-9, atol=1e-9)):
+                wal_recovered = False
+    lines.append(
+        "WAL crash recovery (crash after append, before page write): "
+        + ("PASS (reloaded index matches uncrashed twin)"
+           if wal_recovered else "FAIL"))
+
+    if json_path:
+        payload = {
+            "schema_version": 1,
+            "experiment": "update",
+            "field": {
+                "type": type(base).__name__,
+                "cells_per_side": size,
+                "cells": base.num_cells,
+                "vertices": base.num_vertices,
+            },
+            "workload": {
+                "queries": len(workload),
+                "per_qinterval": per_q,
+                "qintervals": QINTERVALS_FIG8,
+                "seed": seed,
+                "estimate": estimate,
+            },
+            "updates": {
+                "count": n_updates,
+                "seed": seed + 1,
+                "distribution": "uniform over initial value range",
+            },
+            "smoke": smoke,
+            "baseline_page_reads": baseline,
+            "steps": steps,
+            "final": {
+                "equivalent_to_rebuild": equivalent,
+                "compaction": {
+                    "degraded_page_reads": degraded_pages,
+                    "compacted_page_reads": compacted_pages,
+                    "fresh_page_reads": fresh_pages,
+                    "recovery_ratio": round(recovery_ratio, 4),
+                    "reclustered_cells": report["reclustered_cells"],
+                    "subfields_before": report["subfields_before"],
+                    "subfields_after": report["subfields_after"],
+                },
+                "wal_recovery": wal_recovered,
+            },
+        }
+        with open(json_path, "w") as fh:
+            json_mod.dump(payload, fh, indent=1)
+            fh.write("\n")
+        lines.append(f"(machine-readable results written to {json_path})")
+
+    failures = []
+    if not equivalent:
+        failures.append("updated indexes diverge from a fresh rebuild")
+    if recovery_ratio > 1.10:
+        failures.append(
+            f"compaction recovery ratio {recovery_ratio:.3f} > 1.10")
+    if not wal_recovered:
+        failures.append("WAL replay lost an acknowledged update")
+    if failures:
+        raise SystemExit("update regression: " + "; ".join(failures))
+    return "\n".join(lines)
+
+
 def _render(result) -> str:
     if isinstance(result, str):
         return result
@@ -535,4 +791,5 @@ EXPERIMENTS: dict[str, Callable] = {
     "scale": scale_sweep,
     "methods-extra": methods_extra,
     "throughput": throughput,
+    "update": update_stream,
 }

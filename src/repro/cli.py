@@ -13,6 +13,11 @@ A small database-style front end over the library:
 * ``scrub``   — verify a saved index offline (manifest checksums and
   every page frame; ``--repair`` fixes manifest drift), exit 1 on
   corruption;
+* ``update``  — apply vertex-value updates to a saved index through
+  the write-ahead log (``--checkpoint`` folds the WAL into a fresh
+  snapshot afterwards);
+* ``compact`` — re-cluster stale subfields of a saved index and save
+  the result;
 * ``point``   — conventional (Q1) query on a ``.npy`` height grid.
 
 ``query`` and ``batch`` accept ``--trace FILE`` (span tree as Chrome
@@ -29,6 +34,8 @@ Examples::
     python -m repro explain terrain-index/ 300 320 --analyze
     python -m repro info terrain-index/
     python -m repro scrub terrain-index/
+    python -m repro update terrain-index/ terrain.npy edits.txt
+    python -m repro compact terrain-index/
     python -m repro point terrain.npy 30.5 99.25
 """
 
@@ -276,6 +283,100 @@ def cmd_scrub(args) -> int:
     return 0 if report.ok else 1
 
 
+def _load_updates(path: Path) -> tuple[np.ndarray, np.ndarray]:
+    """Parse an updates file: one ``vertex_id value`` pair per line;
+    blank lines and ``#`` comments are skipped.  When a vertex appears
+    more than once the last line wins."""
+    if not path.exists():
+        raise SystemExit(f"{path}: no such updates file")
+    ids, values = [], []
+    for lineno, raw in enumerate(path.read_text().splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.replace(",", " ").split()
+        try:
+            if len(parts) != 2:
+                raise ValueError("expected 'vertex_id value'")
+            ids.append(int(parts[0]))
+            values.append(float(parts[1]))
+        except ValueError as exc:
+            raise SystemExit(f"{path}:{lineno}: {exc}")
+    if not ids:
+        raise SystemExit(f"{path}: no updates found")
+    id_arr = np.asarray(ids, dtype=np.int64)
+    val_arr = np.asarray(values, dtype=np.float32)
+    # keep-last dedup so repeated edits of one vertex are deterministic
+    _, last = np.unique(id_arr[::-1], return_index=True)
+    keep = np.sort(len(id_arr) - 1 - last)
+    return id_arr[keep], val_arr[keep]
+
+
+def cmd_update(args) -> int:
+    """Apply vertex updates to a saved index through the WAL.
+
+    The updates file is *cumulative* against the original field file:
+    updates replace vertex values with absolute heights, so re-applying
+    the whole file is idempotent and always converges to the state
+    described by ``field + updates``.
+    """
+    index_dir = Path(args.index_dir)
+    index = load_index(index_dir)
+    field = _load_field(Path(args.field))
+    if type(field) is not index.field_type:
+        raise SystemExit(
+            f"error: index was built over a {index.field_type.__name__}, "
+            f"got a {type(field).__name__} field file")
+    replayed = len(index.wal.pending) if index.wal is not None else 0
+    index.field = field
+    if index.wal is None:
+        index.attach_wal(index_dir / "wal.log")
+    ids, values = _load_updates(Path(args.updates))
+    try:
+        dirty = index.apply_updates(ids, values)
+    except (ValueError, IndexError) as exc:
+        raise SystemExit(f"error: {exc}")
+    print(f"applied {len(ids)} vertex updates "
+          f"({len(dirty)} cells rewritten)")
+    if replayed:
+        print(f"recovered {replayed} journaled batch(es) on open")
+    print(f"maintenance I/O: {index.maint_stats.page_reads} page reads, "
+          f"{index.maint_stats.page_writes} page writes")
+    print(f"wal: {len(index.wal)} pending batch(es), "
+          f"lsn {index.wal.last_lsn}")
+    staleness = getattr(index, "staleness", None)
+    if staleness is not None:
+        st = staleness()
+        print(f"staleness: {st['stale_subfields']}/{st['subfields']} "
+              f"subfields drifted (max {st['max_drift']:+.1%}, "
+              f"mean {st['mean_drift']:+.1%})")
+    if args.checkpoint:
+        save_index(index, index_dir)
+        print(f"checkpointed to {index_dir} (wal truncated)")
+    return 0
+
+
+def cmd_compact(args) -> int:
+    """Re-cluster stale subfields of a saved index and save it."""
+    index_dir = Path(args.index_dir)
+    index = load_index(index_dir)
+    compact = getattr(index, "compact", None)
+    if compact is None:
+        raise SystemExit(
+            f"error: {index.name} does not support compaction")
+    report = compact(stale_threshold=args.threshold)
+    print(f"compacted {report['stale_subfields']} stale subfields in "
+          f"{report['stale_runs']} run(s): "
+          f"{report['reclustered_cells']} cells re-clustered, "
+          f"{report['subfields_before']} -> {report['subfields_after']} "
+          f"subfields")
+    print(f"maintenance I/O: {index.maint_stats.page_reads} page reads, "
+          f"{index.maint_stats.page_writes} page writes")
+    save_index(index, index_dir)
+    print(f"saved to {index_dir}")
+    return 0
+
+
 def cmd_point(args) -> int:
     """Answer a conventional (Q1) point query on a field file."""
     field = _load_field(Path(args.field))
@@ -387,6 +488,31 @@ def main(argv: list[str] | None = None) -> int:
                             "pages are only reported; restore those "
                             "from a snapshot or rebuild)")
     scrub.set_defaults(func=cmd_scrub)
+
+    update = sub.add_parser("update", help="apply vertex-value updates "
+                                           "to a saved index through "
+                                           "the write-ahead log")
+    update.add_argument("index_dir")
+    update.add_argument("field", help="the original field file the "
+                                      "index was built from (.npy "
+                                      "heights or .npz TIN)")
+    update.add_argument("updates", help="text file: one 'vertex_id "
+                                        "value' pair per line "
+                                        "(cumulative, last line wins)")
+    update.add_argument("--checkpoint", action="store_true",
+                        help="save the updated index and truncate the "
+                             "WAL afterwards")
+    update.set_defaults(func=cmd_update)
+
+    compact = sub.add_parser("compact", help="re-cluster stale "
+                                             "subfields of a saved "
+                                             "index")
+    compact.add_argument("index_dir")
+    compact.add_argument("--threshold", type=float, default=0.0,
+                         help="minimum relative cost drift before a "
+                              "subfield is re-clustered (default: 0, "
+                              "any drift)")
+    compact.set_defaults(func=cmd_compact)
 
     point = sub.add_parser("point", help="conventional (Q1) point query")
     point.add_argument("field", help=".npy heights or .npz TIN")

@@ -1,6 +1,6 @@
 """The paper's contribution: value-domain access methods for fields."""
 
-from .base import ValueIndex
+from .base import UPDATE_CRASH_POINTS, ValueIndex
 from .batch import (
     BatchQueryEngine,
     BatchResult,
@@ -78,6 +78,7 @@ __all__ = [
     "QueryResult",
     "Subfield",
     "ThresholdGrouping",
+    "UPDATE_CRASH_POINTS",
     "ValueIndex",
     "ValueQuery",
     "conjunctive_query",

@@ -12,6 +12,8 @@ between methods is apples-to-apples.
 from __future__ import annotations
 
 import abc
+from contextlib import contextmanager
+from pathlib import Path
 from typing import Literal
 
 import numpy as np
@@ -23,7 +25,8 @@ from ..obs.trace import NULL_TRACER
 from ..storage import (CorruptPageError, DiskManager, FaultInjector, IOStats,
                        MmapDiskManager, PAGE_SIZE, PageFault, RecordStore,
                        RetryingDiskManager, RetryingMmapDiskManager,
-                       RetryPolicy, TransientIOError)
+                       RetryPolicy, SimulatedCrash, TransientIOError,
+                       WAL_CRASH_POINTS, WriteAheadLog)
 from .query import QueryResult, ValueQuery
 
 EstimateMode = Literal["none", "area", "regions"]
@@ -49,6 +52,22 @@ _QUERY_DEGRADED = REGISTRY.counter(
     "repro_queries_degraded_total",
     "Queries that skipped unreadable data pages (on_fault='skip'), "
     "per access method.")
+_UPDATES = REGISTRY.counter(
+    "repro_cell_updates_total",
+    "Cell records rewritten by live updates, per access method.")
+_MAINT_READS = REGISTRY.counter(
+    "repro_maintenance_page_reads_total",
+    "Page reads charged to index maintenance (never to queries), "
+    "per access method.")
+_MAINT_WRITES = REGISTRY.counter(
+    "repro_maintenance_page_writes_total",
+    "Page writes charged to index maintenance, per access method.")
+
+#: Crash points honoured by :meth:`ValueIndex.update_cells`: the
+#: index-level ``pre-wal`` (before anything is durable) and
+#: ``wal-appended`` (the batch is acknowledged, no page written yet —
+#: the window the WAL exists for), plus the WAL's own internal points.
+UPDATE_CRASH_POINTS = ("pre-wal", "wal-appended") + WAL_CRASH_POINTS
 
 
 class ValueIndex(abc.ABC):
@@ -92,6 +111,15 @@ class ValueIndex(abc.ABC):
         self.field = field
         self.field_type = type(field)
         self.stats = stats if stats is not None else IOStats()
+        #: I/O spent maintaining the index under updates — kept apart
+        #: from :attr:`stats` so the paper's per-query page counts stay
+        #: honest while the field is being written to.
+        self.maint_stats = IOStats()
+        #: Write-ahead log making update batches durable before any
+        #: in-place page write; ``None`` until :meth:`attach_wal`.
+        self.wal: WriteAheadLog | None = None
+        self._updated = False
+        self._stat_cache: dict[int, object] = {}
         #: Span recorder for the query lifecycle; the default no-op
         #: tracer is free — install a real one with ``Tracer.attach``.
         self.tracer = NULL_TRACER
@@ -240,6 +268,163 @@ class ValueIndex(abc.ABC):
         """Drop caches and forget disk positions (cold-query setting)."""
         self.store.pool.clear()
         self.data_disk.reset_head()
+
+    # -- live updates -------------------------------------------------------
+
+    @contextmanager
+    def _maintenance(self):
+        """Charge the enclosed I/O to :attr:`maint_stats`, not queries.
+
+        The shared :attr:`stats` counter is snapshotted, the work runs,
+        and the delta is moved wholesale to the maintenance counter —
+        the same rollback idiom the EXPLAIN metadata scan uses, so
+        nested maintenance sections compose (an inner section's delta
+        is already gone when the outer one diffs).
+        """
+        before = self.stats.snapshot()
+        try:
+            yield
+        finally:
+            delta = self.stats.diff(before)
+            self.stats.restore(before)
+            self.maint_stats += delta
+            if REGISTRY.enabled:
+                if delta.page_reads:
+                    _MAINT_READS.inc(delta.page_reads, method=self.name)
+                if delta.page_writes:
+                    _MAINT_WRITES.inc(delta.page_writes, method=self.name)
+
+    def attach_wal(self, path, replay: bool = False) -> WriteAheadLog:
+        """Open (creating if needed) a write-ahead log for this index.
+
+        From here on every :meth:`update_cells` batch is logged and
+        fsynced *before* any page is written — the acknowledgment
+        point.  An existing log with pending batches is refused unless
+        ``replay=True``, in which case they are re-applied first
+        (idempotent, so replaying onto an index that already saw them
+        is harmless).
+        """
+        wal = WriteAheadLog(path)
+        if wal.pending and not replay:
+            wal.close()
+            raise ValueError(
+                f"{path}: write-ahead log holds {len(wal.pending)} pending "
+                f"batches; open with replay=True or checkpoint it first")
+        for batch in wal.pending:
+            self._apply_update_batch(batch.cell_ids,
+                                     batch.decode(self.store.dtype))
+        self.wal = wal
+        return wal
+
+    def apply_updates(self, vertex_ids, values,
+                      crash_point: str | None = None) -> np.ndarray:
+        """Ingest new vertex measurements; returns the dirty cell ids.
+
+        The field maps vertices to the cells they touch
+        (:meth:`~repro.field.base.Field.apply_updates`), then the dirty
+        records flow through :meth:`update_cells`.  Values are absolute
+        replacement samples, so applying the same batch to several
+        indexes sharing one field object is safe and keeps them equal.
+        """
+        if self.field is None:
+            raise ValueError(
+                "index carries no in-memory field (reloaded from disk); "
+                "feed it records directly with update_cells()")
+        dirty = self.field.apply_updates(vertex_ids, values)
+        if len(dirty):
+            self.update_cells(dirty, self.field.cell_records()[dirty],
+                              crash_point=crash_point)
+        return dirty
+
+    def update_cells(self, cell_ids, records,
+                     crash_point: str | None = None) -> None:
+        """Replace cell records in place, WAL-first when a log is attached.
+
+        Protocol: (1) append the batch to the WAL and fsync — the
+        update is now acknowledged; (2) rewrite the data pages and
+        migrate index structures, with the I/O charged to
+        :attr:`maint_stats`; (3) drop derived statistics so planners
+        see the new intervals.  A crash anywhere after (1) is
+        recovered by replay on the next load.  ``crash_point`` (tests
+        only) aborts at a named step of :data:`UPDATE_CRASH_POINTS`.
+        """
+        if crash_point is not None and crash_point not in \
+                UPDATE_CRASH_POINTS:
+            raise ValueError(
+                f"unknown crash point {crash_point!r}; expected one of "
+                f"{UPDATE_CRASH_POINTS}")
+        cell_ids = np.asarray(cell_ids, dtype=np.int64).ravel()
+        records = np.asarray(records, dtype=self.store.dtype).ravel()
+        if len(cell_ids) != len(records):
+            raise ValueError(
+                f"{len(cell_ids)} cell ids vs {len(records)} records")
+        if len(cell_ids) == 0:
+            return
+        # Validate before logging: a bad id must fail fast, not poison
+        # the WAL and fail again on every replay.
+        if cell_ids.min() < 0 or cell_ids.max() >= len(self.store):
+            raise IndexError(
+                f"cell ids must lie in [0, {len(self.store)}); got "
+                f"[{cell_ids.min()}, {cell_ids.max()}]")
+        if crash_point == "pre-wal":
+            raise SimulatedCrash("pre-wal")
+        if self.wal is not None:
+            self.wal.append(
+                cell_ids, records,
+                crash_point=(crash_point
+                             if crash_point in WAL_CRASH_POINTS else None))
+        if crash_point == "wal-appended":
+            raise SimulatedCrash("wal-appended")
+        self._apply_update_batch(cell_ids, records)
+
+    def _apply_update_batch(self, cell_ids: np.ndarray,
+                            records: np.ndarray) -> None:
+        """Apply an already-durable batch (also the WAL replay path)."""
+        with self._maintenance():
+            self._apply_cell_updates(cell_ids, records)
+        self._updated = True
+        self._stat_cache.clear()
+        if REGISTRY.enabled:
+            _UPDATES.inc(len(cell_ids), method=self.name)
+
+    def _apply_cell_updates(self, cell_ids: np.ndarray,
+                            records: np.ndarray) -> None:
+        """Method-specific page rewrite + index maintenance."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support live updates")
+
+    def checkpoint(self, directory: str | Path) -> None:
+        """Persist the index and truncate the WAL (see ``save_index``)."""
+        from .persist import save_index
+        save_index(self, directory)
+
+    def statistics(self, bins: int = 64):
+        """Interval statistics that stay fresh under updates.
+
+        Built from the live field while the index is pristine; after
+        the first update the ground truth is the record store, so the
+        histogram is recomputed from a metadata scan whose counters
+        are rolled back (statistics are planner metadata, not query
+        work).  Cached per bin count; invalidated by every update.
+        """
+        cached = self._stat_cache.get(bins)
+        if cached is not None:
+            return cached
+        from .statistics import FieldStatistics
+        if self.field is not None and not self._updated:
+            result = FieldStatistics.from_field(self.field, bins=bins)
+        else:
+            before = self.stats.snapshot()
+            vmins, vmaxs = [], []
+            for page in self.store.scan():
+                vmins.append(page["vmin"].astype(np.float64))
+                vmaxs.append(page["vmax"].astype(np.float64))
+            self.stats.restore(before)
+            self.clear_caches()
+            result = FieldStatistics.from_intervals(
+                np.concatenate(vmins), np.concatenate(vmaxs), bins=bins)
+        self._stat_cache[bins] = result
+        return result
 
     # -- introspection ------------------------------------------------------
 

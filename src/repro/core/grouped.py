@@ -12,10 +12,21 @@ import numpy as np
 
 from ..field.base import Field
 from ..geometry import Rect
+from ..obs.metrics import REGISTRY
 from ..rstar import RStarTree
 from ..storage import IOStats, PAGE_SIZE, RetryPolicy
 from .base import DiskBackend, ValueIndex
+from .cost import CostBasedGrouping, GroupingPolicy, group_cells
 from .subfield import Subfield
+
+_STALENESS = REGISTRY.gauge(
+    "repro_subfield_staleness",
+    "Worst per-subfield cost drift (cost_now/cost_built - 1) since the "
+    "last build or compaction, per access method.")
+_COMPACTIONS = REGISTRY.counter(
+    "repro_compactions_total",
+    "compact() passes that re-clustered at least one stale run, per "
+    "access method.")
 
 
 class GroupedIntervalIndex(ValueIndex):
@@ -31,6 +42,11 @@ class GroupedIntervalIndex(ValueIndex):
     groups:
         Inclusive ``(start, end)`` ranges over ``order`` — one subfield
         each.  Ranges must tile ``[0, num_cells)`` without gaps.
+    grouping:
+        The :class:`~repro.core.cost.GroupingPolicy` that produced
+        ``groups`` (when there was one).  Supplies the cost-function
+        parameters for staleness tracking and is re-used by
+        :meth:`compact` to re-cluster stale runs.
     """
 
     name = "Grouped"
@@ -40,7 +56,8 @@ class GroupedIntervalIndex(ValueIndex):
                  stats: IOStats | None = None,
                  page_size: int = PAGE_SIZE,
                  retry_policy: RetryPolicy | None = None,
-                 disk_backend: DiskBackend = "list") -> None:
+                 disk_backend: DiskBackend = "list",
+                 grouping: GroupingPolicy | None = None) -> None:
         super().__init__(field, cache_pages=cache_pages, stats=stats,
                          page_size=page_size, retry_policy=retry_policy,
                          disk_backend=disk_backend)
@@ -52,17 +69,25 @@ class GroupedIntervalIndex(ValueIndex):
                 f"{len(records)} cells")
         self._validate_groups(groups, len(records))
         self.order = order
+        self.grouping = grouping
         self.store.extend(records[order])
 
         vmins = records["vmin"][order].astype(np.float64)
         vmaxs = records["vmax"][order].astype(np.float64)
+        unit, _ = self._cost_params()
+        sizes = vmaxs - vmins + unit
         self.subfields: list[Subfield] = []
+        self._sf_si: list[float] = []
         rects: list[Rect] = []
         for sf_id, (start, end) in enumerate(groups):
             lo = float(vmins[start:end + 1].min())
             hi = float(vmaxs[start:end + 1].max())
             self.subfields.append(Subfield(sf_id, lo, hi, start, end))
+            self._sf_si.append(float(sizes[start:end + 1].sum()))
             rects.append(Rect.from_interval(lo, hi))
+        self._built_costs: list[float] = [
+            self._sf_cost(sf, si)
+            for sf, si in zip(self.subfields, self._sf_si)]
 
         self.index_disk = self._make_disk("sf-tree")
         self.tree = RStarTree(dim=1, disk=self.index_disk,
@@ -104,25 +129,204 @@ class GroupedIntervalIndex(ValueIndex):
     def update_cell(self, cell_id: int, new_record) -> None:
         """Replace one cell's record (e.g. after a new measurement).
 
-        The record is rewritten in place in the clustered file; the
-        owning subfield's interval is recomputed exactly from its member
-        cells, and when it changed, the subfield's entry migrates in the
-        1-D R*-tree (delete + insert) — the index stays exact under
-        updates.
+        Single-cell convenience over :meth:`update_cells`: the record
+        is rewritten in place in the clustered file, the owning
+        subfield's interval is recomputed exactly from its member
+        cells, and when it changed, the subfield's entry migrates in
+        the 1-D R*-tree (delete + insert) — the index stays exact
+        under updates.  Maintenance I/O lands in ``maint_stats`` and,
+        when a WAL is attached, the change is durable before the page
+        write.
         """
-        rid = self._rid_of_cell(cell_id)
-        self.store.update(rid, new_record)
-        sf = self._subfield_of_rid(rid)
-        block = self.store.read_range(sf.ptr_start, sf.ptr_end)
-        new_lo = float(block["vmin"].astype(np.float64).min())
-        new_hi = float(block["vmax"].astype(np.float64).max())
-        if new_lo == sf.lo and new_hi == sf.hi:
+        self.update_cells(
+            np.asarray([cell_id], dtype=np.int64),
+            np.asarray(new_record, dtype=self.store.dtype).reshape(1))
+
+    def _apply_cell_updates(self, cell_ids: np.ndarray,
+                            records: np.ndarray) -> None:
+        self._ensure_cost_baseline()
+        touched: set[int] = set()
+        for cell_id, record in zip(cell_ids, records):
+            rid = self._rid_of_cell(int(cell_id))
+            self.store.update(rid, record)
+            touched.add(self._subfield_of_rid(rid).sf_id)
+        # One interval recomputation per touched subfield, however many
+        # of its members the batch rewrote.
+        unit, _ = self._cost_params()
+        tree_dirty = False
+        for sf_id in sorted(touched):
+            sf = self.subfields[sf_id]
+            block = self.store.read_range(sf.ptr_start, sf.ptr_end)
+            vmins = block["vmin"].astype(np.float64)
+            vmaxs = block["vmax"].astype(np.float64)
+            new_lo = float(vmins.min())
+            new_hi = float(vmaxs.max())
+            self._sf_si[sf_id] = float((vmaxs - vmins + unit).sum())
+            if new_lo == sf.lo and new_hi == sf.hi:
+                continue
+            self.tree.delete(Rect.from_interval(sf.lo, sf.hi), sf_id)
+            self.tree.insert(Rect.from_interval(new_lo, new_hi), sf_id)
+            self.subfields[sf_id] = Subfield(
+                sf_id, new_lo, new_hi, sf.ptr_start, sf.ptr_end)
+            tree_dirty = True
+        if tree_dirty:
+            self.tree.flush()
+        if REGISTRY.enabled:
+            _STALENESS.set(self.staleness()["max_drift"], method=self.name)
+
+    # -- subfield quality (paper §3.1.2 cost drift) ----------------------------
+
+    def _cost_params(self) -> tuple[float, float]:
+        """(unit, avg_query) of the §3.1.2 cost convention in force."""
+        grouping = getattr(self, "grouping", None)
+        unit = float(getattr(grouping, "unit", 1.0))
+        avg_query = float(getattr(grouping, "avg_query", 0.0))
+        if unit == 0.0 and avg_query == 0.0:
+            unit = 1.0
+        return unit, avg_query
+
+    def _sf_cost(self, sf: Subfield, si: float) -> float:
+        """Cost ``C = P / SI`` of one subfield (paper §3.1.2)."""
+        unit, avg_query = self._cost_params()
+        return (sf.hi - sf.lo + unit + avg_query) / max(si, 1e-12)
+
+    def _ensure_cost_baseline(self) -> None:
+        """Reconstruct SI sums and baseline costs after a reload.
+
+        A freshly built index records them during grouping; a reloaded
+        one derives SI from a single maintenance-accounted metadata
+        sweep.  The drift baseline survives reloads via the manifest;
+        when that record is missing (older snapshots) the *current*
+        state becomes the baseline.
+        """
+        if getattr(self, "_sf_si", None) is not None:
             return
-        self.tree.delete(Rect.from_interval(sf.lo, sf.hi), sf.sf_id)
-        self.tree.insert(Rect.from_interval(new_lo, new_hi), sf.sf_id)
-        self.tree.flush()
-        self.subfields[sf.sf_id] = Subfield(
-            sf.sf_id, new_lo, new_hi, sf.ptr_start, sf.ptr_end)
+        unit, _ = self._cost_params()
+        with self._maintenance():
+            sizes = np.concatenate([
+                page["vmax"].astype(np.float64)
+                - page["vmin"].astype(np.float64) + unit
+                for page in self.store.scan()])
+        self._sf_si = [float(sizes[sf.ptr_start:sf.ptr_end + 1].sum())
+                       for sf in self.subfields]
+        if getattr(self, "_built_costs", None) is None:
+            self._built_costs = [
+                self._sf_cost(sf, si)
+                for sf, si in zip(self.subfields, self._sf_si)]
+
+    def subfield_drifts(self) -> np.ndarray:
+        """Per-subfield relative cost drift since build/compaction.
+
+        ``drift = cost_now / cost_built − 1``: positive when updates
+        widened a subfield's interval relative to the mass it carries
+        (its access probability grew faster than its usefulness — the
+        filter admits more false candidates), negative when they
+        tightened it.
+        """
+        self._ensure_cost_baseline()
+        drifts = np.empty(len(self.subfields), dtype=np.float64)
+        for k, (sf, si, built) in enumerate(
+                zip(self.subfields, self._sf_si, self._built_costs)):
+            now = self._sf_cost(sf, si)
+            drifts[k] = now / built - 1.0 if built > 0 else 0.0
+        return drifts
+
+    def staleness(self, threshold: float = 0.0) -> dict:
+        """Summary of subfield quality drift (the ``repro.obs`` metric).
+
+        A subfield counts as stale when its drift exceeds
+        ``threshold`` (strictly positive drifts only — updates that
+        tighten intervals improve the filter).
+        """
+        drifts = self.subfield_drifts()
+        floor = max(threshold, 1e-12)
+        return {
+            "subfields": int(len(drifts)),
+            "stale_subfields": int((drifts > floor).sum()),
+            "max_drift": float(drifts.max()) if len(drifts) else 0.0,
+            "mean_drift": float(drifts.mean()) if len(drifts) else 0.0,
+        }
+
+    def _compaction_policy(self) -> GroupingPolicy:
+        if self.grouping is not None:
+            return self.grouping
+        unit, avg_query = self._cost_params()
+        return CostBasedGrouping(unit=unit, avg_query=avg_query)
+
+    def compact(self, stale_threshold: float = 0.0) -> dict:
+        """Re-cluster stale runs of subfields; returns a summary dict.
+
+        Value updates never move a cell spatially, so the physical
+        (curve) order stays optimal — what goes stale is the *grouping*
+        decided from the old intervals.  Compaction finds maximal runs
+        of consecutive subfields whose cost drifted past
+        ``stale_threshold``, re-reads each run once (sequentially),
+        re-runs the §3.1.2 greedy grouping over it — splitting and
+        merging as the new intervals dictate — and rebuilds the 1-D
+        R*-tree over the resulting subfield list.  Untouched subfields
+        keep their boundaries; record pages are never rewritten.  All
+        I/O is maintenance-accounted.
+        """
+        self._ensure_cost_baseline()
+        drifts = self.subfield_drifts()
+        stale = drifts > max(stale_threshold, 1e-12)
+        summary = {"subfields_before": len(self.subfields),
+                   "subfields_after": len(self.subfields),
+                   "stale_subfields": int(stale.sum()),
+                   "stale_runs": 0, "reclustered_cells": 0}
+        if not stale.any():
+            return summary
+        unit, _ = self._cost_params()
+        policy = self._compaction_policy()
+        with self._maintenance():
+            spans: list[tuple[float, float, int, int, float]] = []
+            i = 0
+            while i < len(self.subfields):
+                if not stale[i]:
+                    sf = self.subfields[i]
+                    spans.append((sf.lo, sf.hi, sf.ptr_start, sf.ptr_end,
+                                  self._sf_si[i]))
+                    i += 1
+                    continue
+                j = i
+                while j < len(self.subfields) and stale[j]:
+                    j += 1
+                base = self.subfields[i].ptr_start
+                block = self.store.read_range(base,
+                                              self.subfields[j - 1].ptr_end)
+                vmins = block["vmin"].astype(np.float64)
+                vmaxs = block["vmax"].astype(np.float64)
+                sizes = vmaxs - vmins + unit
+                for start, end in group_cells(vmins, vmaxs, policy):
+                    spans.append((float(vmins[start:end + 1].min()),
+                                  float(vmaxs[start:end + 1].max()),
+                                  base + start, base + end,
+                                  float(sizes[start:end + 1].sum())))
+                summary["stale_runs"] += 1
+                summary["reclustered_cells"] += len(block)
+                i = j
+            self.subfields = [
+                Subfield(sf_id, lo, hi, start, end)
+                for sf_id, (lo, hi, start, end, _) in enumerate(spans)]
+            self._sf_si = [si for *_, si in spans]
+            self._built_costs = [
+                self._sf_cost(sf, si)
+                for sf, si in zip(self.subfields, self._sf_si)]
+            injector = self.index_disk.fault_injector
+            cache_pages = self.tree.pool.capacity
+            self.index_disk = self._make_disk("sf-tree")
+            self.index_disk.fault_injector = injector
+            self.tree = RStarTree(dim=1, disk=self.index_disk,
+                                  cache_pages=cache_pages)
+            self.tree.bulk_load(
+                [Rect.from_interval(sf.lo, sf.hi) for sf in self.subfields],
+                range(len(self.subfields)))
+            self.tree.flush()
+        summary["subfields_after"] = len(self.subfields)
+        if REGISTRY.enabled:
+            _COMPACTIONS.inc(1, method=self.name)
+            _STALENESS.set(self.staleness()["max_drift"], method=self.name)
+        return summary
 
     def _rid_of_cell(self, cell_id: int) -> int:
         if not 0 <= cell_id < len(self.order):

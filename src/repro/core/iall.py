@@ -67,6 +67,31 @@ class IAllIndex(ValueIndex):
         self.tree.pool.clear()
         self.index_disk.reset_head()
 
+    def _apply_cell_updates(self, cell_ids: np.ndarray,
+                            records: np.ndarray) -> None:
+        # rid == cell_id (records are stored in cell order).  Each dirty
+        # cell's old interval entry migrates in the tree: delete the
+        # entry under its previous rectangle (re-read from the store —
+        # float() of a float32 is exact, so the rect matches the one
+        # inserted at build time), rewrite the page, insert the new one.
+        dirty_tree = False
+        for cell_id, record in zip(cell_ids, records):
+            rid = int(cell_id)
+            old = self.store.get(rid)
+            old_lo, old_hi = float(old["vmin"]), float(old["vmax"])
+            new_lo, new_hi = float(record["vmin"]), float(record["vmax"])
+            self.store.update(rid, record)
+            if (old_lo, old_hi) == (new_lo, new_hi):
+                continue
+            if not self.tree.delete(Rect.from_interval(old_lo, old_hi), rid):
+                raise RuntimeError(
+                    f"I-All tree lost the entry for cell {rid} "
+                    f"[{old_lo}, {old_hi}] — index is inconsistent")
+            self.tree.insert(Rect.from_interval(new_lo, new_hi), rid)
+            dirty_tree = True
+        if dirty_tree:
+            self.tree.flush()
+
     def _candidates(self, lo: float, hi: float) -> np.ndarray:
         tracer = self.tracer
         with tracer.span("filter") as span:

@@ -106,16 +106,15 @@ class IHilbertIndex(GroupedIntervalIndex):
             span = field.value_range.length
             grouping = CostBasedGrouping(
                 unit=span if span > 0 else 1.0, avg_query=0.5 * span)
-        self.grouping = grouping
         order = linearize(field, curve)
         records = field.cell_records()
         groups = group_cells(records["vmin"][order].astype(np.float64),
                              records["vmax"][order].astype(np.float64),
-                             self.grouping)
+                             grouping)
         super().__init__(field, order, groups, cache_pages=cache_pages,
                          stats=stats, page_size=page_size,
                          retry_policy=retry_policy,
-                         disk_backend=disk_backend)
+                         disk_backend=disk_backend, grouping=grouping)
 
     def describe(self) -> dict:
         info = super().describe()

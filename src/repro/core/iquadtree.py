@@ -18,6 +18,7 @@ import numpy as np
 from ..field.base import Field
 from ..storage import IOStats, PAGE_SIZE, RetryPolicy
 from .base import DiskBackend
+from .cost import ThresholdGrouping
 from .grouped import GroupedIntervalIndex
 
 #: Hard stop for quadtree recursion depth.
@@ -93,7 +94,8 @@ class IntervalQuadtreeIndex(GroupedIntervalIndex):
         super().__init__(field, np.asarray(order), groups,
                          cache_pages=cache_pages, stats=stats,
                          page_size=page_size, retry_policy=retry_policy,
-                         disk_backend=disk_backend)
+                         disk_backend=disk_backend,
+                         grouping=ThresholdGrouping(threshold, unit=unit))
 
     def describe(self) -> dict:
         info = super().describe()

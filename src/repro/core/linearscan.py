@@ -30,6 +30,14 @@ class LinearScanIndex(ValueIndex):
                          disk_backend=disk_backend)
         self.store.extend(field.cell_records())
 
+    def _apply_cell_updates(self, cell_ids: np.ndarray,
+                            records: np.ndarray) -> None:
+        # Records are stored in cell order, so rid == cell_id and an
+        # update is a plain in-place page rewrite; there is no index
+        # structure to maintain.
+        for cell_id, record in zip(cell_ids, records):
+            self.store.update(int(cell_id), record)
+
     def _candidates(self, lo: float, hi: float) -> np.ndarray:
         with self.tracer.span("fetch") as span:
             if span.enabled:

@@ -40,6 +40,8 @@ from ..storage import IOStats, RecordStore
 from ..storage.faults import SimulatedCrash
 from ..storage.scrub import file_sha256
 from ..storage.snapshot import fsync_dir, load_disk, save_disk
+from ..storage.wal import WriteAheadLog
+from .cost import CostBasedGrouping, ThresholdGrouping
 
 #: Field classes reconstructible by name (record semantics only).
 FIELD_TYPES = {
@@ -103,6 +105,30 @@ def _save_order(order: np.ndarray, path: Path) -> None:
         os.fsync(fh.fileno())
 
 
+def _grouping_to_meta(grouping) -> dict | None:
+    """JSON form of the grouping policy's cost parameters, so a
+    reloaded index can track staleness and compact with the same
+    §3.1.2 convention the build used."""
+    if isinstance(grouping, CostBasedGrouping):
+        return {"type": "cost", "unit": grouping.unit,
+                "avg_query": grouping.avg_query}
+    if isinstance(grouping, ThresholdGrouping):
+        return {"type": "threshold", "threshold": grouping.threshold,
+                "unit": grouping.unit}
+    return None
+
+
+def _grouping_from_meta(entry: dict | None):
+    if not entry:
+        return None
+    if entry.get("type") == "cost":
+        return CostBasedGrouping(unit=entry["unit"],
+                                 avg_query=entry["avg_query"])
+    if entry.get("type") == "threshold":
+        return ThresholdGrouping(entry["threshold"], unit=entry["unit"])
+    return None
+
+
 def _collect_garbage(directory: Path, keep: set[str]) -> None:
     """Remove generation files no manifest references (orphans from a
     superseded generation or an aborted save)."""
@@ -151,6 +177,9 @@ def save_index(index, directory: str | Path,
     _save_order(index.order, directory / names["order"])
     _maybe_crash("order-written", crash_point)
 
+    built_costs = getattr(index, "_built_costs", None)
+    if built_costs is not None:
+        built_costs = [float(c) for c in built_costs]
     meta = {
         "format": _FORMAT_VERSION,
         "generation": generation,
@@ -169,6 +198,8 @@ def save_index(index, directory: str | Path,
             "count": index.tree._count,
             "node_ids": sorted(index.tree._nodes),
         },
+        "grouping": _grouping_to_meta(getattr(index, "grouping", None)),
+        "built_costs": built_costs,
         "files": {role: _manifest_entry(directory, name)
                   for role, name in names.items()},
     }
@@ -183,10 +214,18 @@ def save_index(index, directory: str | Path,
     fsync_dir(directory)
     _maybe_crash("post-commit", crash_point)
     _collect_garbage(directory, keep=set(names.values()))
+    # The committed generation contains every applied update, so this
+    # save is a WAL checkpoint: truncate the log.  A crash between the
+    # manifest commit and this truncation merely leaves batches to be
+    # replayed redundantly on the next load — replay is idempotent.
+    wal = getattr(index, "wal", None)
+    if wal is not None:
+        wal.checkpoint()
 
 
 def load_index(directory: str | Path, cache_pages: int = 0,
-               stats: IOStats | None = None, verify: bool = True):
+               stats: IOStats | None = None, verify: bool = True,
+               replay_wal: bool = True):
     """Reload an index saved by :func:`save_index`.
 
     The returned object answers queries exactly like the original (same
@@ -196,6 +235,13 @@ def load_index(directory: str | Path, cache_pages: int = 0,
     frame against its checksum before the index is handed back, so
     on-disk corruption raises :class:`PersistError` instead of
     producing silently wrong answers.
+
+    With ``replay_wal=True`` (default) a ``wal.log`` next to the
+    manifest is opened and its pending batches — updates acknowledged
+    after the saved generation committed — are re-applied before the
+    index is returned; the log stays attached, so further updates keep
+    being journaled.  ``replay_wal=False`` returns the checkpointed
+    state as-is and leaves the log untouched.
     """
     directory = Path(directory)
     meta = _read_meta(directory)
@@ -236,7 +282,16 @@ def load_index(directory: str | Path, cache_pages: int = 0,
     index.field = None
     index.field_type = field_type
     index.stats = stats if stats is not None else IOStats()
+    index.maint_stats = IOStats()
+    index.wal = None
+    index._updated = False
+    index._stat_cache = {}
+    index.grouping = _grouping_from_meta(meta.get("grouping"))
+    built_costs = meta.get("built_costs")
+    if built_costs is not None:
+        index._built_costs = [float(c) for c in built_costs]
     index.retry_policy = None
+    index.disk_backend = "list"
     index._fault_mode = "raise"
     index._query_faults = []
     from ..obs.trace import NULL_TRACER
@@ -305,5 +360,20 @@ def load_index(directory: str | Path, cache_pages: int = 0,
     tree._dirty = False
     tree._reinserted_levels = set()
     index.tree = tree
+
+    # Recovery: re-apply updates acknowledged after the checkpoint.
+    wal_path = directory / "wal.log"
+    if replay_wal and wal_path.exists():
+        from ..storage.wal import WalError
+        try:
+            wal = WriteAheadLog(wal_path)
+        except WalError as exc:
+            raise PersistError(str(exc)) from exc
+        for batch in wal.pending:
+            index._apply_update_batch(batch.cell_ids,
+                                      batch.decode(index.store.dtype))
+        index.wal = wal
+
     index.data_disk.stats.reset()
+    index.maint_stats.reset()
     return index

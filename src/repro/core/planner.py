@@ -23,7 +23,8 @@ import numpy as np
 
 from ..field.base import Field
 from ..obs.metrics import REGISTRY
-from ..storage import IOStats
+from ..storage import IOStats, PAGE_SIZE, RetryPolicy
+from .base import DiskBackend
 from .cost import GroupingPolicy
 from .ihilbert import IHilbertIndex
 from ..curves import SpaceFillingCurve
@@ -122,9 +123,14 @@ class PlannedIndex(IHilbertIndex):
                  curve: str | SpaceFillingCurve = "hilbert",
                  grouping: GroupingPolicy | None = None,
                  cache_pages: int = 0, stats: IOStats | None = None,
-                 costs: CostConstants | None = None) -> None:
+                 costs: CostConstants | None = None,
+                 page_size: int = PAGE_SIZE,
+                 retry_policy: RetryPolicy | None = None,
+                 disk_backend: DiskBackend = "list") -> None:
         super().__init__(field, curve=curve, grouping=grouping,
-                         cache_pages=cache_pages, stats=stats)
+                         cache_pages=cache_pages, stats=stats,
+                         page_size=page_size, retry_policy=retry_policy,
+                         disk_backend=disk_backend)
         self.costs = costs if costs is not None else CostConstants()
         self.last_plan: Plan | None = None
 

@@ -56,6 +56,25 @@ class Field(abc.ABC):
     def bounds(self) -> tuple[float, float, float, float]:
         """Spatial domain as ``(xmin, ymin, xmax, ymax)``."""
 
+    # -- live ingest ------------------------------------------------------
+
+    def apply_updates(self, vertex_ids: np.ndarray,
+                      values: np.ndarray) -> np.ndarray:
+        """Apply new vertex measurements; return the dirty cell ids.
+
+        ``values`` are *absolute* replacement samples for the named
+        vertices (re-applying the same batch is a no-op), which is what
+        makes write-ahead-log replay idempotent.  One vertex generally
+        touches several cells — every cell whose record (interval,
+        sample points) changed is returned, sorted and deduplicated, so
+        the caller can push exactly those records into its indexes.
+
+        Subclasses that support live ingest override this; the default
+        field is read-only.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support live vertex updates")
+
     # -- conventional (Q1) queries ---------------------------------------
 
     @abc.abstractmethod

@@ -117,6 +117,54 @@ class DEMField(Field):
         rec = self.cell_records()[cell_id]
         return Interval(float(rec["vmin"]), float(rec["vmax"]))
 
+    # -- live ingest ------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Grid sample points; vertex ``v`` sits at ``(x=v % (cols+1),
+        y=v // (cols+1))``."""
+        return (self.rows + 1) * (self.cols + 1)
+
+    def apply_updates(self, vertex_ids: np.ndarray,
+                      values: np.ndarray) -> np.ndarray:
+        """Replace grid samples; return the ids of the cells they touch.
+
+        An interior vertex is a corner of four cells, an edge vertex of
+        two, a domain corner of one — the dirty set is exactly those
+        neighbours, with the cached records (corners, interval) patched
+        in place so ``cell_records()`` stays coherent without a rebuild.
+        """
+        vertex_ids = np.asarray(vertex_ids, dtype=np.int64).ravel()
+        values = np.asarray(values, dtype=np.float32).ravel()
+        if len(vertex_ids) != len(values):
+            raise ValueError(
+                f"{len(vertex_ids)} vertex ids vs {len(values)} values")
+        if len(vertex_ids) == 0:
+            return np.empty(0, dtype=np.int64)
+        if vertex_ids.min() < 0 or vertex_ids.max() >= self.num_vertices:
+            raise IndexError(
+                f"vertex ids must lie in [0, {self.num_vertices}); got "
+                f"[{vertex_ids.min()}, {vertex_ids.max()}]")
+        vi = vertex_ids % (self.cols + 1)
+        vj = vertex_ids // (self.cols + 1)
+        self.heights[vj, vi] = values
+        # Neighbouring cells (i-1..i, j-1..j), clipped to the grid.
+        ci = np.stack([vi - 1, vi, vi - 1, vi])
+        cj = np.stack([vj - 1, vj - 1, vj, vj])
+        valid = ((ci >= 0) & (ci < self.cols)
+                 & (cj >= 0) & (cj < self.rows))
+        dirty = np.unique(cj[valid] * self.cols + ci[valid])
+        if self._records is not None:
+            h = self.heights
+            i = dirty % self.cols
+            j = dirty // self.cols
+            corners = np.stack([h[j, i], h[j, i + 1],
+                                h[j + 1, i + 1], h[j + 1, i]], axis=-1)
+            self._records["corners"][dirty] = corners
+            self._records["vmin"][dirty] = corners.min(axis=1)
+            self._records["vmax"][dirty] = corners.max(axis=1)
+        return dirty
+
     # -- conventional (Q1) queries ---------------------------------------
 
     def locate_cell(self, x: float, y: float) -> int:

@@ -109,6 +109,43 @@ class TINField(Field):
         rec = self.cell_records()[cell_id]
         return Interval(float(rec["vmin"]), float(rec["vmax"]))
 
+    # -- live ingest ------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Sample points of the triangulation."""
+        return len(self.points)
+
+    def apply_updates(self, vertex_ids: np.ndarray,
+                      values: np.ndarray) -> np.ndarray:
+        """Replace vertex samples; return the incident triangle ids.
+
+        Positions are immutable (the triangulation does not change) —
+        only values move, so the dirty set is exactly the triangles
+        incident to the updated vertices.  Cached records are patched
+        in place.
+        """
+        vertex_ids = np.asarray(vertex_ids, dtype=np.int64).ravel()
+        new_values = np.asarray(values, dtype=np.float64).ravel()
+        if len(vertex_ids) != len(new_values):
+            raise ValueError(
+                f"{len(vertex_ids)} vertex ids vs {len(new_values)} values")
+        if len(vertex_ids) == 0:
+            return np.empty(0, dtype=np.int64)
+        if vertex_ids.min() < 0 or vertex_ids.max() >= self.num_vertices:
+            raise IndexError(
+                f"vertex ids must lie in [0, {self.num_vertices}); got "
+                f"[{vertex_ids.min()}, {vertex_ids.max()}]")
+        self.values[vertex_ids] = new_values
+        touched = np.isin(self.triangles, vertex_ids).any(axis=1)
+        dirty = np.nonzero(touched)[0].astype(np.int64)
+        if self._records is not None and len(dirty):
+            vs = self.values[self.triangles[dirty]].astype(np.float32)
+            self._records["vs"][dirty] = vs
+            self._records["vmin"][dirty] = vs.min(axis=1)
+            self._records["vmax"][dirty] = vs.max(axis=1)
+        return dirty
+
     # -- conventional (Q1) queries ---------------------------------------
 
     def locate_cell(self, x: float, y: float) -> int:

@@ -78,10 +78,16 @@ class ExplainReport:
 def _interval_statistics(index, bins: int):
     """FieldStatistics for an index, without charging accounted I/O.
 
-    A live index still carries its field; a reloaded one only has the
-    record store, so the endpoints are gathered from a metadata scan
-    whose counters are rolled back afterwards.
+    Delegates to :meth:`~repro.core.base.ValueIndex.statistics`, which
+    stays fresh under live updates (it recomputes from the record
+    store once the index has been written to) and caches per bin
+    count.  The metadata-scan fallback covers index-like objects that
+    predate that method.
     """
+    statistics = getattr(index, "statistics", None)
+    if statistics is not None:
+        return statistics(bins=bins)
+
     from ..core.statistics import FieldStatistics
 
     if getattr(index, "field", None) is not None:

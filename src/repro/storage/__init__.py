@@ -13,6 +13,8 @@ from .scrub import ScrubReport, file_sha256, repair_index, scrub_index
 from .snapshot import (SAVE_DISK_CRASH_POINTS, SnapshotError, load_disk,
                        save_disk, verify_snapshot)
 from .stats import CostModelParams, IOStats
+from .wal import (WAL_CRASH_POINTS, WalBatch, WalError, WalScan,
+                  WriteAheadLog, scan_wal)
 
 __all__ = [
     "BufferPool",
@@ -40,11 +42,17 @@ __all__ = [
     "SimulatedCrash",
     "SnapshotError",
     "TransientIOError",
+    "WAL_CRASH_POINTS",
+    "WalBatch",
+    "WalError",
+    "WalScan",
+    "WriteAheadLog",
     "file_sha256",
     "load_disk",
     "page_checksum",
     "repair_index",
     "save_disk",
+    "scan_wal",
     "scrub_index",
     "verify_snapshot",
 ]

@@ -105,7 +105,10 @@ class RecordStore:
         # Keep the in-memory tail mirror coherent for later appends.
         if self._tail_has_page and page_no == len(self._page_ids) - 1:
             self._tail[:self._tail_len] = current
-        self.pool.clear()
+        # Only the written page's cached frame is stale; evicting the
+        # whole pool would cold-start every other reader (and the batch
+        # engine's cross-query cache) on each single-record update.
+        self.pool.invalidate(self._page_ids[page_no])
 
     def get(self, rid: int) -> np.void:
         """Read a single record by id (one accounted page read)."""

@@ -146,12 +146,47 @@ def _scrub_file(directory: Path, role: str, entry: dict) -> FileStatus:
     return status
 
 
+def _scrub_wal(path: Path) -> FileStatus:
+    """Verify the write-ahead log next to a saved index.
+
+    The WAL is intentionally outside the manifest (it outlives any one
+    generation), so it gets its own classification: a torn tail is the
+    expected signature of a crash mid-append — the batch was never
+    acknowledged, recovery discards it, the directory is still CLEAN.
+    A checksum mismatch over complete records is real corruption.
+    """
+    from .wal import scan_wal
+
+    status = FileStatus(role="wal", name=path.name, ok=True)
+    try:
+        scan = scan_wal(path)
+    except OSError as exc:
+        status.ok = False
+        status.detail = str(exc)
+        return status
+    pending = (f"{len(scan.batches)} pending batch"
+               f"{'es' if len(scan.batches) != 1 else ''}")
+    if scan.error is None:
+        status.detail = pending
+    elif scan.torn_tail:
+        status.detail = f"{pending}; {scan.error} (recovery discards it)"
+    else:
+        status.ok = False
+        status.detail = f"{pending}; {scan.error}"
+    if REGISTRY.enabled:
+        _SCRUBBED.inc(len(scan.batches), status="ok")
+        if scan.error is not None and not scan.torn_tail:
+            _SCRUBBED.inc(1, status="corrupt")
+    return status
+
+
 def scrub_index(directory: str | Path) -> ScrubReport:
     """Verify every file and page of a saved index directory.
 
     Raises ``FileNotFoundError`` when the directory holds no manifest;
     damaged files/pages are *reported* in the returned
-    :class:`ScrubReport`, not raised.
+    :class:`ScrubReport`, not raised.  A ``wal.log`` next to the
+    manifest is scanned too (see :func:`_scrub_wal`).
     """
     directory = Path(directory)
     manifest = _read_manifest(directory)
@@ -159,6 +194,9 @@ def scrub_index(directory: str | Path) -> ScrubReport:
                          generation=int(manifest.get("generation", 0)))
     for role, entry in sorted(manifest.get("files", {}).items()):
         report.files.append(_scrub_file(directory, role, entry))
+    wal_path = directory / "wal.log"
+    if wal_path.exists():
+        report.files.append(_scrub_wal(wal_path))
     return report
 
 
@@ -179,6 +217,8 @@ def repair_index(directory: str | Path) -> tuple[ScrubReport, list[str]]:
     for status in report.files:
         if status.ok or status.bad_pages:
             continue
+        if status.role not in manifest.get("files", {}):
+            continue    # e.g. a corrupt WAL: no redundancy, report only
         path = directory / status.name
         if not path.exists():
             continue

@@ -1,0 +1,318 @@
+"""Checksummed write-ahead log for live cell updates.
+
+In-place record updates are not atomic: a crash between the page
+rewrite and the index-structure maintenance (subfield interval
+migration, R*-tree delete+insert) would leave the two permanently
+disagreeing.  The WAL makes the *logical* update durable first: an
+update batch — ``(cell_id, record)`` pairs — is appended to the log and
+fsynced before any page is touched, and only then is it acknowledged.
+Recovery replays pending batches on top of the last checkpoint
+(:func:`~repro.core.persist.save_index` is the checkpoint: once a save
+commits, the log is truncated), re-running the same deterministic
+maintenance path the live update took.
+
+Records are **logical**, not physical pages, for a reason: replaying a
+page image would restore the cell file but leave the manifest's
+subfield list and the R*-tree stale.  Replaying the batch through
+``update_cells`` regenerates all three consistently.
+
+On-disk layout::
+
+    file header   8-byte magic + version (16 bytes total)
+    record*       20-byte header (magic, payload bytes, CRC-32, LSN)
+                  followed by the payload:
+                    u32 record size, u32 count,
+                    count x u64 cell id, count x record bytes
+
+A torn tail — the file ends mid-record, the signature of a crash during
+an append — is discarded on open (the batch was never acknowledged).  A
+CRC mismatch over a *fully present* record cannot be produced by a torn
+append-only write and is reported as corruption
+(:class:`WalError`) instead of being silently dropped.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from .faults import SimulatedCrash
+
+#: File magic: identifies a repro WAL, version 1.
+_FILE_MAGIC = b"RPROWAL1"
+_FILE_HEADER = struct.Struct("<8sII")       # magic, version, reserved
+_VERSION = 1
+
+_REC_MAGIC = b"WREC"
+_REC_HEADER = struct.Struct("<4sIIQ")       # magic, payload_len, crc32, lsn
+_PAYLOAD_HEADER = struct.Struct("<II")      # record_size, count
+
+#: Crash points honoured by :meth:`WriteAheadLog.append`, in order.
+#: ``pre-append`` crashes before any byte is written; ``torn-append``
+#: writes half the record then crashes (the torn-tail case recovery
+#: must discard); ``pre-sync`` crashes after the write but before the
+#: fsync (not yet acknowledged); ``post-append`` crashes after the
+#: fsync — the batch *is* acknowledged and must survive replay.
+WAL_CRASH_POINTS = ("pre-append", "torn-append", "pre-sync", "post-append")
+
+
+class WalError(Exception):
+    """Raised for a structurally corrupt write-ahead log."""
+
+
+@dataclass(frozen=True)
+class WalBatch:
+    """One durable update batch: parallel cell ids and record bytes."""
+
+    lsn: int
+    cell_ids: np.ndarray
+    record_size: int
+    payload: bytes
+
+    @property
+    def count(self) -> int:
+        """Number of cell updates in the batch."""
+        return len(self.cell_ids)
+
+    def decode(self, dtype: np.dtype) -> np.ndarray:
+        """Records of the batch as a structured array of ``dtype``."""
+        dtype = np.dtype(dtype)
+        if dtype.itemsize != self.record_size:
+            raise WalError(
+                f"WAL batch lsn={self.lsn} holds {self.record_size}-byte "
+                f"records, store dtype is {dtype.itemsize} bytes")
+        return np.frombuffer(self.payload, dtype=dtype,
+                             count=len(self.cell_ids))
+
+
+@dataclass(frozen=True)
+class WalScan:
+    """Outcome of a read-only log scan (what ``scrub`` reports)."""
+
+    batches: tuple
+    total_bytes: int
+    valid_bytes: int
+    #: ``None`` when clean; otherwise why the scan stopped.
+    error: str | None = None
+    #: True when the invalid suffix is a torn tail (crash during an
+    #: append — expected, recoverable); False means real corruption.
+    torn_tail: bool = False
+
+
+def _encode_batch(lsn: int, cell_ids: np.ndarray,
+                  records: np.ndarray) -> bytes:
+    payload = (_PAYLOAD_HEADER.pack(records.dtype.itemsize, len(cell_ids))
+               + cell_ids.astype("<u8").tobytes()
+               + records.tobytes())
+    header = _REC_HEADER.pack(_REC_MAGIC, len(payload),
+                              zlib.crc32(payload) & 0xFFFFFFFF, lsn)
+    return header + payload
+
+
+def _decode_payload(lsn: int, payload: bytes) -> WalBatch:
+    record_size, count = _PAYLOAD_HEADER.unpack_from(payload)
+    ids_end = _PAYLOAD_HEADER.size + 8 * count
+    expected = ids_end + record_size * count
+    if expected != len(payload):
+        raise WalError(
+            f"WAL batch lsn={lsn}: payload is {len(payload)} bytes, "
+            f"header implies {expected}")
+    cell_ids = np.frombuffer(payload, dtype="<u8", count=count,
+                             offset=_PAYLOAD_HEADER.size).astype(np.int64)
+    return WalBatch(lsn=lsn, cell_ids=cell_ids, record_size=record_size,
+                    payload=payload[ids_end:])
+
+
+def scan_wal(path: str | Path) -> WalScan:
+    """Read-only scan of a log file; never modifies it.
+
+    Classifies the tail: a file ending mid-record is a *torn tail*
+    (normal crash signature); a CRC mismatch over fully present bytes
+    is corruption.
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    total = len(data)
+    if total < _FILE_HEADER.size:
+        return WalScan(batches=(), total_bytes=total, valid_bytes=0,
+                       error="file shorter than the WAL header",
+                       torn_tail=False)
+    magic, version, _ = _FILE_HEADER.unpack_from(data)
+    if magic != _FILE_MAGIC:
+        return WalScan(batches=(), total_bytes=total, valid_bytes=0,
+                       error="bad file magic — not a repro WAL",
+                       torn_tail=False)
+    if version != _VERSION:
+        return WalScan(batches=(), total_bytes=total, valid_bytes=0,
+                       error=f"unsupported WAL version {version}",
+                       torn_tail=False)
+    batches = []
+    offset = _FILE_HEADER.size
+    while offset < total:
+        if offset + _REC_HEADER.size > total:
+            return WalScan(tuple(batches), total, offset,
+                           error=f"torn tail: {total - offset} trailing "
+                                 f"bytes end mid-header",
+                           torn_tail=True)
+        magic, payload_len, crc, lsn = _REC_HEADER.unpack_from(data, offset)
+        body_start = offset + _REC_HEADER.size
+        if magic != _REC_MAGIC:
+            return WalScan(tuple(batches), total, offset,
+                           error=f"bad record magic at byte {offset}",
+                           torn_tail=False)
+        if body_start + payload_len > total:
+            return WalScan(tuple(batches), total, offset,
+                           error=f"torn tail: record at byte {offset} "
+                                 f"declares {payload_len} payload bytes, "
+                                 f"{total - body_start} remain",
+                           torn_tail=True)
+        payload = data[body_start:body_start + payload_len]
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            return WalScan(tuple(batches), total, offset,
+                           error=f"CRC mismatch in record lsn={lsn} "
+                                 f"at byte {offset}",
+                           torn_tail=False)
+        try:
+            batches.append(_decode_payload(lsn, payload))
+        except WalError as exc:
+            return WalScan(tuple(batches), total, offset,
+                           error=str(exc), torn_tail=False)
+        offset = body_start + payload_len
+    return WalScan(tuple(batches), total, offset, error=None)
+
+
+class WriteAheadLog:
+    """Append-only, checksummed update log with group fsync.
+
+    Parameters
+    ----------
+    path:
+        Log file, created (with its header) if absent.  Opening an
+        existing log scans it: complete, checksummed batches become
+        :attr:`pending`; a torn tail is truncated away (its batch was
+        never acknowledged); CRC damage over complete records raises
+        :class:`WalError`.
+    fsync:
+        When True (default) every append fsyncs before returning —
+        the acknowledgment point of the update protocol.  Tests may
+        disable it for speed; durability claims then void.
+    """
+
+    def __init__(self, path: str | Path, fsync: bool = True) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self.torn_tail_discarded = 0
+        if not self.path.exists():
+            with open(self.path, "wb") as fh:
+                fh.write(_FILE_HEADER.pack(_FILE_MAGIC, _VERSION, 0))
+                fh.flush()
+                os.fsync(fh.fileno())
+            self._pending: list[WalBatch] = []
+            self._next_lsn = 0
+        else:
+            scan = scan_wal(self.path)
+            if scan.error is not None and not scan.torn_tail:
+                raise WalError(f"{self.path}: {scan.error}")
+            self._pending = list(scan.batches)
+            self._next_lsn = (self._pending[-1].lsn + 1
+                              if self._pending else 0)
+            if scan.error is not None:       # torn tail: discard it
+                self.torn_tail_discarded = scan.total_bytes - scan.valid_bytes
+                with open(self.path, "r+b") as fh:
+                    fh.truncate(scan.valid_bytes)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+        self._fh = open(self.path, "r+b")
+        self._fh.seek(0, os.SEEK_END)
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def pending(self) -> tuple[WalBatch, ...]:
+        """Acknowledged batches not yet covered by a checkpoint."""
+        return tuple(self._pending)
+
+    @property
+    def last_lsn(self) -> int | None:
+        """LSN of the newest pending batch (None when empty)."""
+        return self._pending[-1].lsn if self._pending else None
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    # -- the protocol ------------------------------------------------------
+
+    def append(self, cell_ids, records, crash_point: str | None = None) -> int:
+        """Make one update batch durable; returns its LSN.
+
+        The batch is acknowledged — guaranteed to survive a crash —
+        only once this method returns.  ``crash_point`` (tests only)
+        aborts with :class:`~repro.storage.faults.SimulatedCrash` at a
+        named step of :data:`WAL_CRASH_POINTS`.
+        """
+        if crash_point is not None and crash_point not in WAL_CRASH_POINTS:
+            raise ValueError(
+                f"unknown crash point {crash_point!r}; expected one of "
+                f"{WAL_CRASH_POINTS}")
+        cell_ids = np.asarray(cell_ids, dtype=np.int64).ravel()
+        records = np.asarray(records)
+        if records.dtype.names is None:
+            raise TypeError("records must be a structured array")
+        if len(cell_ids) != len(records):
+            raise ValueError(
+                f"{len(cell_ids)} cell ids vs {len(records)} records")
+        if crash_point == "pre-append":
+            raise SimulatedCrash("pre-append")
+        lsn = self._next_lsn
+        encoded = _encode_batch(lsn, cell_ids, records)
+        if crash_point == "torn-append":
+            # Half the record reaches the platter, then the power goes.
+            self._fh.write(encoded[:len(encoded) // 2])
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            raise SimulatedCrash("torn-append")
+        self._fh.write(encoded)
+        self._fh.flush()
+        if crash_point == "pre-sync":
+            raise SimulatedCrash("pre-sync")
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+        self._next_lsn = lsn + 1
+        self._pending.append(_decode_payload(lsn, encoded[_REC_HEADER.size:]))
+        if crash_point == "post-append":
+            raise SimulatedCrash("post-append")
+        return lsn
+
+    def checkpoint(self) -> int:
+        """Drop every pending batch (their effects are now checkpointed).
+
+        Called after :func:`~repro.core.persist.save_index` commits:
+        the saved generation already contains the updated pages and
+        subfields, so replaying the log on top would be redundant (it
+        would also be harmless — replay is idempotent).  Returns the
+        number of batches dropped.  LSNs keep counting monotonically
+        across checkpoints.
+        """
+        dropped = len(self._pending)
+        self._fh.truncate(_FILE_HEADER.size)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._fh.seek(0, os.SEEK_END)
+        self._pending = []
+        return dropped
+
+    def close(self) -> None:
+        """Close the file handle (the log remains valid on disk)."""
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> WriteAheadLog:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,376 @@
+"""Write-ahead log: durability protocol, torn-tail recovery, crash matrix.
+
+The WAL is the acknowledgment point of the live-update protocol: an
+update batch survives any crash after ``append`` returns and is
+invisible after any crash before it.  This suite pins both halves — the
+log file format (round-trip, LSN monotonicity, checkpoint truncation,
+torn-tail discard vs. CRC corruption) and the index-level guarantee
+(for every crash point, reload + replay yields either exactly the
+pre-update index or exactly the post-update one, never a mix).
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    IHilbertIndex,
+    ValueQuery,
+    load_index,
+    save_index,
+)
+from repro.core.base import UPDATE_CRASH_POINTS
+from repro.field import DEMField
+from repro.storage import (
+    SimulatedCrash,
+    WalError,
+    WriteAheadLog,
+    scan_wal,
+)
+from repro.storage.scrub import scrub_index
+from repro.synth import fractal_dem_heights
+
+RECORD_DTYPE = np.dtype([("cell_id", "<i8"), ("vmin", "<f4"),
+                         ("vmax", "<f4")])
+
+
+def make_batch(rng, count=5):
+    cell_ids = rng.choice(1000, size=count, replace=False).astype(np.int64)
+    records = np.zeros(count, dtype=RECORD_DTYPE)
+    records["cell_id"] = cell_ids
+    records["vmin"] = rng.random(count).astype(np.float32)
+    records["vmax"] = records["vmin"] + 1.0
+    return cell_ids, records
+
+
+# -- file format -------------------------------------------------------------
+
+def test_roundtrip_across_reopen(tmp_path):
+    path = tmp_path / "wal.log"
+    rng = np.random.default_rng(0)
+    batches = [make_batch(rng) for _ in range(3)]
+    with WriteAheadLog(path) as wal:
+        for cell_ids, records in batches:
+            wal.append(cell_ids, records)
+        assert len(wal) == 3
+        assert wal.last_lsn == 2
+
+    reopened = WriteAheadLog(path)
+    assert len(reopened) == 3
+    for batch, (cell_ids, records) in zip(reopened.pending, batches):
+        assert np.array_equal(batch.cell_ids, cell_ids)
+        decoded = batch.decode(RECORD_DTYPE)
+        assert np.array_equal(decoded["vmin"], records["vmin"])
+        assert np.array_equal(decoded["vmax"], records["vmax"])
+    reopened.close()
+
+
+def test_decode_rejects_wrong_record_size(tmp_path):
+    rng = np.random.default_rng(1)
+    with WriteAheadLog(tmp_path / "wal.log") as wal:
+        wal.append(*make_batch(rng))
+        with pytest.raises(WalError, match="byte"):
+            wal.pending[0].decode(np.dtype([("x", "<f8")]))
+
+
+def test_append_validates_inputs(tmp_path):
+    rng = np.random.default_rng(2)
+    cell_ids, records = make_batch(rng)
+    with WriteAheadLog(tmp_path / "wal.log") as wal:
+        with pytest.raises(ValueError):
+            wal.append(cell_ids[:-1], records)
+        with pytest.raises(TypeError):
+            wal.append(cell_ids, np.zeros(len(cell_ids)))
+        with pytest.raises(ValueError):
+            wal.append(cell_ids, records, crash_point="not-a-point")
+
+
+def test_checkpoint_truncates_and_lsn_keeps_counting(tmp_path):
+    path = tmp_path / "wal.log"
+    rng = np.random.default_rng(3)
+    wal = WriteAheadLog(path)
+    wal.append(*make_batch(rng))
+    wal.append(*make_batch(rng))
+    size_before = path.stat().st_size
+    assert wal.checkpoint() == 2
+    assert len(wal) == 0
+    assert wal.last_lsn is None
+    assert path.stat().st_size < size_before
+    # LSNs are monotone across the checkpoint — replay after a crash
+    # between save and truncate must not see a reused LSN.
+    assert wal.append(*make_batch(rng)) == 2
+    wal.close()
+    assert [b.lsn for b in WriteAheadLog(path).pending] == [2]
+
+
+def test_torn_tail_is_discarded_and_truncated(tmp_path):
+    path = tmp_path / "wal.log"
+    rng = np.random.default_rng(4)
+    with WriteAheadLog(path) as wal:
+        wal.append(*make_batch(rng))
+        wal.append(*make_batch(rng))
+        intact = path.stat().st_size
+    # A crash mid-append leaves a half-written record at the tail.
+    with open(path, "ab") as fh:
+        fh.write(b"WREC\x99\x00\x00\x00partial")
+    scan = scan_wal(path)
+    assert scan.torn_tail
+    assert len(scan.batches) == 2
+
+    wal = WriteAheadLog(path)
+    assert len(wal) == 2
+    assert wal.torn_tail_discarded > 0
+    assert path.stat().st_size == intact    # tail physically removed
+    wal.close()
+
+
+def test_midfile_corruption_raises_not_discards(tmp_path):
+    path = tmp_path / "wal.log"
+    rng = np.random.default_rng(5)
+    with WriteAheadLog(path) as wal:
+        wal.append(*make_batch(rng))
+        wal.append(*make_batch(rng))
+    raw = bytearray(path.read_bytes())
+    raw[16 + 20 + 4] ^= 0x01       # payload byte of the first record
+    path.write_bytes(raw)
+    scan = scan_wal(path)
+    assert not scan.torn_tail
+    assert "CRC" in scan.error
+    with pytest.raises(WalError, match="CRC"):
+        WriteAheadLog(path)
+
+
+def test_wal_file_header_is_versioned(tmp_path):
+    path = tmp_path / "wal.log"
+    WriteAheadLog(path).close()
+    magic, version, _ = struct.unpack_from("<8sII", path.read_bytes())
+    assert magic == b"RPROWAL1"
+    assert version == 1
+
+
+@pytest.mark.parametrize("point", ["pre-append", "torn-append"])
+def test_append_crash_before_ack_loses_only_that_batch(tmp_path, point):
+    path = tmp_path / "wal.log"
+    rng = np.random.default_rng(6)
+    wal = WriteAheadLog(path)
+    wal.append(*make_batch(rng))
+    with pytest.raises(SimulatedCrash):
+        wal.append(*make_batch(rng), crash_point=point)
+    wal.close()
+    assert len(WriteAheadLog(path)) == 1
+
+
+def test_append_crash_pre_sync_is_unacknowledged_but_may_survive(tmp_path):
+    """pre-sync is the gray zone: the batch was never acknowledged, so
+    losing it would be legal — but the simulated crash leaves the fully
+    written record in the file, and recovery accepts it (replay of an
+    unacknowledged batch is allowed, silent loss of an acknowledged one
+    is not)."""
+    path = tmp_path / "wal.log"
+    rng = np.random.default_rng(6)
+    wal = WriteAheadLog(path)
+    wal.append(*make_batch(rng))
+    with pytest.raises(SimulatedCrash):
+        wal.append(*make_batch(rng), crash_point="pre-sync")
+    wal.close()
+    reopened = WriteAheadLog(path)
+    assert len(reopened) == 2
+    assert [b.lsn for b in reopened.pending] == [0, 1]
+    reopened.close()
+
+
+def test_append_crash_after_fsync_is_durable(tmp_path):
+    path = tmp_path / "wal.log"
+    rng = np.random.default_rng(7)
+    wal = WriteAheadLog(path)
+    with pytest.raises(SimulatedCrash):
+        wal.append(*make_batch(rng), crash_point="post-append")
+    wal.close()
+    assert len(WriteAheadLog(path)) == 1
+
+
+# -- index-level crash matrix ------------------------------------------------
+
+def _field():
+    return DEMField(fractal_dem_heights(16, 0.5, seed=21))
+
+
+def _answers(index, queries):
+    out = []
+    for q in queries:
+        index.clear_caches()
+        r = index.query(q)
+        out.append((r.candidate_count, round(r.area, 9)))
+    return out
+
+
+@pytest.mark.parametrize("point", UPDATE_CRASH_POINTS)
+def test_crash_matrix_all_or_nothing(tmp_path, point):
+    """Reload after a crash equals exactly one of the two legal states."""
+    rng = np.random.default_rng(31)
+    directory = tmp_path / "idx"
+    index = IHilbertIndex(_field())
+    save_index(index, directory)
+    index.attach_wal(directory / "wal.log")
+
+    ids = rng.choice(index.field.num_vertices, size=40, replace=False)
+    vr = index.field.value_range
+    vals = rng.uniform(vr.lo, vr.hi, size=40).astype(np.float32)
+    vr = index.field.value_range
+    queries = [ValueQuery(vr.lo, vr.lo + 0.3 * (vr.hi - vr.lo)),
+               ValueQuery(vr.lo + 0.4 * (vr.hi - vr.lo), vr.hi)]
+
+    before_twin = IHilbertIndex(_field())
+    after_twin = IHilbertIndex(_field())
+    after_twin.apply_updates(ids, vals)
+    before = _answers(before_twin, queries)
+    after = _answers(after_twin, queries)
+    assert before != after      # the workload must discriminate
+
+    with pytest.raises(SimulatedCrash):
+        index.apply_updates(ids, vals, crash_point=point)
+
+    recovered = load_index(directory)
+    got = _answers(recovered, queries)
+    if point in ("wal-appended", "post-append"):
+        # Acknowledged: the update MUST survive.
+        assert got == after, f"{point}: acknowledged update lost"
+        assert len(recovered.wal.pending) == 1
+    elif point == "pre-sync":
+        # Unacknowledged but fully written: either outcome is legal; in
+        # the simulation the flushed record survives and is replayed.
+        assert got in (before, after), f"{point}: recovered a mix"
+    else:
+        assert got == before, f"{point}: unacknowledged update leaked"
+        assert len(recovered.wal.pending) == 0
+
+
+def test_acknowledged_update_survives_without_any_page_write(tmp_path):
+    """The window the WAL exists for: ack'd, zero data pages written."""
+    rng = np.random.default_rng(32)
+    directory = tmp_path / "idx"
+    index = IHilbertIndex(_field())
+    save_index(index, directory)
+    index.attach_wal(directory / "wal.log")
+    ids = rng.choice(index.field.num_vertices, size=10, replace=False)
+    vr = index.field.value_range
+    vals = rng.uniform(vr.lo, vr.hi, size=10).astype(np.float32)
+    with pytest.raises(SimulatedCrash):
+        index.apply_updates(ids, vals, crash_point="wal-appended")
+
+    recovered = load_index(directory)
+    twin = IHilbertIndex(_field())
+    twin.apply_updates(ids, vals)
+    assert np.array_equal(recovered.store.read_range(0, len(twin.store) - 1),
+                          twin.store.read_range(0, len(twin.store) - 1))
+
+
+def test_replay_is_idempotent_across_double_reload(tmp_path):
+    rng = np.random.default_rng(33)
+    directory = tmp_path / "idx"
+    index = IHilbertIndex(_field())
+    save_index(index, directory)
+    index.attach_wal(directory / "wal.log")
+    ids = rng.choice(index.field.num_vertices, size=25, replace=False)
+    vr = index.field.value_range
+    vals = rng.uniform(vr.lo, vr.hi, size=25).astype(np.float32)
+    with pytest.raises(SimulatedCrash):
+        index.apply_updates(ids, vals, crash_point="post-append")
+
+    # First recovery replays but crashes before it can checkpoint;
+    # the second replay of the same batch must be a no-op.
+    first = load_index(directory)
+    second = load_index(directory)
+    vr = _field().value_range
+    q = ValueQuery(vr.lo, vr.hi)
+    assert _answers(first, [q]) == _answers(second, [q])
+
+
+def test_save_index_checkpoints_the_wal(tmp_path):
+    rng = np.random.default_rng(34)
+    directory = tmp_path / "idx"
+    index = IHilbertIndex(_field())
+    save_index(index, directory)
+    index.attach_wal(directory / "wal.log")
+    ids = rng.choice(index.field.num_vertices, size=10, replace=False)
+    vr = index.field.value_range
+    vals = rng.uniform(vr.lo, vr.hi, size=10).astype(np.float32)
+    index.apply_updates(ids, vals)
+    assert len(index.wal) == 1
+    save_index(index, directory)
+    assert len(index.wal) == 0
+    # The truncated log carries no batches for the next open either.
+    reloaded = load_index(directory)
+    assert len(reloaded.wal) == 0
+
+
+def test_attach_wal_refuses_silent_pending_batches(tmp_path):
+    rng = np.random.default_rng(35)
+    directory = tmp_path / "idx"
+    index = IHilbertIndex(_field())
+    save_index(index, directory)
+    index.attach_wal(directory / "wal.log")
+    ids = rng.choice(index.field.num_vertices, size=5, replace=False)
+    vr = index.field.value_range
+    vals = rng.uniform(vr.lo, vr.hi, size=5).astype(np.float32)
+    with pytest.raises(SimulatedCrash):
+        index.apply_updates(ids, vals, crash_point="wal-appended")
+
+    fresh = IHilbertIndex(_field())
+    with pytest.raises(ValueError, match="pending"):
+        fresh.attach_wal(directory / "wal.log")
+    # replay=True applies them instead.
+    fresh.attach_wal(directory / "wal.log", replay=True)
+    twin = IHilbertIndex(_field())
+    twin.apply_updates(ids, vals)
+    vr = _field().value_range
+    q = ValueQuery(vr.lo, vr.hi)
+    assert _answers(fresh, [q]) == _answers(twin, [q])
+
+
+# -- scrub integration -------------------------------------------------------
+
+def test_scrub_reports_pending_batches_as_clean(tmp_path):
+    rng = np.random.default_rng(36)
+    directory = tmp_path / "idx"
+    index = IHilbertIndex(_field())
+    save_index(index, directory)
+    index.attach_wal(directory / "wal.log")
+    ids = rng.choice(index.field.num_vertices, size=5, replace=False)
+    vr = index.field.value_range
+    vals = rng.uniform(vr.lo, vr.hi, size=5).astype(np.float32)
+    index.apply_updates(ids, vals)
+
+    report = scrub_index(directory)
+    assert report.ok
+    wal_lines = [f for f in report.files if f.role == "wal"]
+    assert len(wal_lines) == 1
+    assert "1 pending batch" in wal_lines[0].detail
+
+
+def test_scrub_classifies_torn_tail_clean_corruption_not(tmp_path):
+    rng = np.random.default_rng(37)
+    directory = tmp_path / "idx"
+    index = IHilbertIndex(_field())
+    save_index(index, directory)
+    index.attach_wal(directory / "wal.log")
+    ids = rng.choice(index.field.num_vertices, size=5, replace=False)
+    vr = index.field.value_range
+    vals = rng.uniform(vr.lo, vr.hi, size=5).astype(np.float32)
+    index.apply_updates(ids, vals)
+    path = directory / "wal.log"
+
+    with open(path, "ab") as fh:
+        fh.write(b"WREC\xff\xff")            # torn tail: still CLEAN
+    assert scrub_index(directory).ok
+
+    raw = bytearray(path.read_bytes())
+    raw[16 + 20 + 2] ^= 0x10                 # CRC damage: CORRUPT
+    path.write_bytes(raw)
+    report = scrub_index(directory)
+    assert not report.ok
+    wal_lines = [f for f in report.files if f.role == "wal"]
+    assert not wal_lines[0].ok

@@ -1,13 +1,17 @@
 #!/usr/bin/env python3
-"""Validate BENCH_throughput.json against its committed schema.
+"""Validate committed benchmark artifacts against their schemas.
+
+Understands both repo-root artifacts and dispatches on the document's
+``experiment`` field: ``BENCH_throughput.json`` (parallel-engine sweep)
+and ``BENCH_update.json`` (live-update degradation/compaction/WAL run).
 
 Standard library only — this runs in the CI lint job, which installs no
 scientific stack.  The checks are deliberately structural *and*
-semantic: a file that parses but reports a parallel slowdown, mismatched
-page counts across worker sweeps, or a missing method is as much a
-regression as malformed JSON.
+semantic: a file that parses but reports a parallel slowdown, an update
+run that diverged from a rebuild, or a compaction that failed to
+recover is as much a regression as malformed JSON.
 
-Usage: python tools/validate_bench_schema.py [BENCH_throughput.json]
+Usage: python tools/validate_bench_schema.py [BENCH_*.json]
 Exit status: 0 valid, 1 invalid, 2 usage/IO error.
 """
 
@@ -18,6 +22,8 @@ import sys
 
 SCHEMA_VERSION = 1
 REQUIRED_METHODS = {"LinearScan", "I-All", "I-Hilbert"}
+#: Acceptance bar for post-compaction query cost vs. a fresh build.
+COMPACT_RECOVERY_LIMIT = 1.10
 
 _errors: list[str] = []
 
@@ -95,16 +101,11 @@ def check_method(entry: dict, workers: list) -> None:
             f"(workers={last['workers']})")
 
 
-def validate(doc) -> None:
-    if not isinstance(doc, dict):
-        err("top level: must be a JSON object")
-        return
+def check_common(doc: dict) -> None:
+    """Envelope checks shared by every experiment artifact."""
     version = expect(doc, "schema_version", int, "top level")
     if version is not None and version != SCHEMA_VERSION:
         err(f"top level: schema_version {version} != {SCHEMA_VERSION}")
-    experiment = expect(doc, "experiment", str, "top level")
-    if experiment is not None and experiment != "throughput":
-        err(f"top level: experiment {experiment!r} != 'throughput'")
     expect(doc, "smoke", bool, "top level")
 
     field = expect(doc, "field", dict, "top level")
@@ -127,6 +128,10 @@ def validate(doc) -> None:
             err(f"workload: queries {queries} != per_qinterval {per_q} "
                 f"x {len(qintervals)} qintervals")
 
+
+def validate_throughput(doc: dict) -> str:
+    check_common(doc)
+
     device = expect(doc, "device_model", dict, "top level")
     if device is not None:
         for key in ("random_read_ms", "sequential_read_ms", "scale"):
@@ -143,17 +148,155 @@ def validate(doc) -> None:
 
     methods = expect(doc, "methods", list, "top level")
     if methods is None or workers is None:
-        return
+        return ""
     names = set()
     for entry in methods:
         if not isinstance(entry, dict):
             err("methods: every entry must be an object")
-            return
+            return ""
         names.add(entry.get("method"))
         check_method(entry, workers)
     missing = REQUIRED_METHODS - names
     if missing:
         err(f"methods: missing {sorted(missing)}")
+    return f"{len(methods)} methods, workers {workers}"
+
+
+def check_update_step(step: dict, baseline: dict | None, ctx: str) -> None:
+    applied = expect(step, "updates_applied", int, ctx)
+    if applied is not None and applied < 0:
+        err(f"{ctx}: updates_applied must be >= 0, got {applied}")
+    fraction = expect(step, "fraction", (int, float), ctx)
+    if fraction is not None and not 0 < fraction <= 1:
+        err(f"{ctx}: fraction must be in (0, 1], got {fraction}")
+    pages = expect(step, "page_reads", dict, ctx)
+    if pages is not None:
+        for method in REQUIRED_METHODS:
+            reads = expect(pages, method, int, f"{ctx}.page_reads")
+            if reads is not None and reads <= 0:
+                err(f"{ctx}: page_reads[{method}] must be positive, "
+                    f"got {reads}")
+    ratios = expect(step, "ratio_vs_baseline", dict, ctx)
+    if ratios is not None and baseline is not None and pages is not None:
+        for method in REQUIRED_METHODS & set(ratios) & set(pages):
+            base = baseline.get(method)
+            if isinstance(base, int) and base > 0 \
+                    and isinstance(pages.get(method), int):
+                want = pages[method] / base
+                got = ratios[method]
+                if not isinstance(got, (int, float)) \
+                        or abs(got - want) > 1e-3:
+                    err(f"{ctx}: ratio_vs_baseline[{method}] {got} "
+                        f"inconsistent with page_reads/baseline "
+                        f"{want:.4f}")
+    staleness = expect(step, "ih_staleness", dict, ctx)
+    if staleness is not None:
+        for key in ("subfields", "stale_subfields"):
+            expect(staleness, key, int, f"{ctx}.ih_staleness")
+        for key in ("max_drift", "mean_drift"):
+            expect(staleness, key, (int, float), f"{ctx}.ih_staleness")
+    for key in ("ih_maint_page_reads", "ih_maint_page_writes"):
+        value = expect(step, key, int, ctx)
+        if value is not None and value < 0:
+            err(f"{ctx}: {key} must be >= 0, got {value}")
+
+
+def validate_update(doc: dict) -> str:
+    check_common(doc)
+
+    updates = expect(doc, "updates", dict, "top level")
+    if updates is not None:
+        count = expect(updates, "count", int, "updates")
+        if count is not None and count < 1:
+            err(f"updates: count must be >= 1, got {count}")
+        expect(updates, "seed", int, "updates")
+        expect(updates, "distribution", str, "updates")
+
+    baseline = expect(doc, "baseline_page_reads", dict, "top level")
+    if baseline is not None:
+        missing = REQUIRED_METHODS - set(baseline)
+        if missing:
+            err(f"baseline_page_reads: missing {sorted(missing)}")
+        for method, reads in baseline.items():
+            if not isinstance(reads, int) or reads <= 0:
+                err(f"baseline_page_reads[{method}]: must be a positive "
+                    f"int, got {reads!r}")
+
+    steps = expect(doc, "steps", list, "top level")
+    if steps is not None:
+        if not steps:
+            err("steps: must not be empty")
+        last_applied = 0
+        last_maint = -1
+        for i, step in enumerate(steps):
+            if not isinstance(step, dict):
+                err(f"steps[{i}]: must be an object")
+                continue
+            check_update_step(step, baseline, f"steps[{i}]")
+            applied = step.get("updates_applied")
+            if isinstance(applied, int):
+                if applied < last_applied:
+                    err(f"steps[{i}]: updates_applied {applied} not "
+                        f"ascending (previous {last_applied})")
+                last_applied = applied
+            maint = step.get("ih_maint_page_reads")
+            if isinstance(maint, int):
+                if maint < last_maint:
+                    err(f"steps[{i}]: ih_maint_page_reads {maint} "
+                        f"decreased (cumulative counter)")
+                last_maint = maint
+
+    final = expect(doc, "final", dict, "top level")
+    if final is None:
+        return ""
+    equivalent = expect(final, "equivalent_to_rebuild", bool, "final")
+    if equivalent is False:
+        err("final: equivalent_to_rebuild is false — updated indexes "
+            "diverged from a from-scratch rebuild")
+    compaction = expect(final, "compaction", dict, "final")
+    ratio = None
+    if compaction is not None:
+        for key in ("degraded_page_reads", "compacted_page_reads",
+                    "fresh_page_reads", "reclustered_cells",
+                    "subfields_before", "subfields_after"):
+            value = expect(compaction, key, int, "final.compaction")
+            if value is not None and value < 0:
+                err(f"final.compaction: {key} must be >= 0, got {value}")
+        ratio = expect(compaction, "recovery_ratio", (int, float),
+                       "final.compaction")
+        if ratio is not None and ratio > COMPACT_RECOVERY_LIMIT:
+            err(f"final.compaction: recovery_ratio {ratio} > "
+                f"{COMPACT_RECOVERY_LIMIT} — compaction failed to "
+                f"restore fresh-build query cost")
+    recovered = expect(final, "wal_recovery", bool, "final")
+    if recovered is False:
+        err("final: wal_recovery is false — WAL replay lost an "
+            "acknowledged update")
+    parts = [f"{len(doc.get('steps') or [])} update steps"]
+    if ratio is not None:
+        parts.append(f"compaction recovery {ratio:g}")
+    return ", ".join(parts)
+
+
+VALIDATORS = {
+    "throughput": validate_throughput,
+    "update": validate_update,
+}
+
+
+def validate(doc) -> str:
+    if not isinstance(doc, dict):
+        err("top level: must be a JSON object")
+        return ""
+    experiment = expect(doc, "experiment", str, "top level")
+    if experiment is None:
+        return ""
+    validator = VALIDATORS.get(experiment)
+    if validator is None:
+        err(f"top level: unknown experiment {experiment!r} "
+            f"(known: {sorted(VALIDATORS)})")
+        return ""
+    return validator(doc)
 
 
 def main(argv: list[str]) -> int:
@@ -170,13 +313,13 @@ def main(argv: list[str]) -> int:
     except json.JSONDecodeError as exc:
         print(f"error: {path} is not valid JSON: {exc}", file=sys.stderr)
         return 1
-    validate(doc)
+    detail = validate(doc)
     if _errors:
         for message in _errors:
             print(f"error: {path}: {message}", file=sys.stderr)
         return 1
     print(f"{path}: valid (schema v{SCHEMA_VERSION}, "
-          f"{len(doc['methods'])} methods, workers {doc['workers']})")
+          f"{doc['experiment']}{': ' + detail if detail else ''})")
     return 0
 
 
