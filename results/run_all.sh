@@ -24,6 +24,9 @@ python -m repro.bench throughput > results/throughput.txt 2>&1
 # Live-update degradation/compaction/WAL-recovery experiment; also
 # writes BENCH_update.json at the repo root.
 python -m repro.bench update > results/update.txt 2>&1
+# Multi-tenant query-service load run; also writes BENCH_serve.json
+# at the repo root.
+python -m repro.bench serve > results/serve.txt 2>&1
 # Observability artifacts: EXPLAIN ANALYZE report + query/batch span traces
 # over a small demo index (Perfetto-loadable Chrome trace JSON).
 python -c "

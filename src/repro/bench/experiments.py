@@ -768,6 +768,258 @@ def update_stream(full: bool = False, queries: int | None = None,
     return "\n".join(lines)
 
 
+def serve_bench(full: bool = False, queries: int | None = None,
+                seed: int = 0, estimate: str = "area",
+                smoke: bool = False,
+                json_path: str | None = "BENCH_serve.json",
+                **_ignored) -> str:
+    """Closed-loop multi-tenant load against the field query service.
+
+    Boots a :class:`~repro.serve.server.FieldServer` in-process on an
+    ephemeral port with the Fig. 8a terrain open behind the engine
+    facade, then drives it from concurrent closed-loop clients — two
+    tenants, several connections each, every client replaying its own
+    Fig. 8a query mix through the wire protocol.  Reports q/s and
+    latency percentiles (p50/p95/p99) per tenant, plus the per-tenant
+    buffer-pool attribution the shared pool accounted during the run.
+
+    Every response is verified *byte-equivalent* to a direct
+    :class:`~repro.core.facade.EngineFacade` call: candidates must
+    match exactly and areas must round-trip JSON to the identical
+    float.  Any mismatch, error response or client failure exits
+    non-zero — so ``--smoke`` (tiny field, fewer clients, no JSON
+    artifact) doubles as the CI regression gate for the serving layer.
+    """
+    import json as json_mod
+    import threading
+    import time
+
+    from ..core import EngineFacade
+    from ..serve import (AdmissionController, FieldClient, FieldServer,
+                         ServerError, ServerThread, TenantQuota)
+    from ..synth import value_query_workload
+
+    if smoke:
+        size, per_q, clients_per_tenant = 64, 2, 2
+        json_path = None
+    else:
+        size = 512 if full else 256
+        per_q = 4 if queries is None else queries
+        clients_per_tenant = 4
+    tenants = ("alice", "bob")
+    engine_workers, executor_workers = 2, 4
+
+    field = roseburg_like(cells_per_side=size)
+    facade = EngineFacade(default_workers=engine_workers)
+    t0 = time.perf_counter()
+    # Pool-backed storage (not mmap) with a warm shared pool: the point
+    # here is the cross-tenant buffer pool and its per-tenant
+    # hit/miss/byte and residency attribution.
+    facade.open_field("terrain",
+                      IHilbertIndex(field, cache_pages=WARM_CACHE_PAGES))
+    build_seconds = time.perf_counter() - t0
+
+    # Per-client workloads: each client replays its own Fig. 8a mix,
+    # seeded per (tenant, client) so connections do not run in lockstep.
+    workloads: dict[tuple[str, int], list] = {}
+    for ti, tenant in enumerate(tenants):
+        for ci in range(clients_per_tenant):
+            mix = []
+            for q in QINTERVALS_FIG8:
+                mix += value_query_workload(
+                    field.value_range, q, count=per_q,
+                    seed=seed + 1000 * ti + ci)
+            workloads[(tenant, ci)] = mix
+    per_client = per_q * len(QINTERVALS_FIG8)
+
+    # Direct-engine oracle for every distinct query, computed before
+    # the load run (queries are read-only, so order cannot matter).
+    oracle = {}
+    for mix in workloads.values():
+        for query in mix:
+            key = (query.lo, query.hi)
+            if key not in oracle:
+                result = facade.query("terrain", query.lo, query.hi,
+                                      estimate=estimate)
+                oracle[key] = (result.candidate_count, result.area)
+
+    admission = AdmissionController(
+        default=TenantQuota(burst=64, max_pending=256, timeout_s=60.0))
+    server = FieldServer(facade=facade, admission=admission,
+                         executor_workers=executor_workers,
+                         enable_metrics=True)
+    harness = ServerThread(server)
+    host, port = harness.start()
+
+    n_clients = len(workloads)
+    barrier = threading.Barrier(n_clients)
+    records: dict[tuple[str, int], dict] = {}
+
+    def run_client(tenant: str, ci: int) -> None:
+        mix = workloads[(tenant, ci)]
+        latencies, mismatches, errors = [], 0, 0
+        client = FieldClient(host, port, tenant=tenant)
+        try:
+            barrier.wait()
+            start = time.perf_counter()
+            for query in mix:
+                q0 = time.perf_counter()
+                try:
+                    reply = client.query("terrain", query.lo, query.hi,
+                                         estimate=estimate)
+                except ServerError:
+                    errors += 1
+                    continue
+                latencies.append((time.perf_counter() - q0) * 1000.0)
+                want = oracle[(query.lo, query.hi)]
+                if (reply["candidates"], reply["area"]) != want:
+                    mismatches += 1
+            wall = time.perf_counter() - start
+        finally:
+            client.close()
+        records[(tenant, ci)] = {"latencies": latencies, "wall": wall,
+                                 "mismatches": mismatches,
+                                 "errors": errors}
+
+    threads = [threading.Thread(target=run_client, args=key,
+                                name=f"client-{key[0]}-{key[1]}")
+               for key in workloads]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    with FieldClient(host, port, tenant="bench") as probe:
+        stats = probe.stats("terrain")
+    harness.stop()
+
+    lines = [
+        f"== serve: multi-tenant load on the field query service "
+        f"({size}x{size} terrain, shared buffer pool) ==",
+        f"tenants: {len(tenants)} x {clients_per_tenant} client(s), "
+        f"{per_client} queries/client ({per_q} per Qinterval setting "
+        f"{QINTERVALS_FIG8}), seed={seed}, estimate={estimate}",
+        f"server: engine workers={engine_workers}, executor "
+        f"workers={executor_workers}, build {build_seconds:.2f}s",
+        "",
+        f"{'tenant':>8} {'clients':>8} {'queries':>8} {'errors':>7} "
+        f"{'q/s':>8} {'p50 ms':>8} {'p95 ms':>8} {'p99 ms':>8} "
+        f"{'max ms':>8}",
+    ]
+    tenant_payload = []
+    total_queries = total_mismatches = total_errors = 0
+    max_wall = 0.0
+    for tenant in tenants:
+        tenant_records = [records[key] for key in sorted(records)
+                          if key[0] == tenant]
+        latencies = np.asarray(
+            [ms for record in tenant_records
+             for ms in record["latencies"]])
+        wall = max(record["wall"] for record in tenant_records)
+        errors = sum(record["errors"] for record in tenant_records)
+        mismatches = sum(record["mismatches"]
+                         for record in tenant_records)
+        qps = len(latencies) / wall if wall > 0 else 0.0
+        p50, p95, p99 = (np.percentile(latencies, (50, 95, 99))
+                         if len(latencies) else (0.0, 0.0, 0.0))
+        lines.append(
+            f"{tenant:>8} {clients_per_tenant:>8} {len(latencies):>8} "
+            f"{errors:>7} {qps:>8.1f} {p50:>8.2f} {p95:>8.2f} "
+            f"{p99:>8.2f} {latencies.max() if len(latencies) else 0:>8.2f}")
+        pool_share = stats["tenants"].get(tenant, {})
+        residency = stats["residency"]["tenants"].get(tenant, {})
+        tenant_payload.append({
+            "tenant": tenant,
+            "clients": clients_per_tenant,
+            "queries": int(len(latencies)),
+            "errors": errors,
+            "wall_s": round(wall, 4),
+            "qps": round(qps, 2),
+            "latency_ms": {
+                "p50": round(float(p50), 3),
+                "p95": round(float(p95), 3),
+                "p99": round(float(p99), 3),
+                "mean": round(float(latencies.mean()), 3)
+                        if len(latencies) else 0.0,
+                "max": round(float(latencies.max()), 3)
+                       if len(latencies) else 0.0,
+            },
+            "pool": pool_share,
+            "residency": residency,
+        })
+        total_queries += len(latencies)
+        total_mismatches += mismatches
+        total_errors += errors
+        max_wall = max(max_wall, wall)
+    overall_qps = total_queries / max_wall if max_wall > 0 else 0.0
+    lines += [
+        "",
+        f"total: {total_queries} queries in {max_wall:.2f}s "
+        f"({overall_qps:.1f} q/s across {n_clients} connections)",
+        f"equivalence: {total_queries - total_mismatches}/"
+        f"{total_queries} responses byte-equivalent to direct engine "
+        f"calls",
+        f"shared pool: {stats['pool']['hits']} hits / "
+        f"{stats['pool']['misses']} misses, per-tenant attribution "
+        + ", ".join(
+            f"{t}={sum(stats['tenants'].get(t, {}).get(k, 0) for k in ('hits', 'misses'))} "
+            f"accesses ({stats['tenants'].get(t, {}).get('bytes_read', 0)} B)"
+            for t in tenants),
+    ]
+    if json_path:
+        payload = {
+            "schema_version": 1,
+            "experiment": "serve",
+            "field": {
+                "type": type(field).__name__,
+                "cells_per_side": size,
+                "cells": field.num_cells,
+            },
+            "workload": {
+                "queries": per_client,
+                "per_qinterval": per_q,
+                "qintervals": QINTERVALS_FIG8,
+                "seed": seed,
+                "estimate": estimate,
+            },
+            "smoke": smoke,
+            "server": {
+                "engine_workers": engine_workers,
+                "executor_workers": executor_workers,
+                "tenants": len(tenants),
+                "clients_per_tenant": clients_per_tenant,
+                "total_requests": total_queries,
+            },
+            "tenants": tenant_payload,
+            "totals": {
+                "queries": total_queries,
+                "wall_s": round(max_wall, 4),
+                "qps": round(overall_qps, 2),
+            },
+            "equivalence": {
+                "checked": total_queries,
+                "mismatches": total_mismatches,
+            },
+        }
+        with open(json_path, "w") as fh:
+            json_mod.dump(payload, fh, indent=1)
+            fh.write("\n")
+        lines.append(f"(machine-readable results written to {json_path})")
+    failures = []
+    if total_mismatches:
+        failures.append(f"{total_mismatches} responses diverged from "
+                        f"direct engine answers")
+    if total_errors:
+        failures.append(f"{total_errors} requests got error responses")
+    if total_queries != n_clients * per_client:
+        failures.append(
+            f"served {total_queries} queries, expected "
+            f"{n_clients * per_client}")
+    if failures:
+        raise SystemExit("serve regression: " + "; ".join(failures))
+    return "\n".join(lines)
+
+
 def _render(result) -> str:
     if isinstance(result, str):
         return result
@@ -792,4 +1044,5 @@ EXPERIMENTS: dict[str, Callable] = {
     "methods-extra": methods_extra,
     "throughput": throughput,
     "update": update_stream,
+    "serve": serve_bench,
 }

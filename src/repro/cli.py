@@ -18,7 +18,9 @@ A small database-style front end over the library:
   snapshot afterwards);
 * ``compact`` — re-cluster stale subfields of a saved index and save
   the result;
-* ``point``   — conventional (Q1) query on a ``.npy`` height grid.
+* ``point``   — conventional (Q1) query on a ``.npy`` height grid;
+* ``serve``   — serve fields to concurrent multi-tenant clients over
+  the newline-delimited JSON protocol (DESIGN.md §10).
 
 ``query`` and ``batch`` accept ``--trace FILE`` (span tree as Chrome
 trace-event JSON, or JSONL with a ``.jsonl`` suffix),
@@ -37,6 +39,7 @@ Examples::
     python -m repro update terrain-index/ terrain.npy edits.txt
     python -m repro compact terrain-index/
     python -m repro point terrain.npy 30.5 99.25
+    python -m repro serve terrain=terrain-index/ --port 7433 --rate 50
 """
 
 from __future__ import annotations
@@ -49,9 +52,9 @@ from pathlib import Path
 import numpy as np
 
 from .core import (
-    BatchQueryEngine,
+    EngineFacade,
+    FacadeError,
     IHilbertIndex,
-    ParallelQueryEngine,
     PointIndex,
     ValueQuery,
     load_index,
@@ -125,16 +128,17 @@ def _write_observability(args, tracer: Tracer | None) -> None:
 
 def cmd_query(args) -> int:
     """Run a field value query against a saved index."""
-    index = load_index(args.index_dir)
+    facade = EngineFacade()
+    facade.open_field("cli", args.index_dir)
+    index = facade.handle("cli").index
     tracer = _setup_observability(args, index)
-    query = ValueQuery(args.lo, args.hi)
     mode = "regions" if args.regions else "area"
     if args.workers > 1:
-        engine = ParallelQueryEngine(index, workers=args.workers,
-                                     cache_pages=0)
-        result = engine.run([query], estimate=mode).results[0]
+        result = facade.batch("cli", [ValueQuery(args.lo, args.hi)],
+                              estimate=mode, workers=args.workers,
+                              cache_pages=0).results[0]
     else:
-        result = index.query(query, estimate=mode)
+        result = facade.query("cli", args.lo, args.hi, estimate=mode)
     print(f"candidates: {result.candidate_count}")
     print(f"answer area: {result.area:.4f}")
     print(f"I/O: {result.io.page_reads} pages "
@@ -179,20 +183,18 @@ def _load_queries(path: Path) -> list[ValueQuery]:
 
 def cmd_batch(args) -> int:
     """Run a file of value queries through the batch engine."""
-    index = load_index(args.index_dir)
+    facade = EngineFacade()
+    facade.open_field("cli", args.index_dir)
+    index = facade.handle("cli").index
     tracer = _setup_observability(args, index)
     queries = _load_queries(Path(args.queries))
     try:
-        if args.workers > 1:
-            engine = ParallelQueryEngine(index, workers=args.workers,
-                                         cache_pages=args.cache_pages,
-                                         merge=not args.no_merge)
-        else:
-            engine = BatchQueryEngine(index, cache_pages=args.cache_pages,
-                                      merge=not args.no_merge)
+        batch = facade.batch("cli", queries, estimate=args.estimate,
+                             workers=args.workers,
+                             cache_pages=args.cache_pages,
+                             merge=not args.no_merge)
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
-    batch = engine.run(queries, estimate=args.estimate)
     if not args.quiet:
         for i, result in enumerate(batch.results):
             q = result.query
@@ -377,6 +379,71 @@ def cmd_compact(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Serve fields over the newline-JSON protocol (``repro.serve``)."""
+    import asyncio
+    import signal
+
+    from .serve import AdmissionController, FieldServer, TenantQuota
+
+    catalog = {}
+    for spec in args.fields:
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            raise SystemExit(
+                f"error: field spec {spec!r} must be NAME=PATH")
+        catalog[name] = path
+    facade = EngineFacade(default_workers=args.workers,
+                          default_cache_pages=args.cache_pages)
+    for name, path in catalog.items():
+        try:
+            info = facade.open_field(name, path)
+        except (FacadeError, FileNotFoundError) as exc:
+            raise SystemExit(f"error: {name}: {exc}")
+        print(f"opened {name}: {info['cells']} cells "
+              f"({info['method']}, {args.workers} worker(s))",
+              file=sys.stderr)
+    try:
+        quota = TenantQuota(rate=args.rate, burst=args.burst,
+                            max_pending=args.max_queue,
+                            on_limit=args.on_limit,
+                            max_wait_s=args.max_wait,
+                            timeout_s=args.timeout)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    server = FieldServer(facade=facade, catalog=catalog,
+                         admission=AdmissionController(default=quota),
+                         host=args.host, port=args.port,
+                         executor_workers=args.executor_workers,
+                         enable_metrics=not args.no_metrics,
+                         max_requests=args.max_requests)
+
+    async def _run() -> None:
+        host, port = await server.start()
+        print(f"serving {len(catalog)} field(s) on {host}:{port}",
+              file=sys.stderr)
+        if args.port_file:
+            Path(args.port_file).write_text(f"{host} {port}\n")
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    sig, lambda: asyncio.ensure_future(server.stop()))
+            except (NotImplementedError, RuntimeError):
+                pass
+        await server.wait_stopped()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    outcomes = ", ".join(f"{code}={count}" for code, count
+                         in sorted(server.counts.items()))
+    print(f"served {server.requests_served} request(s)"
+          + (f" ({outcomes})" if outcomes else ""), file=sys.stderr)
+    return 0
+
+
 def cmd_point(args) -> int:
     """Answer a conventional (Q1) point query on a field file."""
     field = _load_field(Path(args.field))
@@ -513,6 +580,50 @@ def main(argv: list[str] | None = None) -> int:
                               "subfield is re-clustered (default: 0, "
                               "any drift)")
     compact.set_defaults(func=cmd_compact)
+
+    serve = sub.add_parser("serve", help="serve fields over the "
+                                         "newline-JSON protocol")
+    serve.add_argument("fields", nargs="+", metavar="NAME=PATH",
+                       help="field to serve: NAME bound to a saved "
+                            "index directory, .npy heights or .npz TIN")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (default: 0, pick an ephemeral "
+                            "port and print it)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="engine worker threads per batch request "
+                            "(default: 2)")
+    serve.add_argument("--cache-pages", type=int,
+                       default=DEFAULT_BATCH_CACHE_PAGES,
+                       help="shared buffer-pool capacity per batch")
+    serve.add_argument("--executor-workers", type=int, default=4,
+                       help="concurrent engine calls across all "
+                            "tenants (default: 4)")
+    serve.add_argument("--rate", type=float, default=None,
+                       help="per-tenant sustained requests/second "
+                            "(default: unlimited)")
+    serve.add_argument("--burst", type=int, default=8,
+                       help="per-tenant burst capacity (default: 8)")
+    serve.add_argument("--max-queue", type=int, default=64,
+                       help="per-tenant pending-request bound before "
+                            "backpressure rejection (default: 64)")
+    serve.add_argument("--on-limit", default="wait",
+                       choices=["wait", "reject"],
+                       help="empty-token-bucket policy (default: wait)")
+    serve.add_argument("--max-wait", type=float, default=1.0,
+                       help="longest a rate-limited request may wait "
+                            "for a token, seconds (default: 1.0)")
+    serve.add_argument("--timeout", type=float, default=None,
+                       help="per-request execution deadline, seconds "
+                            "(default: none)")
+    serve.add_argument("--port-file", metavar="FILE",
+                       help="write 'host port' to FILE once listening "
+                            "(for scripted clients)")
+    serve.add_argument("--max-requests", type=int, default=None,
+                       help="stop after N requests (demos and tests)")
+    serve.add_argument("--no-metrics", action="store_true",
+                       help="leave the metrics registry disabled")
+    serve.set_defaults(func=cmd_serve)
 
     point = sub.add_parser("point", help="conventional (Q1) point query")
     point.add_argument("field", help=".npy heights or .npz TIN")

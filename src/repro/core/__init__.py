@@ -14,6 +14,13 @@ from .cost import (
     ThresholdGrouping,
     group_cells,
 )
+from .facade import (
+    EngineFacade,
+    FacadeError,
+    FieldExistsError,
+    FieldHandle,
+    UnknownFieldError,
+)
 from .grouped import GroupedIntervalIndex
 from .iall import IAllIndex
 from .ihilbert import IHilbertIndex, default_curve_order, linearize
@@ -50,8 +57,13 @@ __all__ = [
     "merge_queries",
     "run_sequential",
     "CostBasedGrouping",
+    "EngineFacade",
+    "FacadeError",
+    "FieldExistsError",
+    "FieldHandle",
     "GroupedIntervalIndex",
     "GroupingPolicy",
+    "UnknownFieldError",
     "FieldStatistics",
     "IAllIndex",
     "ITreeIndex",

@@ -1,0 +1,37 @@
+"""Field query service: protocol, admission control, server, client.
+
+The serving layer of the reproduction (DESIGN.md §10): an asyncio TCP
+server speaking a newline-delimited JSON protocol, multiplexing
+concurrent multi-tenant clients onto the engines of :mod:`repro.core`
+through a per-tenant admission controller and one shared buffer pool
+with per-tenant accounting.
+"""
+
+from .admission import AdmissionController, TenantQuota, TenantState, TokenBucket
+from .client import ClientError, FieldClient, ServerError
+from .protocol import (ERROR_CODES, MAX_BATCH_QUERIES, MAX_FRAME_BYTES,
+                       MAX_UPDATE_VERTICES, OPS, ProtocolError, Request,
+                       decode_request, encode_error, encode_response)
+from .server import FieldServer, ServerThread
+
+__all__ = [
+    "AdmissionController",
+    "ClientError",
+    "ERROR_CODES",
+    "FieldClient",
+    "FieldServer",
+    "MAX_BATCH_QUERIES",
+    "MAX_FRAME_BYTES",
+    "MAX_UPDATE_VERTICES",
+    "OPS",
+    "ProtocolError",
+    "Request",
+    "ServerError",
+    "ServerThread",
+    "TenantQuota",
+    "TenantState",
+    "TokenBucket",
+    "decode_request",
+    "encode_error",
+    "encode_response",
+]

@@ -1,0 +1,243 @@
+"""Per-tenant admission control for the field query service.
+
+Serving millions of users means no tenant may starve the rest: before a
+request touches an engine it must pass this controller, which enforces,
+per tenant,
+
+* a **token-bucket rate quota** (``rate`` requests/s sustained,
+  ``burst`` absorbed instantly);
+* a **bounded pending queue** — at most ``max_pending`` requests
+  admitted-or-waiting at once; the bound exceeded is *backpressure* and
+  is always an immediate typed rejection (waiting would just grow the
+  queue the bound exists to cap);
+* an exhausted bucket is handled by policy: ``on_limit="reject"``
+  answers immediately with a ``quota`` error, ``on_limit="wait"``
+  (default) parks the request on the event loop until a token refills,
+  up to ``max_wait_s`` — past that, the ``quota`` rejection fires after
+  all;
+* an optional per-request **execution timeout** (``timeout_s``) the
+  server enforces with cancellation.
+
+Everything here runs on the event-loop thread, so the counters need no
+locks; the controller's :meth:`AdmissionController.snapshot` is what the
+``stats`` verb reports.  Rejections are *typed*
+(:class:`~repro.serve.protocol.ProtocolError` with code ``quota`` or
+``backpressure``), so a client can distinguish "slow down" from "you
+broke the protocol".
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+
+from .protocol import ProtocolError
+
+
+class TokenBucket:
+    """Classic token bucket over a monotonic clock.
+
+    ``rate`` tokens/second refill continuously up to ``burst`` capacity;
+    :meth:`try_acquire` either spends a token or reports how long until
+    one is available.  The clock is injectable so tests can drive time
+    deterministically.
+    """
+
+    def __init__(self, rate: float, burst: float,
+                 clock=time.monotonic) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.clock = clock
+        self.tokens = float(burst)
+        self._last = clock()
+
+    def _refill(self) -> None:
+        now = self.clock()
+        elapsed = now - self._last
+        if elapsed > 0:
+            self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+            self._last = now
+
+    def try_acquire(self, n: float = 1.0) -> bool:
+        """Spend ``n`` tokens if available; never blocks."""
+        self._refill()
+        if self.tokens >= n:
+            self.tokens -= n
+            return True
+        return False
+
+    def delay_until(self, n: float = 1.0) -> float:
+        """Seconds until ``n`` tokens will have refilled (0 if now)."""
+        self._refill()
+        missing = n - self.tokens
+        return missing / self.rate if missing > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Admission parameters of one tenant (or the default)."""
+
+    #: Sustained requests/second; ``None`` disables rate limiting.
+    rate: float | None = None
+    #: Bucket capacity: requests absorbed instantly at any rate.
+    burst: int = 8
+    #: Bound on requests admitted-or-waiting at once (backpressure).
+    max_pending: int = 64
+    #: Empty-bucket policy: ``"wait"`` parks up to ``max_wait_s``,
+    #: ``"reject"`` answers immediately with a ``quota`` error.
+    on_limit: str = "wait"
+    #: Longest a ``"wait"``-policy request may park for a token.
+    max_wait_s: float = 1.0
+    #: Per-request execution deadline enforced by the server
+    #: (``None`` = no deadline).
+    timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.rate is not None and self.rate <= 0:
+            raise ValueError(f"rate must be > 0, got {self.rate}")
+        if self.burst < 1:
+            raise ValueError(f"burst must be >= 1, got {self.burst}")
+        if self.max_pending < 1:
+            raise ValueError(
+                f"max_pending must be >= 1, got {self.max_pending}")
+        if self.on_limit not in ("wait", "reject"):
+            raise ValueError(
+                f"on_limit must be 'wait' or 'reject', "
+                f"got {self.on_limit!r}")
+        if self.max_wait_s < 0:
+            raise ValueError(
+                f"max_wait_s must be >= 0, got {self.max_wait_s}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(
+                f"timeout_s must be > 0, got {self.timeout_s}")
+
+
+class TenantState:
+    """Live admission state of one tenant."""
+
+    __slots__ = ("quota", "bucket", "pending", "admitted",
+                 "rejected_quota", "rejected_backpressure", "timeouts")
+
+    def __init__(self, quota: TenantQuota, clock) -> None:
+        self.quota = quota
+        self.bucket = (TokenBucket(quota.rate, quota.burst, clock)
+                       if quota.rate is not None else None)
+        self.pending = 0
+        self.admitted = 0
+        self.rejected_quota = 0
+        self.rejected_backpressure = 0
+        self.timeouts = 0
+
+    def snapshot(self) -> dict:
+        """JSON-safe counters for the ``stats`` verb."""
+        return {
+            "pending": self.pending,
+            "admitted": self.admitted,
+            "rejected_quota": self.rejected_quota,
+            "rejected_backpressure": self.rejected_backpressure,
+            "timeouts": self.timeouts,
+            "rate": self.quota.rate,
+            "burst": self.quota.burst,
+            "max_pending": self.quota.max_pending,
+            "on_limit": self.quota.on_limit,
+            "timeout_s": self.quota.timeout_s,
+        }
+
+
+class AdmissionController:
+    """Gates every engine request through its tenant's quota.
+
+    Usage (event-loop thread only)::
+
+        await controller.acquire(tenant)     # may raise ProtocolError
+        try:
+            ... run the request ...
+        finally:
+            controller.release(tenant)
+    """
+
+    def __init__(self, default: TenantQuota | None = None,
+                 quotas: dict[str, TenantQuota] | None = None,
+                 clock=time.monotonic) -> None:
+        self.default = default if default is not None else TenantQuota()
+        self.quotas = dict(quotas) if quotas else {}
+        self.clock = clock
+        self._tenants: dict[str, TenantState] = {}
+
+    def quota(self, tenant: str) -> TenantQuota:
+        """The quota governing ``tenant`` (explicit or default)."""
+        return self.quotas.get(tenant, self.default)
+
+    def state(self, tenant: str) -> TenantState:
+        """The live state of ``tenant`` (created on first contact)."""
+        st = self._tenants.get(tenant)
+        if st is None:
+            st = self._tenants[tenant] = TenantState(self.quota(tenant),
+                                                     self.clock)
+        return st
+
+    async def acquire(self, tenant: str) -> TenantState:
+        """Admit one request for ``tenant`` or raise a typed rejection.
+
+        On success the tenant's ``pending`` count is held until the
+        caller's :meth:`release`; on rejection nothing is held.
+        """
+        st = self.state(tenant)
+        quota = st.quota
+        if st.pending >= quota.max_pending:
+            st.rejected_backpressure += 1
+            raise ProtocolError(
+                "backpressure",
+                f"tenant {tenant!r} has {st.pending} requests pending "
+                f"(bound {quota.max_pending}); retry later")
+        st.pending += 1
+        try:
+            if st.bucket is not None and not st.bucket.try_acquire():
+                if quota.on_limit == "reject" or quota.max_wait_s == 0:
+                    raise ProtocolError(
+                        "quota",
+                        f"tenant {tenant!r} exceeded its rate quota "
+                        f"({quota.rate:g}/s, burst {quota.burst})")
+                deadline = self.clock() + quota.max_wait_s
+                while True:
+                    delay = st.bucket.delay_until()
+                    if delay <= 0 and st.bucket.try_acquire():
+                        break
+                    if self.clock() + delay > deadline:
+                        raise ProtocolError(
+                            "quota",
+                            f"tenant {tenant!r} exceeded its rate quota "
+                            f"({quota.rate:g}/s) and the "
+                            f"{quota.max_wait_s:g}s wait bound")
+                    await asyncio.sleep(min(delay, quota.max_wait_s)
+                                        or 0.001)
+        except ProtocolError:
+            st.pending -= 1
+            st.rejected_quota += 1
+            raise
+        except BaseException:
+            # Cancellation while parked: give the slot back untyped.
+            st.pending -= 1
+            raise
+        st.admitted += 1
+        return st
+
+    def release(self, tenant: str) -> None:
+        """Return the pending slot held by :meth:`acquire`."""
+        st = self._tenants.get(tenant)
+        if st is not None and st.pending > 0:
+            st.pending -= 1
+
+    def note_timeout(self, tenant: str) -> None:
+        """Record that an admitted request hit its execution deadline."""
+        self.state(tenant).timeouts += 1
+
+    def snapshot(self) -> dict:
+        """Per-tenant admission counters for the ``stats`` verb."""
+        return {tenant: st.snapshot()
+                for tenant, st in sorted(self._tenants.items())}

@@ -1,0 +1,674 @@
+"""Asyncio field query server: multiplexes tenants onto the engine.
+
+:class:`FieldServer` listens on a TCP socket, speaks the
+newline-delimited JSON protocol of :mod:`repro.serve.protocol`, and
+drives every engine verb through one shared
+:class:`~repro.core.facade.EngineFacade`.  The concurrency model:
+
+* the **event loop** owns connections, frame codec, admission control
+  and timeouts — everything cheap and cancellable;
+* **engine calls** (query/batch/update/open) run on a bounded
+  :class:`~concurrent.futures.ThreadPoolExecutor`, because the engines
+  are synchronous; the facade's per-field lock serializes access to one
+  field while different fields proceed in parallel;
+* each tenant passes the :class:`~repro.serve.admission
+  .AdmissionController` first — token-bucket quota, bounded pending
+  queue with typed ``backpressure``/``quota`` rejections, and an
+  optional execution deadline.  A deadline that expires answers the
+  client immediately with a ``timeout`` error and *cancels* the work:
+  an engine call still queued (behind the executor or a field lock)
+  never starts; one already on a core finishes in the background and
+  its result is discarded (Python threads cannot be interrupted
+  mid-call), tracked as a straggler until it drains.
+
+Every request is answered — malformed frames with typed errors — and
+per-request spans (``request[op]`` with op/tenant/outcome/latency
+attributes) land on the server's optional
+:class:`~repro.obs.trace.Tracer`, while latency histograms and
+request/connection counters publish to the process metrics registry,
+which the ``metrics`` verb exposes over the wire.
+
+Graceful shutdown (:meth:`FieldServer.stop`) stops accepting, lets
+in-flight requests finish and their responses flush, then closes idle
+connections — a client mid-request gets its answer, not a reset.
+
+:class:`ServerThread` runs a server on a private event loop in a
+daemon thread — the shape the bench load generator, the regression-test
+fixture, and embedders use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from ..core.facade import (EngineFacade, FacadeError, FieldExistsError,
+                           UnknownFieldError)
+from ..obs.metrics import REGISTRY
+from ..obs.trace import Tracer
+from ..storage import CorruptPageError, TransientIOError
+from .admission import AdmissionController
+from .protocol import (MAX_BATCH_QUERIES, MAX_FRAME_BYTES,
+                       MAX_UPDATE_VERTICES, ProtocolError, Request,
+                       decode_request, encode_error, encode_response,
+                       need, need_number, optional_choice)
+
+_REQUESTS = REGISTRY.counter(
+    "repro_serve_requests_total",
+    "Requests served, per op/tenant/outcome ('ok' or an error code).")
+_LATENCY_MS = REGISTRY.histogram(
+    "repro_serve_request_ms",
+    "Request latency in milliseconds, per op.")
+_CONNECTIONS = REGISTRY.counter(
+    "repro_serve_connections_total",
+    "Client connections accepted.")
+
+#: Estimate modes exposed over the wire per verb (``regions`` payloads
+#: are unbounded, so only single queries may request them).
+_QUERY_ESTIMATES = frozenset({"none", "area", "regions"})
+_BATCH_ESTIMATES = frozenset({"none", "area"})
+_FAULT_MODES = frozenset({"raise", "skip"})
+
+
+def _io_payload(io) -> dict:
+    """JSON-safe view of an :class:`~repro.storage.stats.IOStats`."""
+    return {
+        "page_reads": io.page_reads,
+        "random_reads": io.random_reads,
+        "sequential_reads": io.sequential_reads,
+        "cache_hits": io.cache_hits,
+        "skipped_pages": io.skipped_pages,
+    }
+
+
+def _fault_payload(faults) -> list[dict]:
+    """JSON-safe view of survived page faults."""
+    return [{"disk": f.disk, "page_id": f.page_id, "kind": f.kind,
+             "detail": f.detail} for f in faults]
+
+
+class FieldServer:
+    """Newline-JSON field query server over one engine facade.
+
+    Parameters
+    ----------
+    facade:
+        The engine facade requests execute against (fields may be
+        pre-opened on it; a private one is created otherwise).
+    catalog:
+        Name → source mapping the ``open`` verb may open (sources as
+        accepted by :meth:`~repro.core.facade.EngineFacade.open_field`).
+        Fields *not* in the catalog cannot be opened over the wire —
+        clients never name arbitrary filesystem paths.
+    admission:
+        The per-tenant admission controller (a default-quota one is
+        created otherwise).
+    host, port:
+        Bind address; port 0 (default) picks an ephemeral port,
+        reported by :meth:`start`.
+    executor_workers:
+        Thread budget for concurrent engine calls across fields.
+    tracer:
+        Optional span recorder; each request lands a ``request[op]``
+        span with op/tenant/outcome attributes.
+    enable_metrics:
+        Enable the process metrics registry for the server's lifetime
+        (restored to its previous state on :meth:`stop`).
+    max_requests:
+        Stop the server after this many requests (demos and tests).
+    drain_timeout_s:
+        Longest :meth:`stop` waits for in-flight requests to finish.
+    """
+
+    def __init__(self, facade: EngineFacade | None = None,
+                 catalog: dict | None = None,
+                 admission: AdmissionController | None = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 executor_workers: int = 4,
+                 tracer: Tracer | None = None,
+                 enable_metrics: bool = False,
+                 max_requests: int | None = None,
+                 drain_timeout_s: float = 30.0) -> None:
+        if executor_workers < 1:
+            raise ValueError(
+                f"executor_workers must be >= 1, got {executor_workers}")
+        self.facade = facade if facade is not None else EngineFacade()
+        self.catalog = dict(catalog) if catalog else {}
+        self.admission = (admission if admission is not None
+                          else AdmissionController())
+        self.host = host
+        self.port = port
+        self.executor_workers = executor_workers
+        self.tracer = tracer
+        self.enable_metrics = enable_metrics
+        self.max_requests = max_requests
+        self.drain_timeout_s = drain_timeout_s
+
+        self._server: asyncio.AbstractServer | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._stragglers: set[asyncio.Future] = set()
+        self._stopping = False
+        self._stopped = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._active = 0
+        self._served = 0
+        self._connections = 0
+        self._metrics_were_enabled = False
+        #: Outcome → count, independent of the metrics registry.
+        self.counts: dict[str, int] = {}
+        self._handlers = {
+            "ping": self._op_ping,
+            "fields": self._op_fields,
+            "open": self._op_open,
+            "close": self._op_close,
+            "query": self._op_query,
+            "batch": self._op_batch,
+            "update": self._op_update,
+            "stats": self._op_stats,
+            "metrics": self._op_metrics,
+        }
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the (host, port) bound."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        if self.enable_metrics:
+            self._metrics_were_enabled = REGISTRY.enabled
+            REGISTRY.enable()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.executor_workers,
+            thread_name_prefix="repro-serve")
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port,
+            limit=MAX_FRAME_BYTES + 2)
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop accepting, drain in-flight requests, close connections.
+
+        With ``drain=True`` (default) every request already being
+        processed finishes and its response is flushed before its
+        connection closes — bounded by ``drain_timeout_s``.  Idempotent;
+        concurrent callers all return once the server is down.
+        """
+        if self._stopping:
+            await self._stopped.wait()
+            return
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if drain and self._active:
+            try:
+                await asyncio.wait_for(self._idle.wait(),
+                                       self.drain_timeout_s)
+            except (asyncio.TimeoutError, TimeoutError):
+                pass
+        if self._stragglers:
+            await asyncio.wait(list(self._stragglers),
+                               timeout=self.drain_timeout_s)
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*list(self._conn_tasks),
+                                 return_exceptions=True)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        if self.enable_metrics and not self._metrics_were_enabled:
+            REGISTRY.disable()
+        self._stopped.set()
+
+    async def wait_stopped(self) -> None:
+        """Block until :meth:`stop` completes (from any task)."""
+        await self._stopped.wait()
+
+    @property
+    def requests_served(self) -> int:
+        """Requests answered so far (any outcome)."""
+        return self._served
+
+    @property
+    def active_requests(self) -> int:
+        """Requests currently being processed."""
+        return self._active
+
+    # -- connection handling ------------------------------------------------
+
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        self._connections += 1
+        if REGISTRY.enabled:
+            _CONNECTIONS.inc(1)
+        try:
+            await self._serve_connection(reader, writer)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            self._conn_tasks.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _serve_connection(self, reader, writer) -> None:
+        while True:
+            try:
+                line = await reader.readline()
+            except (ValueError, asyncio.LimitOverrunError):
+                # An oversized frame cannot be resynchronized reliably:
+                # answer with the typed error and close the connection.
+                writer.write(encode_error(
+                    None, "bad-frame",
+                    f"frame exceeds {MAX_FRAME_BYTES} bytes"))
+                await writer.drain()
+                return
+            except (ConnectionResetError, BrokenPipeError):
+                return
+            if not line:
+                return
+            self._active += 1
+            self._idle.clear()
+            try:
+                frame = await self._handle_line(line)
+                writer.write(frame)
+                await writer.drain()
+            finally:
+                self._active -= 1
+                self._served += 1
+                if self._active == 0:
+                    self._idle.set()
+            if self._stopping:
+                return
+            if (self.max_requests is not None
+                    and self._served >= self.max_requests):
+                asyncio.get_running_loop().create_task(self.stop())
+                return
+
+    async def _handle_line(self, line: bytes) -> bytes:
+        try:
+            request = decode_request(line)
+        except ProtocolError as exc:
+            self._observe("<frame>", "<unknown>", exc.code, 0.0)
+            return encode_error(None, exc.code, exc.message)
+        if self._stopping:
+            return encode_error(request.id, "shutting-down",
+                                "server is draining; retry elsewhere")
+        return await self._dispatch(request)
+
+    async def _dispatch(self, request: Request) -> bytes:
+        t0 = time.perf_counter()
+        if self.tracer is not None and self.tracer.enabled:
+            # A private tracer per request: concurrent requests on one
+            # shared span stack would interleave into a garbage tree.
+            private = Tracer()
+            with private.span(f"request[{request.op}]",
+                              {"op": request.op,
+                               "tenant": request.tenant}) as span:
+                frame, code = await self._execute(request)
+                span.attrs["outcome"] = code
+            self.tracer.roots.extend(private.roots)
+        else:
+            frame, code = await self._execute(request)
+        self._observe(request.op, request.tenant, code,
+                      (time.perf_counter() - t0) * 1000.0)
+        return frame
+
+    async def _execute(self, request: Request) -> tuple[bytes, str]:
+        """Run one decoded request; fold every failure into a frame."""
+        try:
+            payload = await self._handlers[request.op](request)
+            return encode_response(request.id, payload), "ok"
+        except ProtocolError as exc:
+            return (encode_error(request.id, exc.code, exc.message),
+                    exc.code)
+        except UnknownFieldError as exc:
+            return (encode_error(request.id, "unknown-field", str(exc)),
+                    "unknown-field")
+        except FieldExistsError as exc:
+            return (encode_error(request.id, "field-exists", str(exc)),
+                    "field-exists")
+        except FacadeError as exc:
+            return (encode_error(request.id, "unsupported", str(exc)),
+                    "unsupported")
+        except (CorruptPageError, TransientIOError) as exc:
+            return (encode_error(request.id, "storage-fault",
+                                 f"{type(exc).__name__}: {exc}"),
+                    "storage-fault")
+        except (ValueError, TypeError, KeyError, IndexError) as exc:
+            return (encode_error(request.id, "bad-request",
+                                 f"{type(exc).__name__}: {exc}"),
+                    "bad-request")
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:   # pragma: no cover - defense in depth
+            return (encode_error(request.id, "internal",
+                                 f"{type(exc).__name__}: {exc}"),
+                    "internal")
+
+    def _observe(self, op: str, tenant: str, code: str,
+                 latency_ms: float) -> None:
+        self.counts[code] = self.counts.get(code, 0) + 1
+        if REGISTRY.enabled:
+            _REQUESTS.inc(1, op=op, tenant=tenant, outcome=code)
+            _LATENCY_MS.observe(latency_ms, op=op)
+
+    # -- engine execution ---------------------------------------------------
+
+    async def _in_engine(self, request: Request, fn):
+        """Admit, then run ``fn`` on the executor under the deadline."""
+        st = await self.admission.acquire(request.tenant)
+        try:
+            timeout = st.quota.timeout_s
+            override = request.params.get("timeout_s")
+            if override is not None:
+                if (not isinstance(override, (int, float))
+                        or isinstance(override, bool) or override <= 0):
+                    raise ProtocolError(
+                        "bad-request",
+                        "'timeout_s' must be a positive number")
+                timeout = (min(timeout, float(override))
+                           if timeout is not None else float(override))
+            cancelled: list[bool] = []
+
+            def run():
+                # Queued work the deadline already killed never starts.
+                if cancelled:
+                    raise ProtocolError("timeout",
+                                        "cancelled before execution")
+                return fn()
+
+            loop = asyncio.get_running_loop()
+            future = loop.run_in_executor(self._executor, run)
+            if timeout is None:
+                return await future
+            done, _ = await asyncio.wait({future}, timeout=timeout)
+            if not done:
+                cancelled.append(True)
+                self.admission.note_timeout(request.tenant)
+                self._stragglers.add(future)
+                future.add_done_callback(self._reap_straggler)
+                raise ProtocolError(
+                    "timeout",
+                    f"request exceeded its {timeout:g}s execution "
+                    f"deadline")
+            return future.result()
+        finally:
+            self.admission.release(request.tenant)
+
+    def _reap_straggler(self, future: asyncio.Future) -> None:
+        self._stragglers.discard(future)
+        if not future.cancelled():
+            future.exception()   # retrieved: no "never awaited" warning
+
+    # -- verbs --------------------------------------------------------------
+
+    async def _op_ping(self, request: Request) -> dict:
+        return {"pong": True}
+
+    async def _op_fields(self, request: Request) -> dict:
+        open_fields = {name: self.facade.describe(name)
+                       for name in self.facade.field_names()}
+        return {"fields": open_fields,
+                "catalog": sorted(self.catalog)}
+
+    async def _op_open(self, request: Request) -> dict:
+        name = need(request.params, "field", str, "a string")
+        if name in self.facade.field_names():
+            return {"field": name, "opened": False,
+                    "info": self.facade.describe(name)}
+        source = self.catalog.get(name)
+        if source is None:
+            raise ProtocolError(
+                "unknown-field",
+                f"field {name!r} is not in this server's catalog "
+                f"(catalog: {sorted(self.catalog)})")
+
+        def fn():
+            try:
+                return self.facade.open_field(name, source)
+            except FieldExistsError:
+                # Lost a race with a concurrent open: idempotent.
+                return self.facade.describe(name)
+
+        info = await self._in_engine(request, fn)
+        return {"field": name, "opened": True, "info": info}
+
+    async def _op_close(self, request: Request) -> dict:
+        name = need(request.params, "field", str, "a string")
+
+        def fn():
+            self.facade.close_field(name)
+            return {"field": name, "closed": True}
+
+        return await self._in_engine(request, fn)
+
+    async def _op_query(self, request: Request) -> dict:
+        params = request.params
+        name = need(params, "field", str, "a string")
+        lo = need_number(params, "lo")
+        hi = need_number(params, "hi")
+        if lo > hi:
+            raise ProtocolError("bad-request",
+                                f"empty query interval: lo={lo} > hi={hi}")
+        estimate = optional_choice(params, "estimate",
+                                   _QUERY_ESTIMATES, "area")
+        on_fault = optional_choice(params, "on_fault",
+                                   _FAULT_MODES, "raise")
+        max_regions = params.get("max_regions", 100)
+        if (not isinstance(max_regions, int)
+                or isinstance(max_regions, bool) or max_regions < 0):
+            raise ProtocolError("bad-request",
+                                "'max_regions' must be an integer >= 0")
+
+        def fn():
+            return self.facade.query(name, lo, hi, estimate=estimate,
+                                     on_fault=on_fault,
+                                     tenant=request.tenant)
+
+        result = await self._in_engine(request, fn)
+        payload = {
+            "field": name,
+            "candidates": result.candidate_count,
+            "area": result.area,
+            "io": _io_payload(result.io),
+            "degraded": result.degraded,
+        }
+        if result.faults:
+            payload["faults"] = _fault_payload(result.faults)
+        if estimate == "regions" and result.regions is not None:
+            payload["regions"] = [
+                {"cell_id": int(region.cell_id),
+                 "area": float(region.area),
+                 "polygon": [[float(x), float(y)]
+                             for x, y in region.polygon]}
+                for region in result.regions[:max_regions]
+            ]
+            payload["regions_total"] = len(result.regions)
+        return payload
+
+    async def _op_batch(self, request: Request) -> dict:
+        params = request.params
+        name = need(params, "field", str, "a string")
+        raw = need(params, "queries", list, "a list")
+        if not raw:
+            raise ProtocolError("bad-request",
+                                "'queries' must not be empty")
+        if len(raw) > MAX_BATCH_QUERIES:
+            raise ProtocolError(
+                "bad-request",
+                f"batch of {len(raw)} queries exceeds the "
+                f"{MAX_BATCH_QUERIES}-query limit")
+        pairs = []
+        for i, entry in enumerate(raw):
+            if isinstance(entry, (int, float)) \
+                    and not isinstance(entry, bool):
+                pairs.append((float(entry), float(entry)))
+                continue
+            if (not isinstance(entry, list) or len(entry) != 2
+                    or not all(isinstance(v, (int, float))
+                               and not isinstance(v, bool)
+                               for v in entry)):
+                raise ProtocolError(
+                    "bad-request",
+                    f"queries[{i}] must be a [lo, hi] pair of numbers "
+                    f"or a single exact value")
+            lo, hi = float(entry[0]), float(entry[1])
+            if lo > hi:
+                raise ProtocolError(
+                    "bad-request",
+                    f"queries[{i}]: empty interval lo={lo} > hi={hi}")
+            pairs.append((lo, hi))
+        estimate = optional_choice(params, "estimate",
+                                   _BATCH_ESTIMATES, "area")
+        on_fault = optional_choice(params, "on_fault",
+                                   _FAULT_MODES, "raise")
+
+        def fn():
+            return self.facade.batch(name, pairs, estimate=estimate,
+                                     on_fault=on_fault,
+                                     tenant=request.tenant)
+
+        batch = await self._in_engine(request, fn)
+        return {
+            "field": name,
+            "results": [
+                {"candidates": r.candidate_count, "area": r.area,
+                 "page_reads": r.io.page_reads}
+                for r in batch.results
+            ],
+            "groups": batch.groups,
+            "io": _io_payload(batch.io),
+            "pool": {"hits": batch.pool.hits,
+                     "misses": batch.pool.misses,
+                     "evictions": batch.pool.evictions},
+        }
+
+    async def _op_update(self, request: Request) -> dict:
+        params = request.params
+        name = need(params, "field", str, "a string")
+        vertex_ids = need(params, "vertex_ids", list, "a list")
+        values = need(params, "values", list, "a list")
+        if len(vertex_ids) != len(values):
+            raise ProtocolError(
+                "bad-request",
+                f"{len(vertex_ids)} vertex_ids vs {len(values)} values")
+        if not vertex_ids:
+            raise ProtocolError("bad-request",
+                                "'vertex_ids' must not be empty")
+        if len(vertex_ids) > MAX_UPDATE_VERTICES:
+            raise ProtocolError(
+                "bad-request",
+                f"update of {len(vertex_ids)} vertices exceeds the "
+                f"{MAX_UPDATE_VERTICES}-vertex limit")
+        for i, vid in enumerate(vertex_ids):
+            if not isinstance(vid, int) or isinstance(vid, bool):
+                raise ProtocolError(
+                    "bad-request",
+                    f"vertex_ids[{i}] must be an integer")
+        for i, value in enumerate(values):
+            if not isinstance(value, (int, float)) \
+                    or isinstance(value, bool):
+                raise ProtocolError(
+                    "bad-request", f"values[{i}] must be a number")
+
+        def fn():
+            return self.facade.update(name, vertex_ids, values,
+                                      tenant=request.tenant)
+
+        rewritten = await self._in_engine(request, fn)
+        return {"field": name, "cells_rewritten": rewritten}
+
+    async def _op_stats(self, request: Request) -> dict:
+        name = request.params.get("field")
+        if name is not None and not isinstance(name, str):
+            raise ProtocolError("bad-request",
+                                "'field' must be a string")
+        payload = self.facade.stats(name)
+        payload["admission"] = self.admission.snapshot()
+        payload["server"] = {
+            "requests": self._served,
+            "active": self._active,
+            "connections": self._connections,
+            "open_connections": len(self._conn_tasks),
+            "outcomes": dict(sorted(self.counts.items())),
+            "stopping": self._stopping,
+        }
+        return payload
+
+    async def _op_metrics(self, request: Request) -> dict:
+        fmt = optional_choice(request.params, "format",
+                              {"json", "text"}, "json")
+        if fmt == "text":
+            return {"format": "text", "text": REGISTRY.render_text()}
+        return {"format": "json", **REGISTRY.collect()}
+
+
+class ServerThread:
+    """A :class:`FieldServer` on a private event loop in a daemon thread.
+
+    The shape every synchronous embedder uses (the bench load
+    generator, the pytest fixture, the CLI's ``--max-requests`` demo
+    mode)::
+
+        harness = ServerThread(FieldServer(facade=facade))
+        host, port = harness.start()
+        ...
+        harness.stop()
+    """
+
+    def __init__(self, server: FieldServer) -> None:
+        self.server = server
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+
+    def start(self, timeout_s: float = 30.0) -> tuple[str, int]:
+        """Start the loop thread and the server; returns (host, port)."""
+        if self._thread is not None:
+            raise RuntimeError("server thread already started")
+        self.loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def run() -> None:
+            asyncio.set_event_loop(self.loop)
+            started.set()
+            self.loop.run_forever()
+            # Drain callbacks scheduled during the final stop.
+            self.loop.run_until_complete(asyncio.sleep(0))
+            self.loop.close()
+
+        self._thread = threading.Thread(target=run, name="repro-serve-loop",
+                                        daemon=True)
+        self._thread.start()
+        started.wait(timeout_s)
+        future = asyncio.run_coroutine_threadsafe(self.server.start(),
+                                                  self.loop)
+        return future.result(timeout_s)
+
+    def submit(self, coro, timeout_s: float = 30.0):
+        """Run a coroutine on the server's loop; returns its result."""
+        future = asyncio.run_coroutine_threadsafe(coro, self.loop)
+        return future.result(timeout_s)
+
+    def stop(self, timeout_s: float = 30.0) -> None:
+        """Gracefully stop the server and tear the loop thread down."""
+        if self.loop is None:
+            return
+        try:
+            self.submit(self.server.stop(), timeout_s)
+        finally:
+            self.loop.call_soon_threadsafe(self.loop.stop)
+            if self._thread is not None:
+                self._thread.join(timeout_s)
+            self.loop = None
+            self._thread = None

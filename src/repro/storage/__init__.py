@@ -1,7 +1,7 @@
 """Simulated paged storage: checksummed disk, buffer pool, record files,
 fault injection, retries, snapshots, and offline scrub."""
 
-from .buffer import BufferPool, PoolCounters
+from .buffer import BufferPool, PoolCounters, TenantCounters
 from .disk import (CHECKSUM_NAME, DiskManager, PAGE_HEADER_SIZE, PAGE_SIZE,
                    page_checksum)
 from .faults import (CorruptPageError, FaultEvent, FaultInjector, FaultSpec,
@@ -41,6 +41,7 @@ __all__ = [
     "ScrubReport",
     "SimulatedCrash",
     "SnapshotError",
+    "TenantCounters",
     "TransientIOError",
     "WAL_CRASH_POINTS",
     "WalBatch",

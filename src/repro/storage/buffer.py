@@ -9,6 +9,16 @@ cumulative hit/miss/eviction counters (:meth:`BufferPool.counters`), and
 its capacity can be changed in place with :meth:`BufferPool.resize` — the
 batch query engine uses this to lend an index a large shared cache for the
 duration of a batch and hand it back unchanged afterwards.
+
+When several tenants share one pool (the serve layer multiplexes every
+client of a field onto the field's pool), reads can additionally be
+attributed to a *tenant*: per-tenant hits, misses and payload bytes
+accumulate in :meth:`BufferPool.tenant_counters`, and
+:meth:`BufferPool.tenant_residency` reports who is occupying the resident
+frames.  Residency is computed over *distinct* pages: a page touched by
+several tenants is shared, counted once in every total — summing the
+per-tenant exclusive figures plus the shared pool never double-counts a
+frame, so the report's totals always equal the pool's true footprint.
 """
 
 from __future__ import annotations
@@ -61,6 +71,26 @@ class PoolCounters:
                             evictions=self.evictions + other.evictions)
 
 
+@dataclass(frozen=True)
+class TenantCounters:
+    """Cumulative per-tenant read traffic through one shared pool."""
+
+    hits: int = 0
+    misses: int = 0
+    #: Payload bytes served to this tenant (hits and misses alike).
+    bytes_read: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total reads served to this tenant."""
+        return self.hits + self.misses
+
+    def to_dict(self) -> dict:
+        """JSON-safe form, for the serve layer's ``stats`` verb."""
+        return {"hits": self.hits, "misses": self.misses,
+                "bytes_read": self.bytes_read}
+
+
 class BufferPool:
     """Write-through LRU cache of pages.
 
@@ -82,6 +112,12 @@ class BufferPool:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # Tenant attribution: per-tenant [hits, misses, bytes] rows and,
+        # for every *resident* frame, the set of tenants that read it
+        # while resident (dropped with the frame).
+        self._tenant_rows: dict[str, list[int]] = {}
+        self._page_tenants: dict[int, set[str]] = {}
+        self._current_tenant: str | None = None
         # One coarse lock covers the frame map, the pool counters, and
         # the backing disk's IOStats accounting on the miss path, so
         # concurrent readers (the parallel query engine's workers, or
@@ -93,21 +129,33 @@ class BufferPool:
     def __len__(self) -> int:
         return len(self._frames)
 
-    def read(self, page_id: int) -> bytes:
-        """Return page bytes, from cache when resident."""
+    def read(self, page_id: int, tenant: str | None = None) -> bytes:
+        """Return page bytes, from cache when resident.
+
+        ``tenant`` (or, when omitted, the pool's current tenant — see
+        :meth:`set_tenant`) attributes the access to a tenant's
+        counters; ``None`` leaves the read unattributed.
+        """
         with self._lock:
+            if tenant is None:
+                tenant = self._current_tenant
             if page_id in self._frames:
                 self._frames.move_to_end(page_id)
                 self.hits += 1
                 self.disk.stats.cache_hits += 1
                 if REGISTRY.enabled:
                     _POOL_READS.inc(1, disk=self.disk.name, event="hit")
-                return self._frames[page_id]
+                data = self._frames[page_id]
+                if tenant is not None:
+                    self._attribute(tenant, page_id, len(data), hit=True)
+                return data
             self.misses += 1
             if REGISTRY.enabled:
                 _POOL_READS.inc(1, disk=self.disk.name, event="miss")
             data = self.disk.read(page_id)
             self._admit(page_id, data)
+            if tenant is not None:
+                self._attribute(tenant, page_id, len(data), hit=False)
             return data
 
     def write(self, page_id: int, data: bytes) -> None:
@@ -137,6 +185,110 @@ class BufferPool:
             return PoolCounters(hits=self.hits, misses=self.misses,
                                 evictions=self.evictions)
 
+    # -- tenant accounting --------------------------------------------------
+
+    def set_tenant(self, tenant: str | None) -> str | None:
+        """Set the tenant that unattributed reads are charged to.
+
+        Returns the previous tenant so callers can restore it.  The
+        serve layer's facade brackets every engine call with this (its
+        per-field lock serializes the calls, so the attribute cannot be
+        clobbered mid-request); code that already knows its tenant can
+        pass ``tenant=`` to :meth:`read` directly instead.
+        """
+        with self._lock:
+            previous = self._current_tenant
+            self._current_tenant = tenant
+            return previous
+
+    def tenant_counters(self) -> dict[str, TenantCounters]:
+        """Per-tenant cumulative read traffic (tenant → counters)."""
+        with self._lock:
+            return {tenant: TenantCounters(hits=row[0], misses=row[1],
+                                           bytes_read=row[2])
+                    for tenant, row in sorted(self._tenant_rows.items())}
+
+    def reset_tenant_counters(self) -> None:
+        """Zero the per-tenant traffic counters (residency is kept)."""
+        with self._lock:
+            self._tenant_rows.clear()
+
+    def tenant_residency(self) -> dict:
+        """Who occupies the resident frames, without double counting.
+
+        A frame read by exactly one tenant while resident is
+        *exclusive* to it; a frame read by several tenants is *shared*
+        and counted once in the shared figures (never once per tenant);
+        frames nobody read through a tenant (e.g. admitted by writes)
+        are *unattributed*.  The invariant this report maintains —
+        pinned by ``tests/test_concurrency.py`` — is::
+
+            sum(exclusive_pages) + shared_pages + unattributed_pages
+                == resident_pages == len(pool)
+
+        and likewise for bytes, so summing the per-tenant column can
+        never exceed the pool's true footprint.  Each tenant's entry
+        also reports ``shared_pages``/``shared_bytes`` — the shared
+        frames *it* touched — for visibility; those overlap between
+        tenants by construction and are excluded from the totals.
+        """
+        with self._lock:
+            tenants: dict[str, dict] = {
+                tenant: {"exclusive_pages": 0, "exclusive_bytes": 0,
+                         "shared_pages": 0, "shared_bytes": 0}
+                for tenant in self._tenant_rows
+            }
+            shared_pages = shared_bytes = 0
+            unattributed_pages = unattributed_bytes = 0
+            resident_bytes = 0
+            for page_id, data in self._frames.items():
+                size = len(data)
+                resident_bytes += size
+                readers = self._page_tenants.get(page_id)
+                if not readers:
+                    unattributed_pages += 1
+                    unattributed_bytes += size
+                elif len(readers) == 1:
+                    entry = tenants.setdefault(
+                        next(iter(readers)),
+                        {"exclusive_pages": 0, "exclusive_bytes": 0,
+                         "shared_pages": 0, "shared_bytes": 0})
+                    entry["exclusive_pages"] += 1
+                    entry["exclusive_bytes"] += size
+                else:
+                    shared_pages += 1
+                    shared_bytes += size
+                    for tenant in readers:
+                        entry = tenants.setdefault(
+                            tenant,
+                            {"exclusive_pages": 0, "exclusive_bytes": 0,
+                             "shared_pages": 0, "shared_bytes": 0})
+                        entry["shared_pages"] += 1
+                        entry["shared_bytes"] += size
+            return {
+                "tenants": dict(sorted(tenants.items())),
+                "shared_pages": shared_pages,
+                "shared_bytes": shared_bytes,
+                "unattributed_pages": unattributed_pages,
+                "unattributed_bytes": unattributed_bytes,
+                "resident_pages": len(self._frames),
+                "resident_bytes": resident_bytes,
+            }
+
+    def _attribute(self, tenant: str, page_id: int, size: int,
+                   hit: bool) -> None:
+        """Charge one read to ``tenant`` (caller holds the lock)."""
+        row = self._tenant_rows.get(tenant)
+        if row is None:
+            row = self._tenant_rows[tenant] = [0, 0, 0]
+        row[0 if hit else 1] += 1
+        row[2] += size
+        if page_id in self._frames:
+            readers = self._page_tenants.get(page_id)
+            if readers is None:
+                readers = self._page_tenants[page_id] = set()
+            readers.add(tenant)
+
     def reset_counters(self) -> None:
         """Zero the hit/miss/eviction counters (frames stay resident)."""
         with self._lock:
@@ -154,6 +306,7 @@ class BufferPool:
         """
         with self._lock:
             self._frames.pop(page_id, None)
+            self._page_tenants.pop(page_id, None)
 
     def clear(self) -> None:
         """Drop every cached frame (simulates a cold cache).
@@ -163,6 +316,7 @@ class BufferPool:
         """
         with self._lock:
             self._frames.clear()
+            self._page_tenants.clear()
 
     def _admit(self, page_id: int, data: bytes) -> None:
         if not self.capacity:
@@ -174,7 +328,8 @@ class BufferPool:
     def _shrink(self) -> None:
         evicted = 0
         while len(self._frames) > self.capacity:
-            self._frames.popitem(last=False)
+            page_id, _ = self._frames.popitem(last=False)
+            self._page_tenants.pop(page_id, None)
             self.evictions += 1
             evicted += 1
         if REGISTRY.enabled:

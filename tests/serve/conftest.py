@@ -1,0 +1,90 @@
+"""Serve-layer fixtures: an in-process server on an ephemeral port.
+
+The harness boots a real :class:`~repro.serve.server.FieldServer` on a
+private event loop in a daemon thread (exactly the embedding the bench
+load generator uses), with a small deterministic DEM open as
+``"terrain"``.  Tests talk to it over real TCP through
+:class:`~repro.serve.client.FieldClient`, so every assertion exercises
+the wire protocol end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import EngineFacade, IHilbertIndex
+from repro.field import DEMField
+from repro.serve import (
+    AdmissionController,
+    FieldClient,
+    FieldServer,
+    ServerThread,
+    TenantQuota,
+)
+from repro.synth import fractal_dem_heights
+
+
+@pytest.fixture
+def dem() -> DEMField:
+    """A 32x32 deterministic DEM every serve test queries."""
+    return DEMField(fractal_dem_heights(32, 0.9, seed=7))
+
+
+@pytest.fixture
+def value_band(dem):
+    """A (lo, hi) band guaranteed to intersect the DEM's values."""
+    vr = dem.value_range
+    span = vr.hi - vr.lo
+    return vr.lo + 0.3 * span, vr.lo + 0.6 * span
+
+
+@pytest.fixture
+def boot_server(dem):
+    """Factory booting servers; every one is stopped at teardown.
+
+    Returns ``(server, host, port)``.  Keyword arguments pass through
+    to :class:`FieldServer`; ``default_quota``/``quotas`` configure the
+    admission controller; ``facade=None`` builds one with ``"terrain"``
+    open over the fixture DEM.
+    """
+    harnesses: list[ServerThread] = []
+
+    def boot(*, facade=None, default_quota=None, quotas=None, **kwargs):
+        if facade is None:
+            facade = EngineFacade(default_workers=2)
+            facade.open_field("terrain", IHilbertIndex(dem))
+        admission = AdmissionController(
+            default=default_quota or TenantQuota(),
+            quotas=quotas or {})
+        server = FieldServer(facade=facade, admission=admission,
+                             **kwargs)
+        harness = ServerThread(server)
+        host, port = harness.start()
+        harnesses.append(harness)
+        server.harness = harness        # for tests driving the loop
+        return server, host, port
+
+    yield boot
+    for harness in harnesses:
+        harness.stop()
+
+
+@pytest.fixture
+def server(boot_server):
+    """A default server with ``"terrain"`` open."""
+    return boot_server()
+
+
+@pytest.fixture
+def client(server):
+    """One connected client (tenant ``"t1"``) against ``server``."""
+    _, host, port = server
+    with FieldClient(host, port, tenant="t1") as c:
+        yield c
+
+
+def connect(server, tenant="t1") -> FieldClient:
+    """Open an extra client connection against a ``(server, host,
+    port)`` triple (caller closes)."""
+    _, host, port = server
+    return FieldClient(host, port, tenant=tenant)

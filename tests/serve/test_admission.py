@@ -1,0 +1,301 @@
+"""Admission control: quotas, backpressure, deadlines — unit level and
+over the wire.  Each rejection must be *typed* so a client can tell
+"slow down" from "you broke the protocol", and a timeout must cancel
+work without leaking tasks."""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.serve import (
+    AdmissionController,
+    ProtocolError,
+    ServerError,
+    TenantQuota,
+    TokenBucket,
+)
+
+from .conftest import connect
+from .test_server import make_slow, wait_until
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# -- token bucket ------------------------------------------------------------
+
+def test_token_bucket_burst_then_refill():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=2.0, burst=3, clock=clock)
+    assert [bucket.try_acquire() for _ in range(4)] \
+        == [True, True, True, False]
+    assert bucket.delay_until() == pytest.approx(0.5)
+    clock.advance(0.5)                       # one token refilled
+    assert bucket.try_acquire()
+    assert not bucket.try_acquire()
+    clock.advance(100.0)                     # refill caps at burst
+    assert [bucket.try_acquire() for _ in range(4)] \
+        == [True, True, True, False]
+
+
+def test_token_bucket_validation():
+    with pytest.raises(ValueError):
+        TokenBucket(rate=0, burst=1)
+    with pytest.raises(ValueError):
+        TokenBucket(rate=1, burst=0)
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(rate=0), dict(rate=-1), dict(burst=0), dict(max_pending=0),
+    dict(on_limit="panic"), dict(max_wait_s=-1), dict(timeout_s=0),
+])
+def test_tenant_quota_validation(kwargs):
+    with pytest.raises(ValueError):
+        TenantQuota(**kwargs)
+
+
+# -- controller (event-loop level) -------------------------------------------
+
+def test_reject_policy_answers_immediately():
+    clock = FakeClock()
+    controller = AdmissionController(
+        default=TenantQuota(rate=1.0, burst=1, on_limit="reject"),
+        clock=clock)
+
+    async def scenario():
+        await controller.acquire("t")
+        with pytest.raises(ProtocolError) as excinfo:
+            await controller.acquire("t")
+        assert excinfo.value.code == "quota"
+        controller.release("t")
+
+    run(scenario())
+    snap = controller.snapshot()["t"]
+    assert snap["admitted"] == 1
+    assert snap["rejected_quota"] == 1
+    assert snap["pending"] == 0
+
+
+def test_wait_policy_parks_until_a_token_refills():
+    controller = AdmissionController(
+        default=TenantQuota(rate=50.0, burst=1, on_limit="wait",
+                            max_wait_s=2.0))
+
+    async def scenario():
+        t0 = time.monotonic()
+        await controller.acquire("t")
+        await controller.acquire("t")        # must wait ~20ms, not fail
+        return time.monotonic() - t0
+
+    waited = run(scenario())
+    assert waited >= 0.01
+    snap = controller.snapshot()["t"]
+    assert snap["admitted"] == 2
+    assert snap["rejected_quota"] == 0
+
+
+def test_wait_policy_gives_up_past_max_wait():
+    controller = AdmissionController(
+        default=TenantQuota(rate=0.5, burst=1, on_limit="wait",
+                            max_wait_s=0.05))
+
+    async def scenario():
+        await controller.acquire("t")
+        with pytest.raises(ProtocolError) as excinfo:
+            await controller.acquire("t")    # next token is 2s away
+        assert excinfo.value.code == "quota"
+
+    run(scenario())
+    assert controller.snapshot()["t"]["rejected_quota"] == 1
+
+
+def test_pending_bound_is_backpressure_not_quota():
+    controller = AdmissionController(default=TenantQuota(max_pending=2))
+
+    async def scenario():
+        await controller.acquire("t")
+        await controller.acquire("t")
+        with pytest.raises(ProtocolError) as excinfo:
+            await controller.acquire("t")
+        assert excinfo.value.code == "backpressure"
+        # Tenants are isolated: another tenant still gets in.
+        await controller.acquire("other")
+        controller.release("t")
+        await controller.acquire("t")        # slot freed -> admitted
+
+    run(scenario())
+    snap = controller.snapshot()
+    assert snap["t"]["rejected_backpressure"] == 1
+    assert snap["t"]["admitted"] == 3
+    assert snap["other"]["admitted"] == 1
+
+
+def test_per_tenant_quotas_override_the_default():
+    controller = AdmissionController(
+        default=TenantQuota(),
+        quotas={"throttled": TenantQuota(rate=0.001, burst=1,
+                                         on_limit="reject")})
+
+    async def scenario():
+        for _ in range(5):
+            await controller.acquire("free")
+        await controller.acquire("throttled")
+        with pytest.raises(ProtocolError):
+            await controller.acquire("throttled")
+
+    run(scenario())
+    assert controller.snapshot()["free"]["rejected_quota"] == 0
+    assert controller.snapshot()["throttled"]["rejected_quota"] == 1
+
+
+# -- over the wire -----------------------------------------------------------
+
+def test_quota_exhaustion_is_a_typed_rejection(boot_server, value_band):
+    server = boot_server(
+        default_quota=TenantQuota(rate=0.001, burst=1,
+                                  on_limit="reject"))
+    lo, hi = value_band
+    with connect(server, tenant="greedy") as c:
+        assert c.query("terrain", lo, hi)["candidates"] >= 0
+        assert c.ping()                      # ping is not rate-gated
+        with pytest.raises(ServerError) as excinfo:
+            c.query("terrain", lo, hi)
+        assert excinfo.value.code == "quota"
+        stats = c.stats()                    # rejected, not wedged
+        assert stats["admission"]["greedy"]["rejected_quota"] >= 1
+
+
+def test_backpressure_rejects_while_queue_is_full(boot_server, value_band):
+    server = boot_server(default_quota=TenantQuota(max_pending=1))
+    srv, _, _ = server
+    unpatch = make_slow(srv.facade.handle("terrain").index, 0.6)
+    lo, hi = value_band
+    slow_answer, failures = [], []
+
+    def occupy():
+        try:
+            with connect(server, tenant="t") as c:
+                slow_answer.append(c.query("terrain", lo, hi))
+        except BaseException as exc:   # pragma: no cover - failure path
+            failures.append(exc)
+
+    thread = threading.Thread(target=occupy)
+    thread.start()
+    try:
+        assert wait_until(lambda: srv.active_requests == 1)
+        with connect(server, tenant="t") as c:
+            with pytest.raises(ServerError) as excinfo:
+                c.query("terrain", lo, hi)
+            assert excinfo.value.code == "backpressure"
+        thread.join(10.0)
+        assert not failures
+        assert len(slow_answer) == 1         # the occupant finished fine
+    finally:
+        unpatch()
+        thread.join(1.0)
+    snap = srv.admission.snapshot()["t"]
+    assert snap["rejected_backpressure"] == 1
+    assert snap["admitted"] == 1
+    assert snap["pending"] == 0
+
+
+def test_timeout_cancels_without_leaking_tasks(boot_server, value_band):
+    server = boot_server(
+        default_quota=TenantQuota(timeout_s=0.15))
+    srv, _, _ = server
+    unpatch = make_slow(srv.facade.handle("terrain").index, 0.8)
+    lo, hi = value_band
+    try:
+        with connect(server, tenant="t") as c:
+            t0 = time.monotonic()
+            with pytest.raises(ServerError) as excinfo:
+                c.query("terrain", lo, hi)
+            assert excinfo.value.code == "timeout"
+            # Answered at the deadline, not after the engine finished.
+            assert time.monotonic() - t0 < 0.6
+    finally:
+        unpatch()
+    # The straggler drains; no task leaks past the engine call.
+    assert wait_until(lambda: not srv._stragglers and
+                      srv.active_requests == 0)
+    snap = srv.admission.snapshot()["t"]
+    assert snap["timeouts"] == 1
+    assert snap["pending"] == 0
+    # The server is healthy afterwards: same tenant, instant answer.
+    with connect(server, tenant="t") as c:
+        assert c.query("terrain", lo, hi)["candidates"] >= 0
+
+
+def test_per_request_deadline_override(boot_server, value_band):
+    server = boot_server()                   # no quota-level deadline
+    srv, _, _ = server
+    unpatch = make_slow(srv.facade.handle("terrain").index, 0.8)
+    lo, hi = value_band
+    try:
+        with connect(server) as c:
+            with pytest.raises(ServerError) as excinfo:
+                c.query("terrain", lo, hi, timeout_s=0.1)
+            assert excinfo.value.code == "timeout"
+            with pytest.raises(ServerError) as excinfo:
+                c.query("terrain", lo, hi, timeout_s=-1)
+            assert excinfo.value.code == "bad-request"
+    finally:
+        unpatch()
+    assert wait_until(lambda: not srv._stragglers)
+
+
+def test_queued_work_killed_by_deadline_never_starts(boot_server,
+                                                     value_band):
+    """A request whose deadline fired while still queued behind the
+    field lock reports timeout and its engine call never runs."""
+    server = boot_server(
+        default_quota=TenantQuota(timeout_s=0.2), executor_workers=1)
+    srv, _, _ = server
+    index = srv.facade.handle("terrain").index
+    calls = []
+    original = index.query
+
+    def counting(*args, **kwargs):
+        calls.append(1)
+        time.sleep(0.5)
+        return original(*args, **kwargs)
+
+    index.query = counting
+    lo, hi = value_band
+    failures = []
+
+    def one_query():
+        try:
+            with connect(server, tenant="t") as c:
+                c.query("terrain", lo, hi)
+        except ServerError as exc:
+            failures.append(exc.code)
+
+    threads = [threading.Thread(target=one_query) for _ in range(3)]
+    try:
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10.0)
+    finally:
+        index.query = original
+    assert failures and all(code == "timeout" for code in failures)
+    assert wait_until(lambda: not srv._stragglers)
+    # With one executor worker only the head request (and possibly its
+    # successor) ever reached the engine; the queued rest were killed
+    # before starting.
+    assert len(calls) < 3

@@ -1,0 +1,82 @@
+"""Storage faults through the serving layer: one tenant's corrupt field
+must cost exactly one typed error — never the connection, never another
+tenant's field, never the server."""
+
+import pytest
+
+from repro.core import EngineFacade, IHilbertIndex
+from repro.field import DEMField
+from repro.serve import ServerError
+from repro.synth import fractal_dem_heights
+
+from .conftest import connect
+
+
+@pytest.fixture
+def fault_server(boot_server):
+    """A server with a healthy field and a bit-flipped one."""
+    facade = EngineFacade(default_workers=2)
+    good = DEMField(fractal_dem_heights(32, 0.9, seed=7))
+    bad = DEMField(fractal_dem_heights(32, 0.9, seed=11))
+    facade.open_field("good", IHilbertIndex(good))
+    bad_index = IHilbertIndex(bad)
+    facade.open_field("bad", bad_index)
+    pid = bad_index.store.page_ids[1]
+    bad_index.data_disk._flip_bit(pid, byte_index=3, bit=2)
+    bad_index.clear_caches()
+    server = boot_server(facade=facade)
+    vr_good, vr_bad = good.value_range, bad.value_range
+    return server, (vr_good.lo, vr_good.hi), (vr_bad.lo, vr_bad.hi), pid
+
+
+def test_corrupt_page_is_a_typed_error_not_a_reset(fault_server):
+    server, _, bad_band, _ = fault_server
+    with connect(server, tenant="alice") as c:
+        with pytest.raises(ServerError) as excinfo:
+            c.query("bad", *bad_band)
+        assert excinfo.value.code == "storage-fault"
+        assert "CorruptPageError" in excinfo.value.message
+        # Same connection, same tenant: still fully served.
+        assert c.ping()
+        assert c.query("good", *fault_server[1])["candidates"] > 0
+
+
+def test_other_tenants_on_the_same_server_are_unaffected(fault_server):
+    server, good_band, bad_band, _ = fault_server
+    srv, _, _ = server
+    with connect(server, tenant="alice") as alice, \
+            connect(server, tenant="bob") as bob:
+        for _ in range(3):
+            with pytest.raises(ServerError):
+                alice.query("bad", *bad_band)
+            answer = bob.query("good", *good_band)
+            assert answer["candidates"] > 0
+            assert answer["degraded"] is False
+    # The outcome ledger shows both streams, no internal errors.
+    assert srv.counts["storage-fault"] == 3
+    assert srv.counts["ok"] >= 3
+    assert "internal" not in srv.counts
+
+
+def test_on_fault_skip_degrades_instead_of_failing(fault_server):
+    server, _, bad_band, pid = fault_server
+    with connect(server, tenant="alice") as c:
+        answer = c.query("bad", *bad_band, on_fault="skip")
+        assert answer["degraded"] is True
+        faults = answer["faults"]
+        assert faults and faults[0]["kind"] == "CorruptPageError"
+        assert any(f["page_id"] == pid for f in faults)
+        # Degraded-mode stats land per tenant like any other query.
+        stats = c.stats("bad")
+        alice = stats["tenants"]["alice"]
+        assert alice["hits"] + alice["misses"] > 0
+
+
+def test_batch_on_corrupt_field_is_typed_too(fault_server):
+    server, _, bad_band, _ = fault_server
+    lo, hi = bad_band
+    with connect(server, tenant="alice") as c:
+        with pytest.raises(ServerError) as excinfo:
+            c.batch("bad", [(lo, hi), (lo, (lo + hi) / 2)])
+        assert excinfo.value.code == "storage-fault"
+        assert c.ping()

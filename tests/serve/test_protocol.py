@@ -1,0 +1,159 @@
+"""Codec unit tests: every malformed frame folds into a typed error."""
+
+import json
+
+import pytest
+
+from repro.serve import (
+    ERROR_CODES,
+    MAX_FRAME_BYTES,
+    OPS,
+    ProtocolError,
+    decode_request,
+    encode_error,
+    encode_response,
+)
+from repro.serve.protocol import need, need_number, optional_choice
+
+
+def code_of(excinfo) -> str:
+    return excinfo.value.code
+
+
+# -- decoding ----------------------------------------------------------------
+
+def test_decode_full_frame():
+    req = decode_request(
+        b'{"id": 7, "op": "query", "tenant": "alice",'
+        b' "field": "terrain", "lo": 1.0, "hi": 2.0}\n')
+    assert req.op == "query"
+    assert req.id == 7
+    assert req.tenant == "alice"
+    assert req.params == {"field": "terrain", "lo": 1.0, "hi": 2.0}
+
+
+def test_decode_minimal_frame_defaults():
+    req = decode_request('{"op": "ping"}')
+    assert req.op == "ping"
+    assert req.id is None
+    assert req.tenant == "default"
+    assert req.params == {}
+
+
+def test_decode_accepts_str_and_bytes_alike():
+    for frame in ('{"op": "ping", "id": "a"}',
+                  b'{"op": "ping", "id": "a"}',
+                  bytearray(b'{"op": "ping", "id": "a"}'),
+                  memoryview(b'{"op": "ping", "id": "a"}')):
+        assert decode_request(frame).id == "a"
+
+
+@pytest.mark.parametrize("frame,code", [
+    (b"", "bad-frame"),
+    (b"   \n", "bad-frame"),
+    (b"\xff\xfe garbage", "bad-frame"),             # not UTF-8
+    (b"not json at all\n", "bad-frame"),
+    (b'{"op": "ping"', "bad-frame"),                # truncated
+    (b'[1, 2, 3]', "bad-frame"),                    # not an object
+    (b'"ping"', "bad-frame"),
+    (b'42', "bad-frame"),
+    (b'{}', "bad-request"),                         # missing op
+    (b'{"op": 3}', "bad-request"),                  # non-string op
+    (b'{"op": "nope"}', "unknown-op"),
+    (b'{"op": "ping", "id": 1.5}', "bad-request"),  # float id
+    (b'{"op": "ping", "id": [1]}', "bad-request"),
+    (b'{"op": "ping", "tenant": ""}', "bad-request"),
+    (b'{"op": "ping", "tenant": 9}', "bad-request"),
+])
+def test_decode_malformed_frames_raise_typed_errors(frame, code):
+    with pytest.raises(ProtocolError) as excinfo:
+        decode_request(frame)
+    assert code_of(excinfo) == code
+    assert code in ERROR_CODES
+
+
+def test_decode_rejects_overlong_tenant():
+    frame = json.dumps({"op": "ping", "tenant": "t" * 129})
+    with pytest.raises(ProtocolError) as excinfo:
+        decode_request(frame)
+    assert code_of(excinfo) == "bad-request"
+
+
+def test_decode_rejects_oversized_frames():
+    frame = b'{"op": "ping", "pad": "' + b"x" * MAX_FRAME_BYTES + b'"}'
+    with pytest.raises(ProtocolError) as excinfo:
+        decode_request(frame)
+    assert code_of(excinfo) == "bad-frame"
+    with pytest.raises(ProtocolError):
+        decode_request("y" * (MAX_FRAME_BYTES + 1))
+
+
+def test_every_op_decodes():
+    for op in OPS:
+        assert decode_request(json.dumps({"op": op})).op == op
+
+
+# -- encoding ----------------------------------------------------------------
+
+def test_encode_response_roundtrip():
+    frame = encode_response(11, {"pong": True, "n": 3})
+    assert frame.endswith(b"\n")
+    obj = json.loads(frame)
+    assert obj == {"id": 11, "ok": True, "pong": True, "n": 3}
+
+
+def test_encode_error_roundtrip():
+    frame = encode_error("abc", "quota", "slow down")
+    obj = json.loads(frame)
+    assert obj == {"id": "abc", "ok": False,
+                   "error": {"code": "quota", "message": "slow down"}}
+
+
+def test_encode_error_rejects_unknown_codes():
+    with pytest.raises(ValueError):
+        encode_error(1, "not-a-code", "boom")
+    with pytest.raises(ValueError):
+        ProtocolError("not-a-code", "boom")
+
+
+def test_encode_response_rejects_nan():
+    with pytest.raises(ValueError):
+        encode_response(1, {"area": float("nan")})
+
+
+# -- parameter helpers -------------------------------------------------------
+
+def test_need_missing_and_mistyped():
+    with pytest.raises(ProtocolError) as excinfo:
+        need({}, "field", str, "a string")
+    assert code_of(excinfo) == "bad-request"
+    with pytest.raises(ProtocolError):
+        need({"field": 3}, "field", str, "a string")
+    assert need({"field": "t"}, "field", str, "a string") == "t"
+
+
+def test_need_rejects_bool_masquerading_as_number():
+    with pytest.raises(ProtocolError):
+        need({"lo": True}, "lo", (int, float), "a number")
+
+
+@pytest.mark.parametrize("value", [float("nan"), float("inf"),
+                                   float("-inf"), "3", None, True])
+def test_need_number_rejects_non_finite_and_non_numbers(value):
+    with pytest.raises(ProtocolError) as excinfo:
+        need_number({"lo": value}, "lo")
+    assert code_of(excinfo) == "bad-request"
+
+
+def test_need_number_coerces_ints():
+    assert need_number({"lo": 3}, "lo") == 3.0
+
+
+def test_optional_choice():
+    choices = {"none", "area"}
+    assert optional_choice({}, "estimate", choices, "area") == "area"
+    assert optional_choice({"estimate": "none"}, "estimate",
+                           choices, "area") == "none"
+    with pytest.raises(ProtocolError) as excinfo:
+        optional_choice({"estimate": "huge"}, "estimate", choices, "area")
+    assert code_of(excinfo) == "bad-request"

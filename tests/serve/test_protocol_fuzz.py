@@ -1,0 +1,134 @@
+"""Property/fuzz suite for the protocol codec.
+
+The contract under test: :func:`decode_request` raises
+:class:`ProtocolError` — and *only* :class:`ProtocolError` — on every
+malformed input, and round-trips every well-formed frame exactly.  The
+last test drives the same garbage through a real server connection and
+checks the connection survives each frame with a typed error response.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import (
+    ERROR_CODES,
+    OPS,
+    ProtocolError,
+    Request,
+    decode_request,
+    encode_error,
+    encode_response,
+)
+
+from .conftest import connect
+
+SETTINGS = settings(max_examples=200, deadline=None)
+
+json_values = st.recursive(
+    st.none() | st.booleans()
+    | st.integers(min_value=-2**31, max_value=2**31)
+    | st.floats(allow_nan=False, allow_infinity=False, width=32)
+    | st.text(max_size=20),
+    lambda children: (st.lists(children, max_size=4)
+                      | st.dictionaries(st.text(max_size=10), children,
+                                        max_size=4)),
+    max_leaves=10)
+
+
+@SETTINGS
+@given(st.binary(max_size=512))
+def test_arbitrary_bytes_never_raise_anything_but_protocol_error(data):
+    try:
+        request = decode_request(data)
+    except ProtocolError as exc:
+        assert exc.code in ERROR_CODES
+    else:
+        assert isinstance(request, Request)
+        assert request.op in OPS
+
+
+@SETTINGS
+@given(json_values)
+def test_arbitrary_json_documents_decode_or_fail_typed(doc):
+    frame = json.dumps(doc)
+    try:
+        request = decode_request(frame)
+    except ProtocolError as exc:
+        assert exc.code in ERROR_CODES
+    else:
+        assert isinstance(doc, dict) and request.op == doc["op"]
+
+
+@SETTINGS
+@given(
+    op=st.sampled_from(sorted(OPS)),
+    request_id=st.none() | st.integers() | st.text(max_size=30),
+    tenant=st.text(min_size=1, max_size=128),
+    params=st.dictionaries(
+        st.text(min_size=1, max_size=15).filter(
+            lambda k: k not in ("op", "id", "tenant")),
+        json_values, max_size=5))
+def test_wellformed_requests_roundtrip_exactly(op, request_id, tenant,
+                                               params):
+    obj = {"op": op, "id": request_id, "tenant": tenant, **params}
+    request = decode_request(json.dumps(obj))
+    assert request.op == op
+    assert request.id == request_id
+    assert request.tenant == tenant
+    assert request.params == params
+
+
+@SETTINGS
+@given(request_id=st.none() | st.integers() | st.text(max_size=20),
+       payload=st.dictionaries(
+           st.text(min_size=1, max_size=10).filter(
+               lambda k: k not in ("id", "ok")),
+           json_values, max_size=5))
+def test_encode_response_emits_one_parseable_frame(request_id, payload):
+    frame = encode_response(request_id, payload)
+    assert frame.endswith(b"\n") and frame.count(b"\n") == 1
+    obj = json.loads(frame)
+    assert obj["ok"] is True and obj["id"] == request_id
+    for key, value in payload.items():
+        assert obj[key] == value
+
+
+@SETTINGS
+@given(request_id=st.none() | st.integers(),
+       code=st.sampled_from(sorted(ERROR_CODES)),
+       message=st.text(max_size=100))
+def test_encode_error_emits_one_parseable_frame(request_id, code, message):
+    obj = json.loads(encode_error(request_id, code, message))
+    assert obj["ok"] is False
+    assert obj["error"] == {"code": code, "message": message}
+
+
+GARBAGE_FRAMES = [
+    b"\n",
+    b"   \n",
+    b"}{ not json\n",
+    b'"just a string"\n',
+    b"[1,2,3]\n",
+    b"{}\n",
+    b'{"op": 42}\n',
+    b'{"op": "launch-missiles"}\n',
+    b'{"op": "query"}\n',                       # missing params
+    b'{"op": "query", "field": "terrain"}\n',   # missing lo/hi
+    b'{"op": "ping", "id": {"j": 1}}\n',
+    b'{"op": "ping", "tenant": ""}\n',
+    b"\xc3\x28 invalid utf8\n",
+]
+
+
+def test_server_connection_survives_every_garbage_frame(server):
+    """Socket-level: each junk frame gets a typed error and the same
+    connection keeps serving afterwards."""
+    with connect(server) as c:
+        for frame in GARBAGE_FRAMES:
+            response = json.loads(c.send_raw(frame))
+            assert response["ok"] is False, frame
+            assert response["error"]["code"] in ERROR_CODES, frame
+        # Not wedged and no state leaked: a proper request still works.
+        assert c.ping()

@@ -11,7 +11,8 @@ import threading
 import pytest
 
 from repro.obs.metrics import REGISTRY
-from repro.storage import BufferPool, MmapDiskManager, PoolCounters
+from repro.storage import (BufferPool, MmapDiskManager, PoolCounters,
+                           TenantCounters)
 
 N_THREADS = 8
 ROUNDS = 400
@@ -88,6 +89,135 @@ def test_pool_counters_sum_is_componentwise():
     a = PoolCounters(hits=1, misses=2, evictions=3)
     b = PoolCounters(hits=10, misses=20, evictions=30)
     assert a + b == PoolCounters(hits=11, misses=22, evictions=33)
+
+
+def _tenant_pool(n_pages=16, capacity=None, page_size=80):
+    disk = MmapDiskManager(page_size=page_size)
+    disk.allocate_many(n_pages)
+    for pid in range(n_pages):
+        disk.write(pid, bytes([pid]) * 16)
+    return BufferPool(disk, capacity=n_pages if capacity is None
+                      else capacity)
+
+
+def test_tenant_counters_pin_exact_totals():
+    """Per-tenant hits/misses/bytes must sum exactly to the pool's."""
+    pool = _tenant_pool(n_pages=8)
+    page_bytes = len(pool.read(0, tenant="alice"))   # 1 miss
+    for pid in range(1, 8):
+        pool.read(pid, tenant="alice")       # 7 more misses
+    for pid in range(8):
+        pool.read(pid, tenant="alice")       # 8 hits
+    for pid in range(4):
+        pool.read(pid, tenant="bob")         # 4 hits
+    pool.read(0)                             # unattributed hit
+
+    tenants = pool.tenant_counters()
+    assert tenants["alice"] == TenantCounters(hits=8, misses=8,
+                                              bytes_read=16 * page_bytes)
+    assert tenants["bob"] == TenantCounters(hits=4, misses=0,
+                                            bytes_read=4 * page_bytes)
+    counters = pool.counters()
+    assert counters.hits == 13 and counters.misses == 8
+    # Attributed accesses can never exceed the pool's own accounting.
+    attributed = sum(t.accesses for t in tenants.values())
+    assert attributed == counters.accesses - 1    # the unattributed read
+
+
+def test_tenant_residency_never_double_counts_shared_pages():
+    """A page resident for several tenants is counted once, not per
+    tenant — the serve-layer regression this subsystem exists for."""
+    pool = _tenant_pool(n_pages=8)
+    page_bytes = len(pool.read(0, tenant="alice"))
+    for pid in range(1, 6):
+        pool.read(pid, tenant="alice")        # alice touches 0..5
+    for pid in range(4, 8):
+        pool.read(pid, tenant="bob")          # bob touches 4..7
+    pool.read(3)                              # tenant-less re-read: no-op
+
+    residency = pool.tenant_residency()
+    alice = residency["tenants"]["alice"]
+    bob = residency["tenants"]["bob"]
+    # Pages 4 and 5 are shared; they appear in each tenant's shared
+    # figure (visibility) but once in the pool-level totals.
+    assert alice == {"exclusive_pages": 4,
+                     "exclusive_bytes": 4 * page_bytes,
+                     "shared_pages": 2, "shared_bytes": 2 * page_bytes}
+    assert bob == {"exclusive_pages": 2,
+                   "exclusive_bytes": 2 * page_bytes,
+                   "shared_pages": 2, "shared_bytes": 2 * page_bytes}
+    assert residency["shared_pages"] == 2
+    assert residency["unattributed_pages"] == 0
+    assert residency["resident_pages"] == len(pool) == 8
+    # The no-double-count invariant: exclusive + shared + unattributed
+    # partitions the resident set exactly.
+    assert (alice["exclusive_pages"] + bob["exclusive_pages"]
+            + residency["shared_pages"]
+            + residency["unattributed_pages"]) \
+        == residency["resident_pages"]
+    assert (alice["exclusive_bytes"] + bob["exclusive_bytes"]
+            + residency["shared_bytes"]
+            + residency["unattributed_bytes"]) \
+        == residency["resident_bytes"]
+
+
+def test_tenant_residency_forgets_evicted_and_invalidated_pages():
+    pool = _tenant_pool(n_pages=8, capacity=2)
+    for pid in range(8):
+        pool.read(pid, tenant="alice")
+    residency = pool.tenant_residency()
+    # Only the two resident frames may be attributed, however many
+    # pages alice has touched in her lifetime.
+    assert residency["resident_pages"] == 2
+    assert residency["tenants"]["alice"]["exclusive_pages"] == 2
+    pool.invalidate(7)
+    residency = pool.tenant_residency()
+    assert residency["tenants"]["alice"]["exclusive_pages"] == 1
+    assert residency["resident_pages"] == 1
+    # Traffic counters survive; residency reflects the present only.
+    assert pool.tenant_counters()["alice"].misses == 8
+    pool.clear()
+    assert pool.tenant_residency()["resident_pages"] == 0
+    pool.reset_tenant_counters()
+    assert pool.tenant_counters() == {}
+
+
+def test_tenant_hammer_keeps_exact_per_tenant_counters():
+    """Concurrent tenants on one shared pool: per-tenant counters and
+    residency totals stay exact under the hammer."""
+    n_pages = 16
+    pool = _tenant_pool(n_pages=n_pages)
+    tenants = [f"tenant-{t % 4}" for t in range(N_THREADS)]
+
+    def worker(t):
+        tenant = tenants[t]
+        for i in range(ROUNDS):
+            pid = (t * 5 + i) % n_pages
+            data = pool.read(pid, tenant=tenant)
+            assert bytes(data[:16]) == bytes([pid]) * 16
+
+    _hammer(worker)
+    per_tenant = pool.tenant_counters()
+    counters = pool.counters()
+    total = N_THREADS * ROUNDS
+    # Every access was attributed — and none twice.
+    assert sum(t.accesses for t in per_tenant.values()) == total
+    assert counters.accesses == total
+    assert sum(t.hits for t in per_tenant.values()) == counters.hits
+    assert sum(t.misses for t in per_tenant.values()) == counters.misses
+    # 2 threads share each tenant name: 4 tenants, exact byte totals.
+    assert set(per_tenant) == {f"tenant-{i}" for i in range(4)}
+    page_bytes = len(pool.read(0))
+    assert sum(t.bytes_read for t in per_tenant.values()) \
+        == total * page_bytes
+    # Every page was read by several tenants and stayed resident, so
+    # the residency report must classify all frames as shared.
+    residency = pool.tenant_residency()
+    assert residency["resident_pages"] == n_pages
+    assert residency["shared_pages"] == n_pages
+    assert residency["unattributed_pages"] == 0
+    for entry in residency["tenants"].values():
+        assert entry["exclusive_pages"] == 0
 
 
 def test_metrics_hammer_counts_every_increment():

@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
 """Validate committed benchmark artifacts against their schemas.
 
-Understands both repo-root artifacts and dispatches on the document's
-``experiment`` field: ``BENCH_throughput.json`` (parallel-engine sweep)
-and ``BENCH_update.json`` (live-update degradation/compaction/WAL run).
+Understands the repo-root artifacts and dispatches on the document's
+``experiment`` field: ``BENCH_throughput.json`` (parallel-engine
+sweep), ``BENCH_update.json`` (live-update degradation/compaction/WAL
+run) and ``BENCH_serve.json`` (multi-tenant query-service load run).
 
 Standard library only — this runs in the CI lint job, which installs no
 scientific stack.  The checks are deliberately structural *and*
@@ -278,9 +279,119 @@ def validate_update(doc: dict) -> str:
     return ", ".join(parts)
 
 
+def check_tenant(entry: dict, workload_queries: int | None) -> None:
+    name = entry.get("tenant", "<unnamed>")
+    ctx = f"tenants[{name}]"
+    expect(entry, "tenant", str, ctx)
+    clients = expect(entry, "clients", int, ctx)
+    if clients is not None and clients < 1:
+        err(f"{ctx}: clients must be >= 1, got {clients}")
+    queries = expect(entry, "queries", int, ctx)
+    errors = expect(entry, "errors", int, ctx)
+    if errors is not None and errors != 0:
+        err(f"{ctx}: {errors} requests got error responses")
+    if None not in (queries, clients, workload_queries) \
+            and queries != clients * workload_queries:
+        err(f"{ctx}: queries {queries} != clients {clients} x "
+            f"{workload_queries} queries/client")
+    for field in ("wall_s", "qps"):
+        value = expect(entry, field, (int, float), ctx)
+        if value is not None and value <= 0:
+            err(f"{ctx}: {field} must be positive, got {value}")
+    latency = expect(entry, "latency_ms", dict, ctx)
+    if latency is not None:
+        previous = 0.0
+        for key in ("p50", "p95", "p99", "max"):
+            value = expect(latency, key, (int, float),
+                           f"{ctx}.latency_ms")
+            if value is None:
+                continue
+            if value < previous:
+                err(f"{ctx}.latency_ms: {key} {value} below a lower "
+                    f"percentile ({previous}) — not a distribution")
+            previous = value
+        expect(latency, "mean", (int, float), f"{ctx}.latency_ms")
+    pool = expect(entry, "pool", dict, ctx)
+    if pool is not None:
+        for key in ("hits", "misses", "bytes_read"):
+            value = expect(pool, key, int, f"{ctx}.pool")
+            if value is not None and value < 0:
+                err(f"{ctx}.pool: {key} must be >= 0, got {value}")
+
+
+def validate_serve(doc: dict) -> str:
+    check_common(doc)
+
+    workload = doc.get("workload")
+    workload_queries = (workload.get("queries")
+                        if isinstance(workload, dict) else None)
+
+    server = expect(doc, "server", dict, "top level")
+    n_tenants = clients_per_tenant = None
+    if server is not None:
+        for key in ("engine_workers", "executor_workers", "tenants",
+                    "clients_per_tenant", "total_requests"):
+            value = expect(server, key, int, "server")
+            if value is not None and value < 1:
+                err(f"server: {key} must be >= 1, got {value}")
+        n_tenants = server.get("tenants")
+        clients_per_tenant = server.get("clients_per_tenant")
+        if isinstance(n_tenants, int) and n_tenants < 2:
+            err(f"server: a multi-tenant run needs >= 2 tenants, "
+                f"got {n_tenants}")
+        if isinstance(n_tenants, int) \
+                and isinstance(clients_per_tenant, int) \
+                and n_tenants * clients_per_tenant < 8:
+            err(f"server: {n_tenants} x {clients_per_tenant} clients "
+                f"< the 8 concurrent connections the run must drive")
+
+    tenants = expect(doc, "tenants", list, "top level")
+    if tenants is not None:
+        if isinstance(n_tenants, int) and len(tenants) != n_tenants:
+            err(f"tenants: {len(tenants)} entries != server.tenants "
+                f"{n_tenants}")
+        for entry in tenants:
+            if not isinstance(entry, dict):
+                err("tenants: every entry must be an object")
+                return ""
+            check_tenant(entry, workload_queries)
+
+    totals = expect(doc, "totals", dict, "top level")
+    if totals is not None:
+        queries = expect(totals, "queries", int, "totals")
+        for key in ("wall_s", "qps"):
+            value = expect(totals, key, (int, float), "totals")
+            if value is not None and value <= 0:
+                err(f"totals: {key} must be positive, got {value}")
+        if isinstance(tenants, list) and queries is not None:
+            per_tenant = [t.get("queries") for t in tenants
+                          if isinstance(t, dict)]
+            if all(isinstance(q, int) for q in per_tenant) \
+                    and sum(per_tenant) != queries:
+                err(f"totals: queries {queries} != sum of per-tenant "
+                    f"queries {sum(per_tenant)}")
+
+    equivalence = expect(doc, "equivalence", dict, "top level")
+    if equivalence is not None:
+        checked = expect(equivalence, "checked", int, "equivalence")
+        mismatches = expect(equivalence, "mismatches", int,
+                            "equivalence")
+        if checked is not None and checked < 1:
+            err(f"equivalence: checked must be >= 1, got {checked}")
+        if mismatches is not None and mismatches != 0:
+            err(f"equivalence: {mismatches} responses diverged from "
+                f"direct engine answers")
+    n = len(tenants) if isinstance(tenants, list) else 0
+    qps = (totals or {}).get("qps")
+    return (f"{n} tenants"
+            + (f", {qps} q/s total" if isinstance(qps, (int, float))
+               else ""))
+
+
 VALIDATORS = {
     "throughput": validate_throughput,
     "update": validate_update,
+    "serve": validate_serve,
 }
 
 
