@@ -793,8 +793,13 @@ def serve_bench(full: bool = False, queries: int | None = None,
     import json as json_mod
     import threading
     import time
+    from pathlib import Path
 
     from ..core import EngineFacade
+    from ..obs.export import write_trace
+    from ..obs.metrics import REGISTRY
+    from ..obs.qlog import QueryLog
+    from ..obs.rolling import percentile_from_buckets
     from ..serve import (AdmissionController, FieldClient, FieldServer,
                          ServerError, ServerThread, TenantQuota)
     from ..synth import value_query_workload
@@ -889,6 +894,42 @@ def serve_bench(full: bool = False, queries: int | None = None,
     for thread in threads:
         thread.join()
 
+    # Observability artifact pass, deliberately *after* the timed load
+    # (which ran with sampling and the qlog off, so the q/s above is
+    # the clean number): flip sampling to 1.0 plus an always-log qlog,
+    # replay a few traced queries per tenant, and write the sampled
+    # span trees (Chrome trace) and qlog excerpt under results/.
+    results_dir = Path("results")
+    results_dir.mkdir(exist_ok=True)
+    qlog_path = results_dir / "serve_qlog.jsonl"
+    qlog_path.unlink(missing_ok=True)
+    qlog = QueryLog(qlog_path, latency_ms=0.0)
+    server.trace_sample_rate = 1.0
+    server.qlog = qlog
+    for tenant in tenants:
+        with FieldClient(host, port, tenant=tenant, trace=True) as traced:
+            for query in workloads[(tenant, 0)][:3]:
+                traced.query("terrain", query.lo, query.hi,
+                             estimate=estimate)
+    trace_spans = write_trace(list(server.sampled),
+                              results_dir / "serve_trace.json",
+                              process_name="repro-serve")
+    server.trace_sample_rate = 0.0
+    server.qlog = None
+
+    # Admission-wait percentiles out of the registry histogram the
+    # server fed during the whole run (all tenants aggregated).
+    wait_hist = REGISTRY.get("repro_serve_admission_wait_ms")
+    wait_collected = wait_hist.collect()
+    wait_counts = [0] * (len(wait_hist.buckets) + 1)
+    for row in wait_collected["series"]:
+        for i, count in enumerate(row["bucket_counts"]):
+            wait_counts[i] += count
+    admission_wait_ms = {
+        q: round(percentile_from_buckets(wait_hist.buckets,
+                                         wait_counts, p), 4)
+        for q, p in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))}
+
     with FieldClient(host, port, tenant="bench") as probe:
         stats = probe.stats("terrain")
     harness.stop()
@@ -965,6 +1006,12 @@ def serve_bench(full: bool = False, queries: int | None = None,
             f"{t}={sum(stats['tenants'].get(t, {}).get(k, 0) for k in ('hits', 'misses'))} "
             f"accesses ({stats['tenants'].get(t, {}).get('bytes_read', 0)} B)"
             for t in tenants),
+        f"observability: {server.sampled_total} sampled trace(s) "
+        f"({trace_spans} spans -> results/serve_trace.json), "
+        f"{qlog.entries} qlog entrie(s) -> results/serve_qlog.jsonl, "
+        f"admission wait p50/p95/p99 = "
+        f"{admission_wait_ms['p50']}/{admission_wait_ms['p95']}/"
+        f"{admission_wait_ms['p99']} ms",
     ]
     if json_path:
         payload = {
@@ -999,6 +1046,13 @@ def serve_bench(full: bool = False, queries: int | None = None,
             "equivalence": {
                 "checked": total_queries,
                 "mismatches": total_mismatches,
+            },
+            "observability": {
+                "trace_sample_rate": server.trace_sample_rate,
+                "sampled_spans": server.sampled_total,
+                "trace_span_events": trace_spans,
+                "qlog_entries": qlog.entries,
+                "admission_wait_ms": admission_wait_ms,
             },
         }
         with open(json_path, "w") as fh:

@@ -411,17 +411,32 @@ def cmd_serve(args) -> int:
                             timeout_s=args.timeout)
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
-    server = FieldServer(facade=facade, catalog=catalog,
-                         admission=AdmissionController(default=quota),
-                         host=args.host, port=args.port,
-                         executor_workers=args.executor_workers,
-                         enable_metrics=not args.no_metrics,
-                         max_requests=args.max_requests)
+    qlog = None
+    if args.qlog:
+        from .obs.qlog import QueryLog
+        qlog = QueryLog(args.qlog, latency_ms=args.qlog_threshold_ms,
+                        pages=args.qlog_pages)
+    try:
+        server = FieldServer(facade=facade, catalog=catalog,
+                             admission=AdmissionController(default=quota),
+                             host=args.host, port=args.port,
+                             executor_workers=args.executor_workers,
+                             enable_metrics=not args.no_metrics,
+                             trace_sample_rate=args.trace_sample_rate,
+                             qlog=qlog,
+                             metrics_port=args.metrics_port,
+                             max_requests=args.max_requests)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
 
     async def _run() -> None:
         host, port = await server.start()
         print(f"serving {len(catalog)} field(s) on {host}:{port}",
               file=sys.stderr)
+        if server.metrics_address is not None:
+            mhost, mport = server.metrics_address
+            print(f"metrics on http://{mhost}:{mport}/metrics",
+                  file=sys.stderr)
         if args.port_file:
             Path(args.port_file).write_text(f"{host} {port}\n")
         loop = asyncio.get_running_loop()
@@ -441,6 +456,28 @@ def cmd_serve(args) -> int:
                          in sorted(server.counts.items()))
     print(f"served {server.requests_served} request(s)"
           + (f" ({outcomes})" if outcomes else ""), file=sys.stderr)
+    if qlog is not None and qlog.entries:
+        print(f"slow-query log: {qlog.entries} entrie(s) in {qlog.path}",
+              file=sys.stderr)
+    return 0
+
+
+def cmd_top(args) -> int:
+    """Live serving console against a running server."""
+    from .serve.client import ClientError
+    from .serve.top import run_top
+
+    host, sep, port = args.address.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise SystemExit(
+            f"error: address {args.address!r} must be HOST:PORT")
+    try:
+        run_top(host, int(port), tenant=args.tenant,
+                interval_s=args.interval,
+                iterations=1 if args.once else None,
+                refresh=False if args.once else None)
+    except (ClientError, OSError) as exc:
+        raise SystemExit(f"error: {exc}")
     return 0
 
 
@@ -623,7 +660,38 @@ def main(argv: list[str] | None = None) -> int:
                        help="stop after N requests (demos and tests)")
     serve.add_argument("--no-metrics", action="store_true",
                        help="leave the metrics registry disabled")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       metavar="PORT",
+                       help="also answer plain-HTTP GET /metrics "
+                            "(Prometheus text) on PORT (0 = ephemeral)")
+    serve.add_argument("--trace-sample-rate", type=float, default=0.0,
+                       metavar="P",
+                       help="sample this fraction of requests into "
+                            "span trees (client trace_ids always "
+                            "sample; default: 0)")
+    serve.add_argument("--qlog", metavar="FILE", default=None,
+                       help="append slow requests to FILE as JSONL")
+    serve.add_argument("--qlog-threshold-ms", type=float, default=100.0,
+                       metavar="MS",
+                       help="log requests at least this slow "
+                            "(default: 100)")
+    serve.add_argument("--qlog-pages", type=int, default=None,
+                       metavar="N",
+                       help="also log requests reading >= N pages")
     serve.set_defaults(func=cmd_serve)
+
+    top = sub.add_parser("top", help="live serving console against a "
+                                     "running server")
+    top.add_argument("address", metavar="HOST:PORT",
+                     help="server to watch, e.g. 127.0.0.1:4321")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="refresh period in seconds (default: 2)")
+    top.add_argument("--once", action="store_true",
+                     help="render one frame and exit (no ANSI refresh)")
+    top.add_argument("--tenant", default="default",
+                     help="tenant identity of the console's own "
+                          "requests (default: 'default')")
+    top.set_defaults(func=cmd_top)
 
     point = sub.add_parser("point", help="conventional (Q1) point query")
     point.add_argument("field", help=".npy heights or .npz TIN")

@@ -39,6 +39,7 @@ from pathlib import Path
 import numpy as np
 
 from ..field.base import Field
+from ..obs.trace import Tracer
 from ..storage import IOStats
 from .base import EstimateMode, FaultMode, ValueIndex
 from .batch import BatchQueryEngine, BatchResult, DEFAULT_BATCH_CACHE_PAGES
@@ -207,11 +208,20 @@ class EngineFacade:
     def query(self, name: str, lo: float, hi: float, *,
               estimate: EstimateMode = "area",
               on_fault: FaultMode = "raise",
-              tenant: str | None = None) -> QueryResult:
-        """Run one value query against an open field."""
+              tenant: str | None = None,
+              tracer: Tracer | None = None) -> QueryResult:
+        """Run one value query against an open field.
+
+        With ``tracer``, the call's ``query → plan/filter/fetch/
+        estimate`` span tree records onto it (installed on the index
+        for just this call, under the handle lock) — the hook the
+        serving layer uses to join engine spans into a per-request
+        trace.
+        """
         handle = self.handle(name)
         query = ValueQuery(float(lo), float(hi))
-        with handle.lock, self._tenancy(handle, tenant):
+        with handle.lock, self._tenancy(handle, tenant), \
+                self._traced(handle, tracer):
             result = handle.index.query(query, estimate=estimate,
                                         on_fault=on_fault)
             handle.queries += 1
@@ -223,12 +233,14 @@ class EngineFacade:
               tenant: str | None = None,
               workers: int | None = None,
               cache_pages: int | None = None,
-              merge: bool = True) -> BatchResult:
+              merge: bool = True,
+              tracer: Tracer | None = None) -> BatchResult:
         """Run a batch of value queries through the handle's engine.
 
         ``queries`` accepts :class:`~repro.core.query.ValueQuery`
         objects or ``(lo, hi)`` pairs.  ``workers``/``cache_pages``
-        override the handle's defaults for this batch only.
+        override the handle's defaults for this batch only; ``tracer``
+        records the engine span tree for just this call.
         """
         handle = self.handle(name)
         parsed = [q if isinstance(q, ValueQuery)
@@ -237,7 +249,8 @@ class EngineFacade:
         workers = handle.workers if workers is None else workers
         cache_pages = (handle.cache_pages if cache_pages is None
                        else cache_pages)
-        with handle.lock, self._tenancy(handle, tenant):
+        with handle.lock, self._tenancy(handle, tenant), \
+                self._traced(handle, tracer):
             if workers > 1:
                 engine = ParallelQueryEngine(
                     handle.index, workers=workers,
@@ -251,7 +264,8 @@ class EngineFacade:
         return result
 
     def update(self, name: str, vertex_ids, values,
-               tenant: str | None = None) -> int:
+               tenant: str | None = None,
+               tracer: Tracer | None = None) -> int:
         """Apply vertex-value updates to an open field.
 
         Returns the number of dirty cells rewritten.  Requires the
@@ -264,7 +278,8 @@ class EngineFacade:
             raise FacadeError(
                 f"field {name!r} carries no in-memory field data "
                 f"(reloaded from disk); vertex updates need the field")
-        with handle.lock, self._tenancy(handle, tenant):
+        with handle.lock, self._tenancy(handle, tenant), \
+                self._traced(handle, tracer):
             dirty = handle.index.apply_updates(
                 np.asarray(vertex_ids, dtype=np.int64),
                 np.asarray(values, dtype=np.float32))
@@ -379,3 +394,32 @@ class EngineFacade:
         mid-request."""
         return self._Tenancy(handle.pools() if tenant is not None else [],
                              tenant)
+
+    class _Traced:
+        """Install a per-call tracer on the index, restore on exit."""
+
+        __slots__ = ("index", "tracer", "_previous")
+
+        def __init__(self, index, tracer):
+            self.index = index
+            self.tracer = tracer
+            self._previous = None
+
+        def __enter__(self):
+            if self.tracer is not None:
+                self._previous = self.index.tracer
+                self.tracer.attach(self.index)
+            return self
+
+        def __exit__(self, *exc):
+            if self.tracer is not None:
+                self.index.tracer = self._previous
+            return False
+
+    def _traced(self, handle: FieldHandle, tracer: Tracer | None):
+        """Bracket an engine call with a caller-supplied tracer (no-op
+        when ``tracer`` is None).  Callers hold the handle lock, so the
+        index's tracer slot cannot be clobbered mid-request; the
+        parallel engine parks/restores ``index.tracer`` itself inside
+        this bracket, which composes (its restore happens first)."""
+        return self._Traced(handle.index, tracer)

@@ -284,7 +284,11 @@ class ParallelQueryEngine:
                      worker_io: list[IOStats]) -> None:
         """Drain the groups worker ``w`` statically owns, in order."""
         if wt is not None:
-            with wt.span(f"worker[{w}]", {"worker": w}):
+            # The OS thread id rides along as ``tid`` so the Chrome
+            # trace exporter puts each worker on its own Perfetto lane.
+            with wt.span(f"worker[{w}]",
+                         {"worker": w,
+                          "tid": threading.get_native_id()}):
                 self._drain(w, n_workers, groups, queries, results,
                             estimate, on_fault, tickets, wt, worker_io)
         else:

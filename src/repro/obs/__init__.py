@@ -7,8 +7,15 @@ Four pieces, all opt-in with zero cost when unused:
   free disabled default);
 * :mod:`repro.obs.metrics` — a process-wide registry of labeled
   counters/gauges/histograms the storage and query layers publish into;
-* :mod:`repro.obs.export` — pretty span trees, JSONL, and Chrome
-  trace-event JSON loadable in Perfetto;
+* :mod:`repro.obs.export` — pretty span trees, JSONL, Chrome
+  trace-event JSON loadable in Perfetto, and the Prometheus text
+  exposition of a metrics registry;
+* :mod:`repro.obs.rolling` — windowed SLO statistics (q/s, latency
+  quantiles, error/timeout/rejection rates per tenant × op) over a
+  ring of short slots, the data behind ``GET /metrics`` and
+  ``repro top``;
+* :mod:`repro.obs.qlog` — the threshold-gated JSONL slow-query log
+  with size-based rotation;
 * :mod:`repro.obs.explain` — EXPLAIN / EXPLAIN ANALYZE reports over the
   planner, the statistics, and (with ``analyze``) a traced execution.
 
@@ -30,10 +37,18 @@ from .metrics import (
     REGISTRY,
 )
 from .export import (
+    render_prometheus,
     render_span_tree,
+    span_to_tree,
     spans_to_chrome_trace,
     spans_to_jsonl,
     write_trace,
+)
+from .qlog import QueryLog
+from .rolling import (
+    LATENCY_BUCKETS_MS,
+    RollingStats,
+    percentile_from_buckets,
 )
 
 _LAZY = ("ExplainReport", "explain_to_dict", "render_explain")
@@ -43,15 +58,21 @@ __all__ = [
     "ExplainReport",
     "Gauge",
     "Histogram",
+    "LATENCY_BUCKETS_MS",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "QueryLog",
     "REGISTRY",
+    "RollingStats",
     "Span",
     "Tracer",
     "explain_to_dict",
+    "percentile_from_buckets",
     "render_explain",
+    "render_prometheus",
     "render_span_tree",
+    "span_to_tree",
     "spans_to_chrome_trace",
     "spans_to_jsonl",
     "write_trace",

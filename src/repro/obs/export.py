@@ -1,11 +1,21 @@
-"""Span-tree exporters: pretty text, JSONL, and Chrome trace-event JSON.
+"""Exporters: span trees (text/JSONL/Chrome trace) and Prometheus text.
 
 The Chrome trace format (``{"traceEvents": [...]}`` with complete
 ``"ph": "X"`` events, microsecond timestamps) loads directly in
 Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``; each event
 carries the span's I/O deltas in ``args``, with ``page_reads_self``
 holding the *exclusive* delta, so summing it over every event
-reconstructs the run's total page reads exactly.
+reconstructs the run's total page reads exactly.  Spans carrying a
+``tid`` attribute (the parallel engine's ``worker[w]`` spans, which
+record their OS thread id) land on their own lane, with a
+``thread_name`` metadata event naming it — so Perfetto shows one lane
+per worker instead of one flat lane.
+
+:func:`render_prometheus` is the serving layer's ``GET /metrics``
+exposition: the full Prometheus text format over a
+:class:`~repro.obs.metrics.MetricsRegistry`, with correct label-value
+and help-text escaping (the registry's own ``render_text`` is a debug
+dump and escapes nothing).
 """
 
 from __future__ import annotations
@@ -13,6 +23,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from .metrics import Histogram, REGISTRY
 from .trace import Span, Tracer
 
 
@@ -130,35 +141,149 @@ def spans_to_jsonl(spans) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
+# -- nested dict (qlog, JSON payloads) --------------------------------------
+
+def span_to_tree(span: Span) -> dict:
+    """Recursive JSON-safe record of one span including its children.
+
+    The shape the slow-query log embeds: ``name``/``duration_ms``/
+    counter args at each node, children nested under ``children`` (the
+    key is omitted for leaves, keeping common entries compact).
+    """
+    record = {"name": span.name, "duration_ms": round(span.duration_ms, 4)}
+    record.update(_io_args(span))
+    if span.children:
+        record["children"] = [span_to_tree(c) for c in span.children]
+    return record
+
+
 # -- Chrome trace-event JSON (Perfetto) ------------------------------------
 
 def spans_to_chrome_trace(spans, process_name: str = "repro") -> dict:
     """Chrome trace-event document for a span forest.
 
     Events are complete (``"ph": "X"``) with microsecond ``ts``/``dur``
-    relative to the earliest span, all on one pid/tid so the nesting
-    renders as a flame graph.  Per-span counter deltas ride in ``args``.
+    relative to the earliest span.  Every span inherits its lane
+    (``tid``) from the nearest ancestor carrying a ``tid`` attribute —
+    the parallel engine's ``worker[w]`` spans record their OS thread id
+    there — and falls back to lane 1, so serial traces render exactly
+    as before while parallel traces fan out into one lane per worker.
+    Each distinct lane gets a ``thread_name`` metadata event (the
+    naming span's name), and per-span counter deltas ride in ``args``.
     """
     roots = _as_spans(spans)
     events: list[dict] = [{
         "name": "process_name", "ph": "M", "pid": 1, "tid": 1,
         "args": {"name": process_name},
     }]
+    lane_names: dict[int, str] = {}
     if roots:
         base_ns = min(root.t0_ns for root in roots)
         for root in roots:
-            for span, _depth in root.walk():
+            # walk() is pre-order, so a stack of (span, inherited tid)
+            # keeps each span on its nearest ancestor's lane.
+            todo = [(root, 1)]
+            while todo:
+                span, tid = todo.pop()
+                own = span.attrs.get("tid")
+                if isinstance(own, int) and not isinstance(own, bool):
+                    tid = own
+                    lane_names.setdefault(tid, span.name)
                 events.append({
                     "name": span.name,
                     "cat": "repro",
                     "ph": "X",
                     "pid": 1,
-                    "tid": 1,
+                    "tid": tid,
                     "ts": (span.t0_ns - base_ns) / 1e3,
                     "dur": (span.t1_ns - span.t0_ns) / 1e3,
                     "args": _io_args(span),
                 })
+                for child in reversed(span.children):
+                    todo.append((child, tid))
+    for tid, name in sorted(lane_names.items()):
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+            "args": {"name": name},
+        })
     return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+# -- Prometheus text exposition ---------------------------------------------
+
+def _prom_label_value(value) -> str:
+    """Escape one label value per the exposition-format spec."""
+    return (str(value).replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _prom_help(text: str) -> str:
+    """Escape help text (backslash and newline only; quotes are legal)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _prom_labels(labels: dict, **extra) -> str:
+    merged = {**labels, **extra}
+    if not merged:
+        return ""
+    inner = ",".join(f'{k}="{_prom_label_value(v)}"'
+                     for k, v in sorted(merged.items()))
+    return "{" + inner + "}"
+
+
+def _prom_number(value) -> str:
+    if value != value:
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value)) if isinstance(value, float) \
+        and not float(value).is_integer() else str(int(value))
+
+
+def render_prometheus(registry=None) -> str:
+    """Render a metrics registry in the Prometheus text format (0.0.4).
+
+    Unlike the registry's debug ``render_text``, this escapes label
+    values and help text, renders histograms with per-``le`` cumulative
+    buckets (``+Inf`` included) plus ``_sum``/``_count``, and emits
+    ``# HELP``/``# TYPE`` headers for every family with data.  The
+    output is what the server's ``GET /metrics`` listener and the
+    ``metrics`` verb's ``format="prometheus"`` mode serve.
+    """
+    if registry is None:
+        registry = REGISTRY
+    lines: list[str] = []
+    for name, metric in sorted(registry._metrics.items()):
+        series = metric.collect()["series"]
+        if not series:
+            continue
+        if metric.help:
+            lines.append(f"# HELP {name} {_prom_help(metric.help)}")
+        lines.append(f"# TYPE {name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            for row in series:
+                labels = row["labels"]
+                cumulative = 0
+                for bound, count in zip(metric.buckets,
+                                        row["bucket_counts"]):
+                    cumulative += count
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_prom_labels(labels, le=_prom_number(bound))}"
+                        f" {cumulative}")
+                cumulative += row["bucket_counts"][len(metric.buckets)]
+                lines.append(f"{name}_bucket"
+                             f"{_prom_labels(labels, le='+Inf')}"
+                             f" {cumulative}")
+                lines.append(f"{name}_sum{_prom_labels(labels)} "
+                             f"{_prom_number(row['sum'])}")
+                lines.append(f"{name}_count{_prom_labels(labels)} "
+                             f"{row['count']}")
+        else:
+            for row in series:
+                lines.append(f"{name}{_prom_labels(row['labels'])} "
+                             f"{_prom_number(row['value'])}")
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 def write_trace(spans, path: str | Path,

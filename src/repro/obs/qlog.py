@@ -1,0 +1,136 @@
+"""Structured slow-query log: JSONL with size-based rotation.
+
+Production triage starts with "show me the slow ones": a
+:class:`QueryLog` appends one JSON object per offending request to a
+log file, capturing what an operator needs to reproduce and explain it
+— tenant, op, the request arguments, outcome, latency, admission wait
+and queue depth at entry, the page-read/cache-hit I/O the engine
+accounted, and (when the request was sampled) the full span tree.
+
+A request is logged when it crosses *either* threshold: wall latency
+``>= latency_ms`` or engine ``page_reads >= pages``.  Set a threshold
+to ``None`` to disable that criterion; a :class:`QueryLog` with both
+disabled logs nothing and costs one comparison per request.
+
+Rotation is size-based: when the live file would exceed ``max_bytes``
+the files shift (``qlog.jsonl`` → ``qlog.jsonl.1`` → ... →
+``.{max_files}``, oldest dropped), so the log is bounded at roughly
+``max_bytes * (max_files + 1)`` on disk.  Writes take one lock —
+entries from concurrent requests never interleave mid-line.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+
+class QueryLog:
+    """Threshold-gated JSONL slow-query log with rotation.
+
+    Parameters
+    ----------
+    path:
+        The live log file (created on first entry; parents too).
+    latency_ms:
+        Log requests at least this slow (``None`` disables).
+    pages:
+        Log requests reading at least this many pages (``None``
+        disables).
+    max_bytes:
+        Rotate when the live file would exceed this size.
+    max_files:
+        Rotated generations kept beside the live file.
+    clock:
+        Wall-clock source for the ``ts`` field (injectable for tests).
+    """
+
+    def __init__(self, path: str | Path, latency_ms: float | None = 100.0,
+                 pages: int | None = None, max_bytes: int = 4 << 20,
+                 max_files: int = 3, clock=time.time) -> None:
+        if latency_ms is not None and latency_ms < 0:
+            raise ValueError(f"latency_ms must be >= 0, got {latency_ms}")
+        if pages is not None and pages < 0:
+            raise ValueError(f"pages must be >= 0, got {pages}")
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        if max_files < 0:
+            raise ValueError(f"max_files must be >= 0, got {max_files}")
+        self.path = Path(path)
+        self.latency_ms = latency_ms
+        self.pages = pages
+        self.max_bytes = max_bytes
+        self.max_files = max_files
+        self.clock = clock
+        self.entries = 0
+        self.rotations = 0
+        self._lock = threading.Lock()
+
+    # -- gating --------------------------------------------------------------
+
+    def should_log(self, latency_ms: float,
+                   page_reads: int | None = None) -> bool:
+        """Does a request with these numbers cross a threshold?"""
+        if self.latency_ms is not None and latency_ms >= self.latency_ms:
+            return True
+        return (self.pages is not None and page_reads is not None
+                and page_reads >= self.pages)
+
+    # -- writing -------------------------------------------------------------
+
+    def record(self, entry: dict) -> None:
+        """Append one entry (a JSON-safe dict); stamps ``ts`` if absent."""
+        if "ts" not in entry:
+            entry = {"ts": round(self.clock(), 6), **entry}
+        line = json.dumps(entry, separators=(",", ":"),
+                          sort_keys=True, default=str) + "\n"
+        data = line.encode("utf-8")
+        with self._lock:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                size = self.path.stat().st_size
+            except FileNotFoundError:
+                size = 0
+            if size and size + len(data) > self.max_bytes:
+                self._rotate()
+            with open(self.path, "ab") as fh:
+                fh.write(data)
+            self.entries += 1
+
+    def _rotate(self) -> None:
+        """Shift generations: live → .1 → .2 → ... (oldest dropped)."""
+        if self.max_files == 0:
+            self.path.unlink(missing_ok=True)
+        else:
+            oldest = self.path.with_name(
+                f"{self.path.name}.{self.max_files}")
+            oldest.unlink(missing_ok=True)
+            for i in range(self.max_files - 1, 0, -1):
+                src = self.path.with_name(f"{self.path.name}.{i}")
+                if src.exists():
+                    src.rename(
+                        self.path.with_name(f"{self.path.name}.{i + 1}"))
+            if self.path.exists():
+                self.path.rename(
+                    self.path.with_name(f"{self.path.name}.1"))
+        self.rotations += 1
+
+    # -- reading (tests, console) -------------------------------------------
+
+    def read_entries(self) -> list[dict]:
+        """Parse every entry of the live file, oldest first."""
+        if not self.path.exists():
+            return []
+        return [json.loads(line)
+                for line in self.path.read_text().splitlines() if line]
+
+    def files(self) -> list[Path]:
+        """The live file plus rotated generations, newest first."""
+        found = [self.path] if self.path.exists() else []
+        for i in range(1, self.max_files + 1):
+            generation = self.path.with_name(f"{self.path.name}.{i}")
+            if generation.exists():
+                found.append(generation)
+        return found

@@ -1,0 +1,289 @@
+"""Rolling SLO metrics: windowed latency histograms and rates.
+
+The process metrics registry (:mod:`repro.obs.metrics`) keeps
+*cumulative* counters — exactly right for Prometheus scrapes, useless
+for answering "what is this tenant's p95 **right now**?".  This module
+adds the missing piece: a :class:`RollingStats` keeps, per ``tenant ×
+operation``, a ring of fixed-width time slots (default 6 × 10 s), each
+holding a latency histogram plus request/error/timeout/backpressure
+counts.  Readers merge the live slots, so every rate and percentile
+reflects only the trailing window and old traffic ages out slot by
+slot.
+
+Slots are recycled lazily: writers and readers stamp each slot with its
+epoch (``int(now / slot_s)``) and zero any slot whose stamp has fallen
+out of the window — no background thread, no timers.  One lock guards
+the whole structure; an :meth:`RollingStats.observe` is a few integer
+updates, cheap enough to run on every request unconditionally.
+
+Percentiles are estimated from the histogram buckets by linear
+interpolation within the bucket that crosses the rank —
+:func:`percentile_from_buckets` is exported on its own because the
+serve bench reuses it over registry histograms (admission-wait
+percentiles in ``BENCH_serve.json``).
+
+:meth:`RollingStats.snapshot` returns the JSON-safe view the ``top``
+console renders; :meth:`RollingStats.publish` pushes the same numbers
+into a :class:`~repro.obs.metrics.MetricsRegistry` as gauges
+(``repro_slo_*``) so the Prometheus exporter serves them too.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+#: Default latency bucket upper bounds, in milliseconds (+Inf implicit).
+LATENCY_BUCKETS_MS = (0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+                      100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+                      10000.0)
+
+#: Outcome codes that count against the error rate (everything that is
+#: not a success and not one of the dedicated rejection kinds).
+_REJECTIONS = {"timeout": "timeouts", "quota": "rejections",
+               "backpressure": "rejections"}
+
+
+def percentile_from_buckets(bounds, counts, q: float) -> float:
+    """Estimate the ``q``-quantile (0..1) from cumulative-style buckets.
+
+    ``bounds`` are the finite upper bounds; ``counts`` has one entry per
+    bound plus a final +Inf overflow count.  Linear interpolation inside
+    the crossing bucket; the overflow bucket clamps to the last finite
+    bound (there is nothing better to report).  Returns 0.0 when empty.
+    """
+    total = sum(counts)
+    if total <= 0:
+        return 0.0
+    rank = q * total
+    cumulative = 0
+    previous = 0.0
+    for bound, count in zip(bounds, counts):
+        if count:
+            if cumulative + count >= rank:
+                fraction = (rank - cumulative) / count
+                return previous + fraction * (bound - previous)
+            cumulative += count
+        previous = bound
+    return float(bounds[-1])
+
+
+class _Slot:
+    """One time slot of one (tenant, op) ring."""
+
+    __slots__ = ("epoch", "count", "errors", "timeouts", "rejections",
+                 "sum_ms", "buckets")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.epoch = -1
+        self.buckets = [0] * (n_buckets + 1)
+        self._zero()
+
+    def _zero(self) -> None:
+        self.count = 0
+        self.errors = 0
+        self.timeouts = 0
+        self.rejections = 0
+        self.sum_ms = 0.0
+        for i in range(len(self.buckets)):
+            self.buckets[i] = 0
+
+
+class _Ring:
+    """The slot ring of one (tenant, op) series."""
+
+    __slots__ = ("slots",)
+
+    def __init__(self, n_slots: int, n_buckets: int) -> None:
+        self.slots = [_Slot(n_buckets) for _ in range(n_slots)]
+
+    def slot_for(self, epoch: int) -> _Slot:
+        slot = self.slots[epoch % len(self.slots)]
+        if slot.epoch != epoch:
+            slot._zero()
+            slot.epoch = epoch
+        return slot
+
+    def live(self, epoch: int) -> list[_Slot]:
+        """Slots still inside the window ending at ``epoch``."""
+        floor = epoch - len(self.slots) + 1
+        return [s for s in self.slots if floor <= s.epoch <= epoch]
+
+
+class RollingStats:
+    """Windowed per-``tenant × op`` latency/error statistics.
+
+    Parameters
+    ----------
+    slot_s:
+        Width of one ring slot in seconds.
+    slots:
+        Number of slots; the full window covers ``slots * slot_s``.
+    buckets:
+        Latency histogram upper bounds, milliseconds.
+    clock:
+        Monotonic-seconds source (injectable for deterministic tests).
+    """
+
+    def __init__(self, slot_s: float = 10.0, slots: int = 6,
+                 buckets=LATENCY_BUCKETS_MS,
+                 clock=time.monotonic) -> None:
+        if slot_s <= 0:
+            raise ValueError(f"slot_s must be > 0, got {slot_s}")
+        if slots < 2:
+            raise ValueError(f"slots must be >= 2, got {slots}")
+        self.slot_s = float(slot_s)
+        self.slots = int(slots)
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ValueError("need at least one latency bucket")
+        self.clock = clock
+        self._t0 = clock()
+        self._rings: dict[tuple[str, str], _Ring] = {}
+        self._lock = threading.Lock()
+
+    # -- writing -------------------------------------------------------------
+
+    def observe(self, tenant: str, op: str, latency_ms: float,
+                outcome: str = "ok") -> None:
+        """Record one finished request into the current slot."""
+        now = self.clock()
+        epoch = int(now / self.slot_s)
+        key = (tenant, op)
+        with self._lock:
+            ring = self._rings.get(key)
+            if ring is None:
+                ring = self._rings[key] = _Ring(self.slots,
+                                                len(self.buckets))
+            slot = ring.slot_for(epoch)
+            slot.count += 1
+            slot.sum_ms += latency_ms
+            for i, bound in enumerate(self.buckets):
+                if latency_ms <= bound:
+                    slot.buckets[i] += 1
+                    break
+            else:
+                slot.buckets[-1] += 1
+            if outcome != "ok":
+                kind = _REJECTIONS.get(outcome)
+                if kind is None:
+                    slot.errors += 1
+                elif kind == "timeouts":
+                    slot.timeouts += 1
+                else:
+                    slot.rejections += 1
+
+    # -- reading -------------------------------------------------------------
+
+    def window_s(self, now: float | None = None) -> float:
+        """Seconds of traffic the window currently covers."""
+        if now is None:
+            now = self.clock()
+        return min(max(now - self._t0, self.slot_s),
+                   self.slots * self.slot_s)
+
+    def snapshot(self, now: float | None = None) -> dict:
+        """JSON-safe per-series view over the trailing window.
+
+        Keys are ``"tenant\\x1fop"``-free: a list of records, each with
+        ``tenant``, ``op``, ``qps``, ``p50/p95/p99/mean/max-bound``
+        latency estimates (ms), and ``error/timeout/rejection`` rates.
+        """
+        if now is None:
+            now = self.clock()
+        epoch = int(now / self.slot_s)
+        covered = self.window_s(now)
+        records = []
+        with self._lock:
+            for (tenant, op), ring in sorted(self._rings.items()):
+                live = ring.live(epoch)
+                count = sum(s.count for s in live)
+                if not count:
+                    continue
+                merged = [0] * (len(self.buckets) + 1)
+                for slot in live:
+                    for i, c in enumerate(slot.buckets):
+                        merged[i] += c
+                errors = sum(s.errors for s in live)
+                timeouts = sum(s.timeouts for s in live)
+                rejections = sum(s.rejections for s in live)
+                sum_ms = sum(s.sum_ms for s in live)
+                records.append({
+                    "tenant": tenant,
+                    "op": op,
+                    "window_s": round(covered, 3),
+                    "count": count,
+                    "qps": round(count / covered, 3),
+                    "latency_ms": {
+                        "p50": round(percentile_from_buckets(
+                            self.buckets, merged, 0.50), 3),
+                        "p95": round(percentile_from_buckets(
+                            self.buckets, merged, 0.95), 3),
+                        "p99": round(percentile_from_buckets(
+                            self.buckets, merged, 0.99), 3),
+                        "mean": round(sum_ms / count, 3),
+                    },
+                    "errors": errors,
+                    "timeouts": timeouts,
+                    "rejections": rejections,
+                    "error_rate": round(errors / count, 4),
+                    "timeout_rate": round(timeouts / count, 4),
+                    "rejection_rate": round(rejections / count, 4),
+                })
+        return {"window_s": round(covered, 3), "series": records}
+
+    def publish(self, registry) -> None:
+        """Push the current window into ``registry`` as gauges.
+
+        Gauges (all labeled ``tenant``/``op``): ``repro_slo_qps``,
+        ``repro_slo_latency_ms{quantile=...}``, ``repro_slo_error_rate``,
+        ``repro_slo_timeout_rate``, ``repro_slo_rejection_rate``.
+        Series whose window went quiet are reset to zero rather than
+        left frozen at their last busy value.
+        """
+        qps = registry.gauge(
+            "repro_slo_qps",
+            "Requests/second over the rolling window, per tenant/op.")
+        latency = registry.gauge(
+            "repro_slo_latency_ms",
+            "Rolling latency quantile estimate (ms), per "
+            "tenant/op/quantile.")
+        for name, help_text in (
+                ("repro_slo_error_rate",
+                 "Error fraction over the rolling window."),
+                ("repro_slo_timeout_rate",
+                 "Deadline-timeout fraction over the rolling window."),
+                ("repro_slo_rejection_rate",
+                 "Quota/backpressure rejection fraction over the "
+                 "rolling window.")):
+            registry.gauge(name, help_text)
+        snap = self.snapshot()
+        seen = set()
+        for row in snap["series"]:
+            tenant, op = row["tenant"], row["op"]
+            seen.add((tenant, op))
+            qps.set(row["qps"], tenant=tenant, op=op)
+            for quantile in ("p50", "p95", "p99"):
+                latency.set(row["latency_ms"][quantile], tenant=tenant,
+                            op=op, quantile=quantile)
+            registry.gauge("repro_slo_error_rate").set(
+                row["error_rate"], tenant=tenant, op=op)
+            registry.gauge("repro_slo_timeout_rate").set(
+                row["timeout_rate"], tenant=tenant, op=op)
+            registry.gauge("repro_slo_rejection_rate").set(
+                row["rejection_rate"], tenant=tenant, op=op)
+        with self._lock:
+            known = set(self._rings)
+        for tenant, op in known - seen:
+            qps.set(0.0, tenant=tenant, op=op)
+            for quantile in ("p50", "p95", "p99"):
+                latency.set(0.0, tenant=tenant, op=op, quantile=quantile)
+            for name in ("repro_slo_error_rate", "repro_slo_timeout_rate",
+                         "repro_slo_rejection_rate"):
+                registry.gauge(name).set(0.0, tenant=tenant, op=op)
+
+    def reset(self) -> None:
+        """Forget every series (tests and restarts)."""
+        with self._lock:
+            self._rings.clear()
+            self._t0 = self.clock()

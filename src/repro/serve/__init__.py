@@ -10,9 +10,11 @@ with per-tenant accounting.
 from .admission import AdmissionController, TenantQuota, TenantState, TokenBucket
 from .client import ClientError, FieldClient, ServerError
 from .protocol import (ERROR_CODES, MAX_BATCH_QUERIES, MAX_FRAME_BYTES,
-                       MAX_UPDATE_VERTICES, OPS, ProtocolError, Request,
-                       decode_request, encode_error, encode_response)
+                       MAX_TRACE_ID_CHARS, MAX_UPDATE_VERTICES, OPS,
+                       ProtocolError, Request, decode_request,
+                       encode_error, encode_response)
 from .server import FieldServer, ServerThread
+from .top import render_frame, run_top
 
 __all__ = [
     "AdmissionController",
@@ -22,6 +24,7 @@ __all__ = [
     "FieldServer",
     "MAX_BATCH_QUERIES",
     "MAX_FRAME_BYTES",
+    "MAX_TRACE_ID_CHARS",
     "MAX_UPDATE_VERTICES",
     "OPS",
     "ProtocolError",
@@ -34,4 +37,6 @@ __all__ = [
     "decode_request",
     "encode_error",
     "encode_response",
+    "render_frame",
+    "run_top",
 ]

@@ -24,6 +24,16 @@ locks; the controller's :meth:`AdmissionController.snapshot` is what the
 (:class:`~repro.serve.protocol.ProtocolError` with code ``quota`` or
 ``backpressure``), so a client can distinguish "slow down" from "you
 broke the protocol".
+
+When the metrics registry is enabled the controller also exposes live
+gauges — per-tenant pending-queue depth, token-bucket fill, and
+in-flight (admitted, not yet released) count, plus a rejection counter
+split by reason.  The gauges are point-in-time values, so they are
+mirrored lazily by :meth:`AdmissionController.publish` at scrape time
+(``GET /metrics``, the ``metrics`` verb) rather than on every admission
+transition: the scraper still sees queue state as it is *now*, and the
+admit/release hot path stays free of per-request gauge writes.
+Rejection counters are cumulative and so still increment eagerly.
 """
 
 from __future__ import annotations
@@ -32,7 +42,22 @@ import asyncio
 import time
 from dataclasses import dataclass
 
+from ..obs.metrics import REGISTRY
 from .protocol import ProtocolError
+
+#: Live admission gauges (published only while ``REGISTRY.enabled``).
+PENDING_GAUGE = REGISTRY.gauge(
+    "repro_admission_pending",
+    "Requests admitted-or-waiting per tenant (queue depth)")
+TOKENS_GAUGE = REGISTRY.gauge(
+    "repro_admission_tokens",
+    "Token-bucket fill per tenant (burst capacity when unlimited)")
+INFLIGHT_GAUGE = REGISTRY.gauge(
+    "repro_admission_inflight",
+    "Admitted requests currently executing per tenant")
+REJECTED_COUNTER = REGISTRY.counter(
+    "repro_admission_rejected_total",
+    "Admission rejections per tenant, split by reason")
 
 
 class TokenBucket:
@@ -120,7 +145,7 @@ class TenantQuota:
 class TenantState:
     """Live admission state of one tenant."""
 
-    __slots__ = ("quota", "bucket", "pending", "admitted",
+    __slots__ = ("quota", "bucket", "pending", "inflight", "admitted",
                  "rejected_quota", "rejected_backpressure", "timeouts")
 
     def __init__(self, quota: TenantQuota, clock) -> None:
@@ -128,15 +153,25 @@ class TenantState:
         self.bucket = (TokenBucket(quota.rate, quota.burst, clock)
                        if quota.rate is not None else None)
         self.pending = 0
+        self.inflight = 0
         self.admitted = 0
         self.rejected_quota = 0
         self.rejected_backpressure = 0
         self.timeouts = 0
 
+    def tokens(self) -> float:
+        """Current token-bucket fill (burst capacity when unlimited)."""
+        if self.bucket is None:
+            return float(self.quota.burst)
+        self.bucket._refill()
+        return self.bucket.tokens
+
     def snapshot(self) -> dict:
         """JSON-safe counters for the ``stats`` verb."""
         return {
             "pending": self.pending,
+            "inflight": self.inflight,
+            "tokens": round(self.tokens(), 3),
             "admitted": self.admitted,
             "rejected_quota": self.rejected_quota,
             "rejected_backpressure": self.rejected_backpressure,
@@ -191,6 +226,8 @@ class AdmissionController:
         quota = st.quota
         if st.pending >= quota.max_pending:
             st.rejected_backpressure += 1
+            if REGISTRY.enabled:
+                REJECTED_COUNTER.inc(tenant=tenant, reason="backpressure")
             raise ProtocolError(
                 "backpressure",
                 f"tenant {tenant!r} has {st.pending} requests pending "
@@ -219,12 +256,15 @@ class AdmissionController:
         except ProtocolError:
             st.pending -= 1
             st.rejected_quota += 1
+            if REGISTRY.enabled:
+                REJECTED_COUNTER.inc(tenant=tenant, reason="quota")
             raise
         except BaseException:
             # Cancellation while parked: give the slot back untyped.
             st.pending -= 1
             raise
         st.admitted += 1
+        st.inflight += 1
         return st
 
     def release(self, tenant: str) -> None:
@@ -232,6 +272,23 @@ class AdmissionController:
         st = self._tenants.get(tenant)
         if st is not None and st.pending > 0:
             st.pending -= 1
+            if st.inflight > 0:
+                st.inflight -= 1
+
+    def publish(self) -> None:
+        """Mirror every tenant's live state into the metrics gauges.
+
+        Called at scrape time (not per admission transition): gauges
+        are point-in-time, so publishing them when someone actually
+        looks keeps the hot path free of per-request gauge writes
+        while the scraper still sees current queue state.
+        """
+        if not REGISTRY.enabled:
+            return
+        for tenant, st in self._tenants.items():
+            PENDING_GAUGE.set(st.pending, tenant=tenant)
+            INFLIGHT_GAUGE.set(st.inflight, tenant=tenant)
+            TOKENS_GAUGE.set(round(st.tokens(), 3), tenant=tenant)
 
     def note_timeout(self, tenant: str) -> None:
         """Record that an admitted request hit its execution deadline."""

@@ -11,6 +11,13 @@ protocol spec in DESIGN.md §10.
 Thread-safe: a lock serializes request/response pairs, so one client
 may be shared — though the intended load-generator shape is one client
 per simulated user (each holding its own connection).
+
+Trace propagation: pass ``trace_id="..."`` to any verb (or
+:meth:`FieldClient.request`) to force that request to be sampled
+server-side under that id, or construct the client with ``trace=True``
+to stamp a fresh ``uuid4`` hex id on *every* request.  Sampled
+responses echo the id back (``answer["trace_id"]``), tying the client
+call to the server's span tree and slow-query-log entries.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ from __future__ import annotations
 import json
 import socket
 import threading
+import uuid
 
 from .protocol import MAX_FRAME_BYTES
 
@@ -49,10 +57,14 @@ class FieldClient:
     """
 
     def __init__(self, host: str, port: int, tenant: str = "default",
-                 timeout_s: float | None = 30.0) -> None:
+                 timeout_s: float | None = 30.0,
+                 trace: bool = False) -> None:
         self.host = host
         self.port = port
         self.tenant = tenant
+        #: Stamp a fresh ``trace_id`` on every request (forces
+        #: server-side sampling; per-call ``trace_id=`` still wins).
+        self.trace = trace
         self._sock = socket.create_connection((host, port),
                                               timeout=timeout_s)
         self._file = self._sock.makefile("rb")
@@ -71,6 +83,8 @@ class FieldClient:
             self._next_id += 1
             request_id = self._next_id
             obj = {"id": request_id, "op": op, "tenant": self.tenant}
+            if self.trace and "trace_id" not in params:
+                obj["trace_id"] = uuid.uuid4().hex
             obj.update(params)
             frame = (json.dumps(obj, separators=(",", ":"),
                                 allow_nan=False) + "\n").encode("utf-8")

@@ -3,11 +3,16 @@
 One *frame* is one line of UTF-8 JSON terminated by ``\\n``.  A request
 frame is an object with an ``op`` (the verb), an optional ``id`` (echoed
 verbatim in the response so clients can pipeline), an optional
-``tenant`` (admission-control identity, default ``"default"``), and
-op-specific parameters at the top level::
+``tenant`` (admission-control identity, default ``"default"``), an
+optional ``trace_id``/``parent_span`` pair (distributed-trace identity:
+a client-supplied ``trace_id`` forces the request to be sampled and is
+echoed in the response, so one trace id follows the request from the
+client frame through admission, engine and encode — DESIGN.md §11),
+and op-specific parameters at the top level::
 
     {"id": 1, "op": "query", "tenant": "alice",
-     "field": "terrain", "lo": 300.0, "hi": 320.0}
+     "trace_id": "b1946ac92492", "field": "terrain",
+     "lo": 300.0, "hi": 320.0}
 
 Every frame the server reads yields exactly one response frame — either
 a success envelope ``{"id": ..., "ok": true, ...payload...}`` or a typed
@@ -82,6 +87,11 @@ class ProtocolError(Exception):
         super().__init__(f"{code}: {message}")
 
 
+#: Bound on ``trace_id``/``parent_span`` length (enough for a UUID or a
+#: W3C trace-context id with room to spare).
+MAX_TRACE_ID_CHARS = 64
+
+
 @dataclass(frozen=True)
 class Request:
     """One decoded request frame."""
@@ -89,6 +99,8 @@ class Request:
     op: str
     id: object = None
     tenant: str = "default"
+    trace_id: str | None = None
+    parent_span: str | None = None
     params: dict = dc_field(default_factory=dict)
 
 
@@ -149,9 +161,28 @@ def decode_request(line: bytes | bytearray | memoryview | str) -> Request:
             "bad-request",
             "'tenant' must be a non-empty string of at most 128 "
             "characters")
+    trace_id = _optional_trace_field(obj, "trace_id")
+    parent_span = _optional_trace_field(obj, "parent_span")
     params = {key: value for key, value in obj.items()
-              if key not in ("op", "id", "tenant")}
-    return Request(op=op, id=request_id, tenant=tenant, params=params)
+              if key not in ("op", "id", "tenant", "trace_id",
+                             "parent_span")}
+    return Request(op=op, id=request_id, tenant=tenant,
+                   trace_id=trace_id, parent_span=parent_span,
+                   params=params)
+
+
+def _optional_trace_field(obj: dict, key: str) -> str | None:
+    """Validate an optional trace-identity frame field."""
+    value = obj.get(key)
+    if value is None:
+        return None
+    if not isinstance(value, str) or not value \
+            or len(value) > MAX_TRACE_ID_CHARS:
+        raise ProtocolError(
+            "bad-request",
+            f"'{key}' must be a non-empty string of at most "
+            f"{MAX_TRACE_ID_CHARS} characters")
+    return value
 
 
 def encode_response(request_id, payload: dict) -> bytes:

@@ -22,11 +22,30 @@ drives every engine verb through one shared
   mid-call), tracked as a straggler until it drains.
 
 Every request is answered — malformed frames with typed errors — and
-per-request spans (``request[op]`` with op/tenant/outcome/latency
-attributes) land on the server's optional
-:class:`~repro.obs.trace.Tracer`, while latency histograms and
-request/connection counters publish to the process metrics registry,
-which the ``metrics`` verb exposes over the wire.
+the server is fully observable end-to-end (DESIGN.md §11):
+
+* **Trace propagation**: a client-supplied ``trace_id`` (or a
+  head-based coin flip at ``trace_sample_rate``) samples the request
+  into a span tree — ``request[op]`` bracketing ``decode``,
+  ``admission`` (queue depth at entry + wait), ``engine`` (with the
+  engine's own ``query → plan/filter/fetch/estimate`` spans grafted
+  underneath, recorded on a per-request tracer through the facade) and
+  ``encode``.  Sampled trees are kept in :attr:`FieldServer.sampled`
+  (and mirrored to a server-wide ``tracer`` when one is installed),
+  and the response echoes the ``trace_id``.
+* **Rolling SLO metrics**: every outcome feeds a
+  :class:`~repro.obs.rolling.RollingStats` window (per tenant × op
+  q/s, latency quantiles, error/timeout/rejection rates), served by
+  the ``metrics`` verb (``format="json"|"prometheus"``) and by a
+  plain-HTTP ``GET /metrics`` side listener (``metrics_port``).
+* **Slow-query log**: requests crossing the
+  :class:`~repro.obs.qlog.QueryLog` thresholds append one JSONL entry
+  with tenant, args, outcome, admission wait, engine I/O, plan choice
+  and (when sampled) the full span tree.
+
+Latency histograms and request/connection counters still publish to
+the process metrics registry, which the ``metrics`` verb exposes over
+the wire.
 
 Graceful shutdown (:meth:`FieldServer.stop`) stops accepting, lets
 in-flight requests finish and their responses flush, then closes idle
@@ -40,14 +59,20 @@ fixture, and embedders use.
 from __future__ import annotations
 
 import asyncio
+import random
 import threading
 import time
+import uuid
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 
 from ..core.facade import (EngineFacade, FacadeError, FieldExistsError,
                            UnknownFieldError)
+from ..obs.export import render_prometheus, span_to_tree
 from ..obs.metrics import REGISTRY
-from ..obs.trace import Tracer
+from ..obs.qlog import QueryLog
+from ..obs.rolling import LATENCY_BUCKETS_MS, RollingStats
+from ..obs.trace import Span, Tracer
 from ..storage import CorruptPageError, TransientIOError
 from .admission import AdmissionController
 from .protocol import (MAX_BATCH_QUERIES, MAX_FRAME_BYTES,
@@ -64,6 +89,13 @@ _LATENCY_MS = REGISTRY.histogram(
 _CONNECTIONS = REGISTRY.counter(
     "repro_serve_connections_total",
     "Client connections accepted.")
+_ADMISSION_WAIT_MS = REGISTRY.histogram(
+    "repro_serve_admission_wait_ms",
+    "Admission-control wait in milliseconds, per tenant.",
+    buckets=LATENCY_BUCKETS_MS)
+_SAMPLED = REGISTRY.counter(
+    "repro_serve_sampled_total",
+    "Requests sampled into a trace, per op.")
 
 #: Estimate modes exposed over the wire per verb (``regions`` payloads
 #: are unbounded, so only single queries may request them).
@@ -89,6 +121,69 @@ def _fault_payload(faults) -> list[dict]:
              "detail": f.detail} for f in faults]
 
 
+#: Longest list echoed verbatim into a slow-query-log ``args`` field;
+#: bigger ones (batch query lists, update vertex arrays) are summarized.
+_QLOG_MAX_LIST = 8
+
+
+def _qlog_args(params: dict) -> dict:
+    """Compact JSON-safe view of request params for the slow-query log."""
+    args = {}
+    for key, value in params.items():
+        if isinstance(value, list) and len(value) > _QLOG_MAX_LIST:
+            args[key] = f"<{len(value)} items>"
+        else:
+            args[key] = value
+    return args
+
+
+def _engine_summary(ctx: "_RequestContext") -> dict:
+    """Plan/method choice of a sampled request's engine span tree."""
+    if ctx.engine is None or not ctx.engine.roots:
+        return {}
+    summary: dict = {}
+    root = ctx.engine.roots[0]
+    method = root.attrs.get("method")
+    if method is not None:
+        summary["method"] = method
+    for span, _ in root.walk():
+        if span.name == "plan" and span.attrs:
+            summary["plan"] = dict(span.attrs)
+            break
+    return summary
+
+
+class _RequestContext:
+    """Per-request observability state threaded through execution.
+
+    Created for *every* request (the admission-wait and queue-depth
+    numbers feed the slow-query log unconditionally); the tracers only
+    exist when the request is sampled, so the unsampled path allocates
+    one small object and no spans.
+    """
+
+    __slots__ = ("trace_id", "parent_span", "sampled", "tracer",
+                 "engine", "root", "admission_wait_ms", "queue_depth")
+
+    def __init__(self, trace_id: str | None = None,
+                 parent_span: str | None = None,
+                 sampled: bool = False) -> None:
+        self.trace_id = trace_id
+        self.parent_span = parent_span
+        self.sampled = sampled
+        #: Event-loop-side tracer: request/decode/admission/engine/
+        #: encode spans (never touched by executor threads).
+        self.tracer = Tracer() if sampled else None
+        #: Engine-side tracer the facade installs on the index for the
+        #: duration of the call; its roots are grafted under the
+        #: ``engine`` span only when the call completed (a timed-out
+        #: straggler may still be writing into it).
+        self.engine = Tracer() if sampled else None
+        self.root: Span | None = None
+        self.admission_wait_ms: float | None = None
+        self.queue_depth: int | None = None
+
+
 class FieldServer:
     """Newline-JSON field query server over one engine facade.
 
@@ -111,11 +206,28 @@ class FieldServer:
     executor_workers:
         Thread budget for concurrent engine calls across fields.
     tracer:
-        Optional span recorder; each request lands a ``request[op]``
-        span with op/tenant/outcome attributes.
+        Optional span recorder; every sampled request's span tree is
+        mirrored onto it (installing one also forces every request to
+        be sampled, the pre-sampling behaviour).
     enable_metrics:
         Enable the process metrics registry for the server's lifetime
         (restored to its previous state on :meth:`stop`).
+    trace_sample_rate:
+        Head-based sampling probability in ``[0, 1]`` for requests
+        that do not carry their own ``trace_id`` (which always forces
+        sampling).  0 (default) samples nothing.
+    qlog:
+        Optional :class:`~repro.obs.qlog.QueryLog`; requests crossing
+        its thresholds are appended (sampled ones with their span
+        tree).
+    metrics_port:
+        When not ``None``, also bind a plain-HTTP listener on this
+        port (0 = ephemeral) answering ``GET /metrics`` with the
+        Prometheus text exposition; the bound port lands in
+        :attr:`metrics_address`.
+    keep_sampled:
+        Most recent sampled span trees retained in
+        :attr:`sampled` (a bounded deque).
     max_requests:
         Stop the server after this many requests (demos and tests).
     drain_timeout_s:
@@ -129,11 +241,21 @@ class FieldServer:
                  executor_workers: int = 4,
                  tracer: Tracer | None = None,
                  enable_metrics: bool = False,
+                 trace_sample_rate: float = 0.0,
+                 qlog: QueryLog | None = None,
+                 metrics_port: int | None = None,
+                 keep_sampled: int = 64,
                  max_requests: int | None = None,
                  drain_timeout_s: float = 30.0) -> None:
         if executor_workers < 1:
             raise ValueError(
                 f"executor_workers must be >= 1, got {executor_workers}")
+        if not 0.0 <= trace_sample_rate <= 1.0:
+            raise ValueError(f"trace_sample_rate must be in [0, 1], "
+                             f"got {trace_sample_rate}")
+        if keep_sampled < 1:
+            raise ValueError(
+                f"keep_sampled must be >= 1, got {keep_sampled}")
         self.facade = facade if facade is not None else EngineFacade()
         self.catalog = dict(catalog) if catalog else {}
         self.admission = (admission if admission is not None
@@ -143,9 +265,21 @@ class FieldServer:
         self.executor_workers = executor_workers
         self.tracer = tracer
         self.enable_metrics = enable_metrics
+        self.trace_sample_rate = float(trace_sample_rate)
+        self.qlog = qlog
+        self.metrics_port = metrics_port
         self.max_requests = max_requests
         self.drain_timeout_s = drain_timeout_s
+        #: Rolling SLO window every request outcome feeds.
+        self.rolling = RollingStats()
+        #: Most recent sampled span trees (root ``request[op]`` spans).
+        self.sampled: deque[Span] = deque(maxlen=keep_sampled)
+        #: Requests sampled into a trace so far (any retention).
+        self.sampled_total = 0
+        #: ``(host, port)`` of the HTTP metrics listener once bound.
+        self.metrics_address: tuple[str, int] | None = None
 
+        self._metrics_server: asyncio.AbstractServer | None = None
         self._server: asyncio.AbstractServer | None = None
         self._executor: ThreadPoolExecutor | None = None
         self._conn_tasks: set[asyncio.Task] = set()
@@ -189,6 +323,11 @@ class FieldServer:
             limit=MAX_FRAME_BYTES + 2)
         sockname = self._server.sockets[0].getsockname()
         self.host, self.port = sockname[0], sockname[1]
+        if self.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._on_metrics_connection, self.host, self.metrics_port)
+            bound = self._metrics_server.sockets[0].getsockname()
+            self.metrics_address = (bound[0], bound[1])
         return self.host, self.port
 
     async def stop(self, drain: bool = True) -> None:
@@ -206,6 +345,9 @@ class FieldServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
         if drain and self._active:
             try:
                 await asyncio.wait_for(self._idle.wait(),
@@ -281,11 +423,13 @@ class FieldServer:
             self._idle.clear()
             try:
                 frame = await self._handle_line(line)
+                # Count before the flush: a client that has our reply
+                # in hand must already observe it in requests_served.
+                self._served += 1
                 writer.write(frame)
                 await writer.drain()
             finally:
                 self._active -= 1
-                self._served += 1
                 if self._active == 0:
                     self._idle.set()
             if self._stopping:
@@ -296,78 +440,229 @@ class FieldServer:
                 return
 
     async def _handle_line(self, line: bytes) -> bytes:
+        t0 = time.perf_counter_ns()
         try:
             request = decode_request(line)
         except ProtocolError as exc:
             self._observe("<frame>", "<unknown>", exc.code, 0.0)
             return encode_error(None, exc.code, exc.message)
+        decode_ns = time.perf_counter_ns() - t0
         if self._stopping:
             return encode_error(request.id, "shutting-down",
                                 "server is draining; retry elsewhere")
-        return await self._dispatch(request)
+        return await self._dispatch(request, decode_ns)
 
-    async def _dispatch(self, request: Request) -> bytes:
+    def _begin(self, request: Request) -> _RequestContext:
+        """Head-based sampling decision: the request's trace context.
+
+        A client-supplied ``trace_id`` always samples; otherwise a coin
+        flip at ``trace_sample_rate`` (or an installed server-wide
+        tracer) does, under a freshly generated id.
+        """
+        if request.trace_id is not None:
+            sampled = True
+        elif self.trace_sample_rate > 0.0 \
+                and random.random() < self.trace_sample_rate:
+            sampled = True
+        else:
+            sampled = self.tracer is not None and self.tracer.enabled
+        trace_id = request.trace_id
+        if sampled and trace_id is None:
+            trace_id = uuid.uuid4().hex
+        return _RequestContext(trace_id=trace_id,
+                               parent_span=request.parent_span,
+                               sampled=sampled)
+
+    async def _dispatch(self, request: Request,
+                        decode_ns: int = 0) -> bytes:
         t0 = time.perf_counter()
-        if self.tracer is not None and self.tracer.enabled:
+        ctx = self._begin(request)
+        if ctx.sampled:
             # A private tracer per request: concurrent requests on one
             # shared span stack would interleave into a garbage tree.
-            private = Tracer()
-            with private.span(f"request[{request.op}]",
-                              {"op": request.op,
-                               "tenant": request.tenant}) as span:
-                frame, code = await self._execute(request)
-                span.attrs["outcome"] = code
-            self.tracer.roots.extend(private.roots)
+            attrs = {"op": request.op, "tenant": request.tenant,
+                     "trace_id": ctx.trace_id}
+            if ctx.parent_span is not None:
+                attrs["parent_span"] = ctx.parent_span
+            with ctx.tracer.span(f"request[{request.op}]", attrs) as root:
+                ctx.root = root
+                # The frame was decoded before this span opened: pull
+                # the span's start back so a synthetic ``decode`` child
+                # honestly brackets that work inside the request.
+                root.t0_ns -= decode_ns
+                decode_span = Span(ctx.tracer, "decode")
+                decode_span.t0_ns = root.t0_ns
+                decode_span.t1_ns = root.t0_ns + decode_ns
+                root.children.append(decode_span)
+                payload, code, message = await self._execute(request, ctx)
+                with ctx.tracer.span("encode"):
+                    frame = self._encode(request, payload, code,
+                                         message, ctx)
+                root.attrs["outcome"] = code
         else:
-            frame, code = await self._execute(request)
-        self._observe(request.op, request.tenant, code,
-                      (time.perf_counter() - t0) * 1000.0)
+            payload, code, message = await self._execute(request, ctx)
+            frame = self._encode(request, payload, code, message, ctx)
+        latency_ms = (time.perf_counter() - t0) * 1000.0
+        self._observe(request.op, request.tenant, code, latency_ms)
+        self._finish(request, ctx, payload, code, latency_ms)
         return frame
 
-    async def _execute(self, request: Request) -> tuple[bytes, str]:
-        """Run one decoded request; fold every failure into a frame."""
+    async def _execute(self, request: Request,
+                       ctx: _RequestContext) -> tuple:
+        """Run one decoded request; fold every failure into a typed
+        ``(payload, code, message)`` triple (payload None on error)."""
         try:
-            payload = await self._handlers[request.op](request)
-            return encode_response(request.id, payload), "ok"
+            payload = await self._handlers[request.op](request, ctx)
+            return payload, "ok", None
         except ProtocolError as exc:
-            return (encode_error(request.id, exc.code, exc.message),
-                    exc.code)
+            return None, exc.code, exc.message
         except UnknownFieldError as exc:
-            return (encode_error(request.id, "unknown-field", str(exc)),
-                    "unknown-field")
+            return None, "unknown-field", str(exc)
         except FieldExistsError as exc:
-            return (encode_error(request.id, "field-exists", str(exc)),
-                    "field-exists")
+            return None, "field-exists", str(exc)
         except FacadeError as exc:
-            return (encode_error(request.id, "unsupported", str(exc)),
-                    "unsupported")
+            return None, "unsupported", str(exc)
         except (CorruptPageError, TransientIOError) as exc:
-            return (encode_error(request.id, "storage-fault",
-                                 f"{type(exc).__name__}: {exc}"),
-                    "storage-fault")
+            return None, "storage-fault", f"{type(exc).__name__}: {exc}"
         except (ValueError, TypeError, KeyError, IndexError) as exc:
-            return (encode_error(request.id, "bad-request",
-                                 f"{type(exc).__name__}: {exc}"),
-                    "bad-request")
+            return None, "bad-request", f"{type(exc).__name__}: {exc}"
         except asyncio.CancelledError:
             raise
         except Exception as exc:   # pragma: no cover - defense in depth
-            return (encode_error(request.id, "internal",
-                                 f"{type(exc).__name__}: {exc}"),
-                    "internal")
+            return None, "internal", f"{type(exc).__name__}: {exc}"
+
+    def _encode(self, request: Request, payload: dict | None, code: str,
+                message: str | None, ctx: _RequestContext) -> bytes:
+        """Encode the response frame, echoing the trace id if sampled."""
+        if code == "ok":
+            if ctx.sampled and payload is not None:
+                payload = {**payload, "trace_id": ctx.trace_id}
+            return encode_response(request.id, payload)
+        return encode_error(request.id, code, message)
 
     def _observe(self, op: str, tenant: str, code: str,
                  latency_ms: float) -> None:
         self.counts[code] = self.counts.get(code, 0) + 1
+        self.rolling.observe(tenant, op, latency_ms, outcome=code)
         if REGISTRY.enabled:
             _REQUESTS.inc(1, op=op, tenant=tenant, outcome=code)
             _LATENCY_MS.observe(latency_ms, op=op)
 
+    def _finish(self, request: Request, ctx: _RequestContext,
+                payload: dict | None, code: str,
+                latency_ms: float) -> None:
+        """Retain the sampled span tree and feed the slow-query log."""
+        if ctx.sampled and ctx.root is not None:
+            self.sampled_total += 1
+            self.sampled.append(ctx.root)
+            if self.tracer is not None:
+                self.tracer.roots.append(ctx.root)
+            if REGISTRY.enabled:
+                _SAMPLED.inc(1, op=request.op)
+        if self.qlog is None:
+            return
+        io = payload.get("io") if payload else None
+        page_reads = io.get("page_reads") if io else None
+        if not self.qlog.should_log(latency_ms, page_reads):
+            return
+        entry = {
+            "tenant": request.tenant,
+            "op": request.op,
+            "outcome": code,
+            "latency_ms": round(latency_ms, 4),
+            "args": _qlog_args(request.params),
+        }
+        if ctx.trace_id is not None:
+            entry["trace_id"] = ctx.trace_id
+        if ctx.admission_wait_ms is not None:
+            entry["admission_wait_ms"] = round(ctx.admission_wait_ms, 4)
+        if ctx.queue_depth is not None:
+            entry["queue_depth"] = ctx.queue_depth
+        if io is not None:
+            entry["io"] = io
+        plan = _engine_summary(ctx)
+        if plan:
+            entry.update(plan)
+        if ctx.sampled and ctx.root is not None:
+            entry["spans"] = span_to_tree(ctx.root)
+        self.qlog.record(entry)
+
+    # -- HTTP metrics listener ----------------------------------------------
+
+    async def _on_metrics_connection(self, reader, writer) -> None:
+        """Answer one plain-HTTP request (``GET /metrics``) and close.
+
+        Deliberately minimal — enough for ``curl`` and a Prometheus
+        scraper: request line + headers in, one response out,
+        connection closed.
+        """
+        try:
+            request_line = await asyncio.wait_for(reader.readline(), 10.0)
+            while True:   # drain headers up to the blank line
+                header = await asyncio.wait_for(reader.readline(), 10.0)
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.decode("latin-1", "replace").split()
+            if (len(parts) >= 2 and parts[0] == "GET"
+                    and parts[1].split("?")[0] in ("/metrics", "/")):
+                self.rolling.publish(REGISTRY)
+                self.admission.publish()
+                body = render_prometheus(REGISTRY).encode("utf-8")
+                head = (b"HTTP/1.1 200 OK\r\n"
+                        b"Content-Type: text/plain; version=0.0.4; "
+                        b"charset=utf-8\r\n"
+                        b"Content-Length: " + str(len(body)).encode()
+                        + b"\r\nConnection: close\r\n\r\n")
+            else:
+                body = b"only GET /metrics here\n"
+                head = (b"HTTP/1.1 404 Not Found\r\n"
+                        b"Content-Type: text/plain; charset=utf-8\r\n"
+                        b"Content-Length: " + str(len(body)).encode()
+                        + b"\r\nConnection: close\r\n\r\n")
+            writer.write(head + body)
+            await writer.drain()
+        except (asyncio.TimeoutError, TimeoutError, ConnectionResetError,
+                BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
     # -- engine execution ---------------------------------------------------
 
-    async def _in_engine(self, request: Request, fn):
-        """Admit, then run ``fn`` on the executor under the deadline."""
-        st = await self.admission.acquire(request.tenant)
+    async def _in_engine(self, request: Request, fn,
+                         ctx: _RequestContext | None = None):
+        """Admit, then run ``fn`` on the executor under the deadline.
+
+        With a sampled ``ctx`` this also lands ``admission`` (queue
+        depth at entry, wait time) and ``engine`` spans on the request
+        tracer, grafting the engine's own span tree — recorded by the
+        executor thread onto ``ctx.engine`` — under the latter once
+        the call has actually completed.
+        """
+        if ctx is None:
+            ctx = _RequestContext()
+        ctx.queue_depth = self.admission.state(request.tenant).pending
+        adm_span = (ctx.tracer.span("admission",
+                                    {"queue_depth": ctx.queue_depth})
+                    if ctx.sampled else None)
+        t_adm = time.perf_counter()
+        try:
+            if adm_span is not None:
+                with adm_span:
+                    st = await self.admission.acquire(request.tenant)
+            else:
+                st = await self.admission.acquire(request.tenant)
+        finally:
+            ctx.admission_wait_ms = (time.perf_counter() - t_adm) * 1000.0
+            if adm_span is not None:
+                adm_span.attrs["wait_ms"] = round(ctx.admission_wait_ms, 4)
+            if REGISTRY.enabled:
+                _ADMISSION_WAIT_MS.observe(ctx.admission_wait_ms,
+                                           tenant=request.tenant)
         try:
             timeout = st.quota.timeout_s
             override = request.params.get("timeout_s")
@@ -389,20 +684,36 @@ class FieldServer:
                 return fn()
 
             loop = asyncio.get_running_loop()
-            future = loop.run_in_executor(self._executor, run)
-            if timeout is None:
-                return await future
-            done, _ = await asyncio.wait({future}, timeout=timeout)
-            if not done:
-                cancelled.append(True)
-                self.admission.note_timeout(request.tenant)
-                self._stragglers.add(future)
-                future.add_done_callback(self._reap_straggler)
-                raise ProtocolError(
-                    "timeout",
-                    f"request exceeded its {timeout:g}s execution "
-                    f"deadline")
-            return future.result()
+            eng_span = (ctx.tracer.span("engine") if ctx.sampled
+                        else None)
+            if eng_span is not None:
+                eng_span.__enter__()
+            try:
+                future = loop.run_in_executor(self._executor, run)
+                if timeout is None:
+                    result = await future
+                else:
+                    done, _ = await asyncio.wait({future},
+                                                 timeout=timeout)
+                    if not done:
+                        cancelled.append(True)
+                        self.admission.note_timeout(request.tenant)
+                        self._stragglers.add(future)
+                        future.add_done_callback(self._reap_straggler)
+                        raise ProtocolError(
+                            "timeout",
+                            f"request exceeded its {timeout:g}s "
+                            f"execution deadline")
+                    result = future.result()
+            finally:
+                if eng_span is not None:
+                    eng_span.__exit__(None, None, None)
+            if eng_span is not None and ctx.engine is not None:
+                # Graft only now that the call has completed: a
+                # timed-out straggler may still be writing spans into
+                # ctx.engine from its executor thread.
+                eng_span.children.extend(ctx.engine.roots)
+            return result
         finally:
             self.admission.release(request.tenant)
 
@@ -413,16 +724,19 @@ class FieldServer:
 
     # -- verbs --------------------------------------------------------------
 
-    async def _op_ping(self, request: Request) -> dict:
+    async def _op_ping(self, request: Request,
+                       ctx: _RequestContext) -> dict:
         return {"pong": True}
 
-    async def _op_fields(self, request: Request) -> dict:
+    async def _op_fields(self, request: Request,
+                         ctx: _RequestContext) -> dict:
         open_fields = {name: self.facade.describe(name)
                        for name in self.facade.field_names()}
         return {"fields": open_fields,
                 "catalog": sorted(self.catalog)}
 
-    async def _op_open(self, request: Request) -> dict:
+    async def _op_open(self, request: Request,
+                       ctx: _RequestContext) -> dict:
         name = need(request.params, "field", str, "a string")
         if name in self.facade.field_names():
             return {"field": name, "opened": False,
@@ -441,19 +755,21 @@ class FieldServer:
                 # Lost a race with a concurrent open: idempotent.
                 return self.facade.describe(name)
 
-        info = await self._in_engine(request, fn)
+        info = await self._in_engine(request, fn, ctx)
         return {"field": name, "opened": True, "info": info}
 
-    async def _op_close(self, request: Request) -> dict:
+    async def _op_close(self, request: Request,
+                        ctx: _RequestContext) -> dict:
         name = need(request.params, "field", str, "a string")
 
         def fn():
             self.facade.close_field(name)
             return {"field": name, "closed": True}
 
-        return await self._in_engine(request, fn)
+        return await self._in_engine(request, fn, ctx)
 
-    async def _op_query(self, request: Request) -> dict:
+    async def _op_query(self, request: Request,
+                        ctx: _RequestContext) -> dict:
         params = request.params
         name = need(params, "field", str, "a string")
         lo = need_number(params, "lo")
@@ -474,9 +790,10 @@ class FieldServer:
         def fn():
             return self.facade.query(name, lo, hi, estimate=estimate,
                                      on_fault=on_fault,
-                                     tenant=request.tenant)
+                                     tenant=request.tenant,
+                                     tracer=ctx.engine)
 
-        result = await self._in_engine(request, fn)
+        result = await self._in_engine(request, fn, ctx)
         payload = {
             "field": name,
             "candidates": result.candidate_count,
@@ -497,7 +814,8 @@ class FieldServer:
             payload["regions_total"] = len(result.regions)
         return payload
 
-    async def _op_batch(self, request: Request) -> dict:
+    async def _op_batch(self, request: Request,
+                        ctx: _RequestContext) -> dict:
         params = request.params
         name = need(params, "field", str, "a string")
         raw = need(params, "queries", list, "a list")
@@ -537,9 +855,10 @@ class FieldServer:
         def fn():
             return self.facade.batch(name, pairs, estimate=estimate,
                                      on_fault=on_fault,
-                                     tenant=request.tenant)
+                                     tenant=request.tenant,
+                                     tracer=ctx.engine)
 
-        batch = await self._in_engine(request, fn)
+        batch = await self._in_engine(request, fn, ctx)
         return {
             "field": name,
             "results": [
@@ -554,7 +873,8 @@ class FieldServer:
                      "evictions": batch.pool.evictions},
         }
 
-    async def _op_update(self, request: Request) -> dict:
+    async def _op_update(self, request: Request,
+                         ctx: _RequestContext) -> dict:
         params = request.params
         name = need(params, "field", str, "a string")
         vertex_ids = need(params, "vertex_ids", list, "a list")
@@ -584,12 +904,14 @@ class FieldServer:
 
         def fn():
             return self.facade.update(name, vertex_ids, values,
-                                      tenant=request.tenant)
+                                      tenant=request.tenant,
+                                      tracer=ctx.engine)
 
-        rewritten = await self._in_engine(request, fn)
+        rewritten = await self._in_engine(request, fn, ctx)
         return {"field": name, "cells_rewritten": rewritten}
 
-    async def _op_stats(self, request: Request) -> dict:
+    async def _op_stats(self, request: Request,
+                        ctx: _RequestContext) -> dict:
         name = request.params.get("field")
         if name is not None and not isinstance(name, str):
             raise ProtocolError("bad-request",
@@ -603,15 +925,28 @@ class FieldServer:
             "open_connections": len(self._conn_tasks),
             "outcomes": dict(sorted(self.counts.items())),
             "stopping": self._stopping,
+            "sampled": self.sampled_total,
+            "trace_sample_rate": self.trace_sample_rate,
+            "qlog_entries": (self.qlog.entries
+                             if self.qlog is not None else 0),
         }
         return payload
 
-    async def _op_metrics(self, request: Request) -> dict:
+    async def _op_metrics(self, request: Request,
+                          ctx: _RequestContext) -> dict:
         fmt = optional_choice(request.params, "format",
-                              {"json", "text"}, "json")
+                              {"json", "text", "prometheus"}, "json")
+        if fmt == "prometheus":
+            self.rolling.publish(REGISTRY)
+            self.admission.publish()
+            return {"format": "prometheus",
+                    "text": render_prometheus(REGISTRY)}
         if fmt == "text":
+            self.admission.publish()
             return {"format": "text", "text": REGISTRY.render_text()}
-        return {"format": "json", **REGISTRY.collect()}
+        self.admission.publish()
+        return {"format": "json", "slo": self.rolling.snapshot(),
+                **REGISTRY.collect()}
 
 
 class ServerThread:

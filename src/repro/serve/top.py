@@ -1,0 +1,174 @@
+"""``repro top`` — a live serving console over the wire protocol.
+
+Connects to a running :class:`~repro.serve.server.FieldServer` as an
+ordinary client and refreshes, in place, the numbers an operator
+watches during an incident: per-tenant × op q/s and latency quantiles
+(p50/p95/p99 out of the server's rolling SLO window), error/timeout/
+rejection rates, admission queue depth / token fill / in-flight per
+tenant, buffer-pool hit rate and residency per field, and the
+maintenance side (WAL-driven page writes, compactions, subfield
+staleness) from the metrics registry.
+
+Everything is fetched through the ``metrics`` (JSON mode, which
+includes the ``slo`` rolling snapshot) and ``stats`` verbs — the
+console needs no privileged channel, so it works against any server
+it can reach, and the rendering is a pure function of the two payloads
+(:func:`render_frame`), which is how the tests drive it without a
+terminal.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from .client import FieldClient
+
+#: ANSI: cursor home + clear-to-end (keeps scrollback, unlike 2J).
+_REFRESH = "\x1b[H\x1b[J"
+
+
+def _metric_series(families: list, name: str) -> list:
+    """Series rows of one metric family out of a ``metrics`` payload."""
+    for family in families:
+        if family.get("name") == name:
+            return family.get("series", [])
+    return []
+
+
+def _metric_total(families: list, name: str) -> float:
+    """Sum of a counter/gauge family's series (0.0 when absent)."""
+    return sum(row.get("value", 0.0)
+               for row in _metric_series(families, name))
+
+
+def _fmt_rate(value: float) -> str:
+    return f"{value * 100.0:5.1f}%"
+
+
+def _fmt_ms(value: float) -> str:
+    if value >= 1000.0:
+        return f"{value / 1000.0:6.2f}s"
+    return f"{value:6.2f}"
+
+
+def render_frame(metrics: dict, stats: dict, address: str,
+                 interval_s: float) -> str:
+    """Render one console frame from the two verb payloads."""
+    lines: list[str] = []
+    server = stats.get("server", {})
+    lines.append(
+        f"repro top — {address}   requests={server.get('requests', 0)}"
+        f" active={server.get('active', 0)}"
+        f" conns={server.get('open_connections', 0)}"
+        f" sampled={server.get('sampled', 0)}"
+        f" qlog={server.get('qlog_entries', 0)}"
+        f"   every {interval_s:g}s")
+    lines.append("")
+
+    slo = metrics.get("slo", {})
+    series = slo.get("series", [])
+    lines.append(f"SLO (rolling {slo.get('window_s', 0):g}s window)")
+    lines.append(f"  {'tenant':<12} {'op':<8} {'q/s':>8} {'p50ms':>7} "
+                 f"{'p95ms':>7} {'p99ms':>7} {'err':>6} {'rej':>6} "
+                 f"{'tmo':>6}")
+    if not series:
+        lines.append("  (no traffic in window)")
+    for row in sorted(series, key=lambda r: (r["tenant"], r["op"])):
+        latency = row["latency_ms"]
+        lines.append(
+            f"  {row['tenant']:<12.12} {row['op']:<8.8} "
+            f"{row['qps']:>8.1f} {_fmt_ms(latency['p50']):>7} "
+            f"{_fmt_ms(latency['p95']):>7} {_fmt_ms(latency['p99']):>7} "
+            f"{_fmt_rate(row['error_rate']):>6} "
+            f"{_fmt_rate(row['rejection_rate']):>6} "
+            f"{_fmt_rate(row['timeout_rate']):>6}")
+    lines.append("")
+
+    admission = stats.get("admission", {})
+    lines.append("Admission")
+    lines.append(f"  {'tenant':<12} {'pend':>5} {'infl':>5} {'tokens':>8} "
+                 f"{'admitted':>9} {'rej-q':>6} {'rej-bp':>7} {'tmo':>5}")
+    if not admission:
+        lines.append("  (no tenants yet)")
+    for tenant, st in sorted(admission.items()):
+        tokens = st.get("tokens")
+        lines.append(
+            f"  {tenant:<12.12} {st.get('pending', 0):>5} "
+            f"{st.get('inflight', 0):>5} "
+            f"{'inf' if tokens is None else f'{tokens:.1f}':>8} "
+            f"{st.get('admitted', 0):>9} "
+            f"{st.get('rejected_quota', 0):>6} "
+            f"{st.get('rejected_backpressure', 0):>7} "
+            f"{st.get('timeouts', 0):>5}")
+    lines.append("")
+
+    lines.append("Fields")
+    lines.append(f"  {'field':<16} {'method':<10} {'queries':>8} "
+                 f"{'reads':>9} {'hit%':>6} {'resident':>12}")
+    fields = stats.get("fields", {})
+    if not fields:
+        lines.append("  (none open)")
+    for name, field in sorted(fields.items()):
+        pool = field.get("pool", {})
+        hits = pool.get("hits", 0)
+        misses = pool.get("misses", 0)
+        total = hits + misses
+        hit_rate = hits / total if total else 0.0
+        lines.append(
+            f"  {name:<16.16} {field.get('method', '?'):<10.10} "
+            f"{field.get('queries', 0):>8} "
+            f"{field.get('io', {}).get('page_reads', 0):>9} "
+            f"{_fmt_rate(hit_rate):>6} "
+            f"{pool.get('resident_pages', 0):>5}/"
+            f"{pool.get('capacity', 0):<6}")
+    lines.append("")
+
+    families = metrics.get("metrics", [])
+    maint_reads = _metric_total(families, "repro_maintenance_page_reads_total")
+    maint_writes = _metric_total(families,
+                                 "repro_maintenance_page_writes_total")
+    compactions = _metric_total(families, "repro_compactions_total")
+    updates = _metric_total(families, "repro_cell_updates_total")
+    staleness = _metric_series(families, "repro_subfield_staleness")
+    worst = max((row.get("value", 0.0) for row in staleness), default=0.0)
+    lines.append(
+        f"Maintenance   updates={updates:.0f} "
+        f"wal/maint reads={maint_reads:.0f} writes={maint_writes:.0f} "
+        f"compactions={compactions:.0f} worst-staleness={worst:.0f}")
+    return "\n".join(lines) + "\n"
+
+
+def run_top(host: str, port: int, tenant: str = "default",
+            interval_s: float = 2.0, iterations: int | None = None,
+            out=None, refresh: bool | None = None) -> int:
+    """Run the live console; returns the number of frames rendered.
+
+    ``iterations=None`` runs until interrupted (Ctrl-C exits cleanly);
+    ``refresh=None`` auto-detects a TTY for in-place redraw (explicit
+    ``False`` appends frames, the non-interactive/test mode).
+    """
+    if out is None:
+        out = sys.stdout
+    if refresh is None:
+        refresh = bool(getattr(out, "isatty", lambda: False)())
+    address = f"{host}:{port}"
+    frames = 0
+    with FieldClient(host, port, tenant=tenant) as client:
+        try:
+            while iterations is None or frames < iterations:
+                metrics = client.metrics(format="json")
+                stats = client.stats()
+                frame = render_frame(metrics, stats, address, interval_s)
+                if refresh:
+                    out.write(_REFRESH + frame)
+                else:
+                    out.write(frame)
+                out.flush()
+                frames += 1
+                if iterations is not None and frames >= iterations:
+                    break
+                time.sleep(interval_s)
+        except KeyboardInterrupt:
+            pass
+    return frames

@@ -1,0 +1,114 @@
+"""The plain-HTTP ``GET /metrics`` side listener and the ``metrics`` verb.
+
+The side listener exists so a stock Prometheus scraper can pull the
+registry without speaking the NDJSON protocol; these tests drive it
+with :mod:`http.client` — a real HTTP/1.1 conversation over TCP.
+"""
+
+from __future__ import annotations
+
+import http.client
+
+import pytest
+
+from repro.obs.metrics import REGISTRY
+
+from .conftest import connect
+
+
+@pytest.fixture
+def metrics_server(boot_server):
+    """A server with the metrics listener bound on an ephemeral port."""
+    server = boot_server(metrics_port=0)
+    srv, _, _ = server
+    assert srv.metrics_address is not None
+    yield server
+    REGISTRY.reset()
+
+
+def _http_get(address, path: str):
+    host, port = address
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        conn.close()
+
+
+class TestMetricsEndpoint:
+    def test_scrape_returns_prometheus_text(self, metrics_server,
+                                            value_band):
+        srv, _, _ = metrics_server
+        with connect(metrics_server) as client:
+            for _ in range(4):
+                client.query("terrain", *value_band)
+        status, headers, body = _http_get(srv.metrics_address, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith(
+            "text/plain; version=0.0.4")
+        assert int(headers["Content-Length"]) == len(body)
+        text = body.decode("utf-8")
+        assert "# TYPE repro_slo_qps gauge" in text
+        assert ('repro_slo_latency_ms{op="query",quantile="p95",'
+                'tenant="t1"}') in text
+        assert 'repro_slo_qps{op="query",tenant="t1"}' in text
+
+    def test_root_path_scrapes_too(self, metrics_server, value_band):
+        srv, _, _ = metrics_server
+        with connect(metrics_server) as client:
+            client.query("terrain", *value_band)
+        status, _, body = _http_get(srv.metrics_address, "/")
+        assert status == 200
+        assert b"repro_slo_qps" in body
+
+    def test_other_paths_404(self, metrics_server):
+        srv, _, _ = metrics_server
+        status, _, body = _http_get(srv.metrics_address, "/favicon.ico")
+        assert status == 404
+        assert body == b"only GET /metrics here\n"
+
+    def test_listener_absent_by_default(self, server):
+        srv, _, _ = server
+        assert srv.metrics_address is None
+
+    def test_listener_survives_repeat_scrapes(self, metrics_server):
+        srv, _, _ = metrics_server
+        for _ in range(3):
+            status, _, _ = _http_get(srv.metrics_address, "/metrics")
+            assert status == 200
+
+
+class TestMetricsVerb:
+    def test_prometheus_format(self, server, value_band):
+        with connect(server) as client:
+            client.query("terrain", *value_band)
+            reply = client.metrics(format="prometheus")
+        text = reply["text"]
+        assert "# TYPE repro_slo_latency_ms gauge" in text
+        assert 'tenant="t1"' in text
+        REGISTRY.reset()
+
+    def test_json_format_carries_the_slo_snapshot(self, server,
+                                                  value_band):
+        with connect(server) as client:
+            client.query("terrain", *value_band)
+            reply = client.metrics(format="json")
+        slo = reply["slo"]
+        assert slo["window_s"] > 0
+        (row,) = [r for r in slo["series"]
+                  if r["tenant"] == "t1" and r["op"] == "query"]
+        assert row["count"] >= 1
+        assert row["latency_ms"]["p50"] >= 0
+        assert row["error_rate"] == 0.0
+
+    def test_rolling_observes_error_outcomes(self, server):
+        from repro.serve import ServerError
+        with connect(server) as client:
+            with pytest.raises(ServerError):
+                client.query("nope", 0.0, 1.0)
+            reply = client.metrics(format="json")
+        (row,) = reply["slo"]["series"]
+        assert row["errors"] == 1
+        assert row["error_rate"] == 1.0

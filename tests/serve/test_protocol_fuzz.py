@@ -68,7 +68,8 @@ def test_arbitrary_json_documents_decode_or_fail_typed(doc):
     tenant=st.text(min_size=1, max_size=128),
     params=st.dictionaries(
         st.text(min_size=1, max_size=15).filter(
-            lambda k: k not in ("op", "id", "tenant")),
+            lambda k: k not in ("op", "id", "tenant", "trace_id",
+                                "parent_span")),
         json_values, max_size=5))
 def test_wellformed_requests_roundtrip_exactly(op, request_id, tenant,
                                                params):

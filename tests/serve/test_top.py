@@ -1,0 +1,176 @@
+"""The ``repro top`` console: pure-function rendering + a live session."""
+
+from __future__ import annotations
+
+import io
+
+from repro.serve import run_top
+from repro.serve.top import render_frame
+
+from .conftest import connect
+
+
+def _payloads():
+    """Hand-built metrics/stats payloads shaped like the server verbs."""
+    metrics = {
+        "slo": {
+            "window_s": 60.0,
+            "series": [{
+                "tenant": "alice", "op": "query", "window_s": 60.0,
+                "count": 600, "qps": 10.0,
+                "latency_ms": {"p50": 1.2, "p95": 8.7, "p99": 1500.0,
+                               "mean": 2.0},
+                "errors": 6, "timeouts": 0, "rejections": 12,
+                "error_rate": 0.01, "timeout_rate": 0.0,
+                "rejection_rate": 0.02,
+            }],
+        },
+        "metrics": [
+            {"name": "repro_cell_updates_total",
+             "series": [{"labels": {}, "value": 42.0}]},
+            {"name": "repro_compactions_total",
+             "series": [{"labels": {"field": "terrain"}, "value": 3.0}]},
+            {"name": "repro_subfield_staleness",
+             "series": [{"labels": {"field": "a"}, "value": 2.0},
+                        {"labels": {"field": "b"}, "value": 7.0}]},
+        ],
+    }
+    stats = {
+        "server": {"requests": 1234, "active": 2, "open_connections": 5,
+                   "sampled": 17, "qlog_entries": 3},
+        "admission": {
+            "alice": {"pending": 1, "inflight": 2, "tokens": 7.5,
+                      "admitted": 600, "rejected_quota": 12,
+                      "rejected_backpressure": 0, "timeouts": 0},
+            "bob": {"pending": 0, "inflight": 0, "tokens": None,
+                    "admitted": 10, "rejected_quota": 0,
+                    "rejected_backpressure": 1, "timeouts": 2},
+        },
+        "fields": {
+            "terrain": {"method": "I-Hilbert", "queries": 600,
+                        "io": {"page_reads": 9000},
+                        "pool": {"hits": 75, "misses": 25,
+                                 "resident_pages": 40, "capacity": 64}},
+        },
+    }
+    return metrics, stats
+
+
+class TestRenderFrame:
+    def test_frame_is_a_pure_function_of_the_payloads(self):
+        metrics, stats = _payloads()
+        first = render_frame(metrics, stats, "h:1", 2.0)
+        second = render_frame(metrics, stats, "h:1", 2.0)
+        assert first == second
+
+    def test_header_counts(self):
+        frame = render_frame(*_payloads(), address="h:1", interval_s=2.0)
+        header = frame.splitlines()[0]
+        assert "requests=1234" in header
+        assert "sampled=17" in header
+        assert "qlog=3" in header
+
+    def test_slo_row_formats_rates_and_latency(self):
+        frame = render_frame(*_payloads(), address="h:1", interval_s=2.0)
+        (row,) = [l for l in frame.splitlines() if "alice" in l
+                  and "query" in l]
+        assert "10.0" in row            # qps
+        assert "1.20" in row            # p50 ms
+        assert "1.50s" in row           # p99 crosses into seconds
+        assert "1.0%" in row            # error rate
+        assert "2.0%" in row            # rejection rate
+
+    def test_admission_rows_show_unlimited_tokens_as_inf(self):
+        frame = render_frame(*_payloads(), address="h:1", interval_s=2.0)
+        (bob,) = [l for l in frame.splitlines()
+                  if l.strip().startswith("bob")]
+        assert "inf" in bob
+        (alice,) = [l for l in frame.splitlines()
+                    if l.strip().startswith("alice") and "7.5" in l]
+        assert "600" in alice
+
+    def test_fields_table_computes_hit_rate(self):
+        frame = render_frame(*_payloads(), address="h:1", interval_s=2.0)
+        (row,) = [l for l in frame.splitlines()
+                  if l.strip().startswith("terrain")]
+        assert "I-Hilbert" in row
+        assert "75.0%" in row
+        assert "40/64" in row
+
+    def test_maintenance_line_aggregates_registry_families(self):
+        frame = render_frame(*_payloads(), address="h:1", interval_s=2.0)
+        (line,) = [l for l in frame.splitlines()
+                   if l.startswith("Maintenance")]
+        assert "updates=42" in line
+        assert "compactions=3" in line
+        assert "worst-staleness=7" in line
+
+    def test_empty_payloads_render_placeholders(self):
+        frame = render_frame({}, {}, "h:1", 2.0)
+        assert "(no traffic in window)" in frame
+        assert "(no tenants yet)" in frame
+        assert "(none open)" in frame
+
+
+class TestRunTop:
+    def test_one_shot_against_a_live_server(self, server, value_band):
+        srv, host, port = server
+        with connect(server, tenant="alice") as client:
+            for _ in range(3):
+                client.query("terrain", *value_band)
+        out = io.StringIO()
+        frames = run_top(host, port, tenant="_top", interval_s=0.01,
+                         iterations=1, out=out, refresh=False)
+        assert frames == 1
+        text = out.getvalue()
+        assert f"repro top — {host}:{port}" in text
+        assert "alice" in text          # the traffic we just generated
+        assert "terrain" in text
+        # The console's own metrics/stats requests count too.
+        assert "_top" in text or "query" in text
+
+    def test_multiple_iterations_append_frames(self, server):
+        _, host, port = server
+        out = io.StringIO()
+        frames = run_top(host, port, interval_s=0.0, iterations=3,
+                         out=out, refresh=False)
+        assert frames == 3
+        assert out.getvalue().count("repro top — ") == 3
+        assert "\x1b[" not in out.getvalue()     # no ANSI in append mode
+
+    def test_refresh_mode_emits_clear_sequences(self, server):
+        _, host, port = server
+        out = io.StringIO()
+        run_top(host, port, interval_s=0.0, iterations=2, out=out,
+                refresh=True)
+        assert out.getvalue().count("\x1b[H\x1b[J") == 2
+
+    def test_auto_detect_falls_back_to_append(self, server):
+        _, host, port = server
+        out = io.StringIO()      # not a TTY
+        run_top(host, port, interval_s=0.0, iterations=1, out=out)
+        assert "\x1b[" not in out.getvalue()
+
+
+class TestTopCLI:
+    def test_top_once(self, server, capsys):
+        from repro.cli import main
+        _, host, port = server
+        assert main(["top", f"{host}:{port}", "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top — " in out
+        assert "terrain" in out
+
+    def test_top_rejects_bad_address(self):
+        from repro.cli import main
+        import pytest
+        with pytest.raises(SystemExit):
+            main(["top", "not-an-address", "--once"])
+
+    def test_top_reports_connection_failure(self):
+        from repro.cli import main
+        import pytest
+        # A port nothing listens on: the error surfaces as SystemExit,
+        # not a traceback.
+        with pytest.raises(SystemExit, match="error"):
+            main(["top", "127.0.0.1:1", "--once"])

@@ -1,0 +1,213 @@
+"""End-to-end trace propagation through the serving stack.
+
+The acceptance contract of DESIGN.md §11: a client-supplied
+``trace_id`` forces the request to be sampled, the response echoes the
+id, and the server retains a span tree bracketing protocol decode,
+admission wait, the engine's own ``query → plan/filter/fetch/estimate``
+spans, and response encode — all under that one id.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import QueryLog, span_to_tree
+from repro.serve import ServerError
+
+from .conftest import connect
+
+
+def _span_names(root) -> list[str]:
+    return [span.name for span, _ in root.walk()]
+
+
+def _child(root, name):
+    for child in root.children:
+        if child.name == name:
+            return child
+    raise AssertionError(
+        f"no {name!r} child under {root.name!r}: "
+        f"{[c.name for c in root.children]}")
+
+
+class TestClientSuppliedTraceId:
+    def test_trace_id_is_echoed_in_the_response(self, server, value_band):
+        srv, host, port = server
+        with connect(server) as client:
+            reply = client.query("terrain", *value_band,
+                                 trace_id="deadbeef0042")
+        assert reply["trace_id"] == "deadbeef0042"
+
+    def test_span_tree_brackets_the_whole_request(self, server,
+                                                  value_band):
+        srv, _, _ = server
+        with connect(server) as client:
+            client.query("terrain", *value_band, trace_id="abc123")
+        assert len(srv.sampled) == 1
+        root = srv.sampled[0]
+        assert root.name == "request[query]"
+        assert root.attrs["trace_id"] == "abc123"
+        assert root.attrs["tenant"] == "t1"
+        assert root.attrs["outcome"] == "ok"
+        # The event-loop side of the tree.
+        for name in ("decode", "admission", "engine", "encode"):
+            _child(root, name)
+        # The engine's own spans, grafted under "engine".
+        engine = _child(root, "engine")
+        names = _span_names(engine)
+        assert "query" in names
+        assert "filter" in names
+        assert "fetch" in names
+        assert "estimate" in names
+
+    def test_engine_spans_nest_inside_the_engine_span(self, server,
+                                                      value_band):
+        srv, _, _ = server
+        with connect(server) as client:
+            client.query("terrain", *value_band, trace_id="abc123")
+        root = srv.sampled[0]
+        engine = _child(root, "engine")
+        query = _child(engine, "query")
+        # Engine spans carry real I/O accounting from the index.
+        assert query.io is not None
+        assert query.attrs["method"] == "I-Hilbert"
+        # Wall-clock sanity: children fit inside their parent.
+        assert root.t0_ns <= engine.t0_ns <= engine.t1_ns <= root.t1_ns
+
+    def test_admission_span_records_queue_depth_and_wait(self, server,
+                                                         value_band):
+        srv, _, _ = server
+        with connect(server) as client:
+            client.query("terrain", *value_band, trace_id="abc123")
+        admission = _child(srv.sampled[0], "admission")
+        assert admission.attrs["queue_depth"] == 0
+        assert admission.attrs["wait_ms"] >= 0.0
+
+    def test_parent_span_rides_along(self, server, value_band):
+        srv, _, _ = server
+        with connect(server) as client:
+            client.query("terrain", *value_band, trace_id="abc123",
+                         parent_span="span-007")
+        assert srv.sampled[0].attrs["parent_span"] == "span-007"
+
+    def test_error_outcomes_are_traced_too(self, server):
+        srv, _, _ = server
+        with connect(server) as client:
+            with pytest.raises(ServerError) as excinfo:
+                client.query("nope", 0.0, 1.0, trace_id="abc123")
+        assert excinfo.value.code == "unknown-field"
+        root = srv.sampled[0]
+        assert root.attrs["outcome"] == "unknown-field"
+        assert root.attrs["trace_id"] == "abc123"
+
+    def test_span_tree_serializes_for_the_qlog(self, server, value_band):
+        srv, _, _ = server
+        with connect(server) as client:
+            client.query("terrain", *value_band, trace_id="abc123")
+        tree = span_to_tree(srv.sampled[0])
+        assert tree["name"] == "request[query]"
+        json.dumps(tree)   # JSON-safe all the way down
+
+
+class TestSampling:
+    def test_unsampled_by_default(self, server, value_band):
+        srv, _, _ = server
+        with connect(server) as client:
+            reply = client.query("terrain", *value_band)
+        assert "trace_id" not in reply
+        assert len(srv.sampled) == 0
+        assert srv.sampled_total == 0
+
+    def test_sample_rate_one_samples_everything(self, boot_server,
+                                                value_band):
+        server = boot_server(trace_sample_rate=1.0)
+        srv, _, _ = server
+        with connect(server) as client:
+            replies = [client.query("terrain", *value_band)
+                       for _ in range(3)]
+        assert srv.sampled_total == 3
+        ids = {reply["trace_id"] for reply in replies}
+        assert len(ids) == 3            # fresh id per request
+        recorded = {root.attrs["trace_id"] for root in srv.sampled}
+        assert recorded == ids
+
+    def test_client_trace_mode_stamps_every_request(self, server,
+                                                    value_band):
+        srv, host, port = server
+        from repro.serve import FieldClient
+        with FieldClient(host, port, tenant="t1", trace=True) as client:
+            first = client.query("terrain", *value_band)
+            second = client.query("terrain", *value_band)
+        assert first["trace_id"] != second["trace_id"]
+        assert srv.sampled_total == 2
+
+    def test_sampled_retention_is_bounded(self, boot_server, value_band):
+        server = boot_server(trace_sample_rate=1.0, keep_sampled=2)
+        srv, _, _ = server
+        with connect(server) as client:
+            for _ in range(5):
+                client.query("terrain", *value_band)
+        assert srv.sampled_total == 5
+        assert len(srv.sampled) == 2
+
+    def test_bad_trace_id_is_rejected(self, server):
+        with connect(server) as client:
+            with pytest.raises(ServerError) as excinfo:
+                client.query("terrain", 0.0, 1.0, trace_id="x" * 65)
+        assert excinfo.value.code == "bad-request"
+
+
+class TestSlowQueryLogOverTheWire:
+    def test_slow_requests_land_in_the_qlog(self, boot_server,
+                                            value_band, tmp_path):
+        qlog = QueryLog(tmp_path / "q.jsonl", latency_ms=0.0)
+        server = boot_server(qlog=qlog, trace_sample_rate=1.0)
+        srv, _, _ = server
+        with connect(server, tenant="alice") as client:
+            client.query("terrain", *value_band, trace_id="abc123")
+        entries = qlog.read_entries()
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry["tenant"] == "alice"
+        assert entry["op"] == "query"
+        assert entry["outcome"] == "ok"
+        assert entry["trace_id"] == "abc123"
+        assert entry["latency_ms"] > 0
+        assert entry["admission_wait_ms"] >= 0
+        assert entry["queue_depth"] == 0
+        assert entry["io"]["page_reads"] >= 0
+        assert entry["method"] == "I-Hilbert"
+        assert entry["args"]["field"] == "terrain"
+        assert entry["spans"]["name"] == "request[query]"
+
+    def test_fast_requests_stay_out(self, boot_server, value_band,
+                                    tmp_path):
+        qlog = QueryLog(tmp_path / "q.jsonl", latency_ms=60_000.0)
+        server = boot_server(qlog=qlog)
+        with connect(server) as client:
+            client.query("terrain", *value_band)
+        assert qlog.read_entries() == []
+
+    def test_page_threshold_logs_unsampled_requests(self, boot_server,
+                                                    value_band,
+                                                    tmp_path):
+        qlog = QueryLog(tmp_path / "q.jsonl", latency_ms=None, pages=0)
+        server = boot_server(qlog=qlog)
+        with connect(server) as client:
+            client.query("terrain", *value_band)
+        entries = qlog.read_entries()
+        assert len(entries) == 1
+        assert "spans" not in entries[0]     # unsampled: no tree
+        assert "trace_id" not in entries[0]
+
+    def test_big_batch_args_are_summarized(self, boot_server, value_band,
+                                           tmp_path):
+        qlog = QueryLog(tmp_path / "q.jsonl", latency_ms=0.0)
+        server = boot_server(qlog=qlog)
+        lo, hi = value_band
+        with connect(server) as client:
+            client.batch("terrain", [(lo, hi)] * 50)
+        (entry,) = qlog.read_entries()
+        assert entry["args"]["queries"] == "<50 items>"

@@ -1,0 +1,141 @@
+"""Slow-query log: threshold gating, rotation, concurrent writers."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.qlog import QueryLog
+
+
+@pytest.fixture
+def qlog(tmp_path) -> QueryLog:
+    return QueryLog(tmp_path / "qlog.jsonl", latency_ms=100.0)
+
+
+class TestThresholds:
+    def test_latency_threshold(self, qlog):
+        assert qlog.should_log(100.0)
+        assert qlog.should_log(5000.0)
+        assert not qlog.should_log(99.9)
+
+    def test_pages_threshold_is_independent(self, tmp_path):
+        qlog = QueryLog(tmp_path / "q.jsonl", latency_ms=100.0, pages=64)
+        assert qlog.should_log(1.0, page_reads=64)       # pages trip it
+        assert qlog.should_log(100.0, page_reads=0)      # latency trips it
+        assert not qlog.should_log(1.0, page_reads=63)
+        assert not qlog.should_log(1.0, page_reads=None)
+
+    def test_disabled_thresholds_log_nothing(self, tmp_path):
+        qlog = QueryLog(tmp_path / "q.jsonl", latency_ms=None, pages=None)
+        assert not qlog.should_log(1e9, page_reads=10**9)
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            QueryLog(tmp_path / "q.jsonl", latency_ms=-1.0)
+        with pytest.raises(ValueError):
+            QueryLog(tmp_path / "q.jsonl", pages=-1)
+        with pytest.raises(ValueError):
+            QueryLog(tmp_path / "q.jsonl", max_bytes=0)
+        with pytest.raises(ValueError):
+            QueryLog(tmp_path / "q.jsonl", max_files=-1)
+
+
+class TestRecording:
+    def test_entries_are_jsonl_with_timestamps(self, qlog):
+        qlog.record({"tenant": "t1", "op": "query", "latency_ms": 120.0})
+        qlog.record({"tenant": "t2", "op": "batch", "latency_ms": 130.0})
+        assert qlog.entries == 2
+        lines = qlog.path.read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["tenant"] == "t1"
+        assert first["ts"] > 0
+
+    def test_injected_clock_stamps_ts(self, tmp_path):
+        qlog = QueryLog(tmp_path / "q.jsonl", clock=lambda: 1234.5)
+        qlog.record({"op": "query"})
+        assert qlog.read_entries()[0]["ts"] == 1234.5
+
+    def test_explicit_ts_is_kept(self, qlog):
+        qlog.record({"ts": 7.0, "op": "query"})
+        assert qlog.read_entries()[0]["ts"] == 7.0
+
+    def test_read_entries_round_trips(self, qlog):
+        entry = {"tenant": "t1", "op": "query", "latency_ms": 250.0,
+                 "io": {"page_reads": 12}}
+        qlog.record(entry)
+        (read,) = qlog.read_entries()
+        for key, value in entry.items():
+            assert read[key] == value
+
+    def test_missing_file_reads_empty(self, qlog):
+        assert qlog.read_entries() == []
+        assert qlog.files() == []
+
+    def test_parents_are_created(self, tmp_path):
+        qlog = QueryLog(tmp_path / "deep" / "down" / "q.jsonl")
+        qlog.record({"op": "query"})
+        assert qlog.path.exists()
+
+
+class TestRotation:
+    def _fill(self, qlog, n, payload_bytes=64):
+        for i in range(n):
+            qlog.record({"i": i, "pad": "x" * payload_bytes})
+
+    def test_generations_shift(self, tmp_path):
+        qlog = QueryLog(tmp_path / "q.jsonl", max_bytes=256, max_files=2)
+        self._fill(qlog, 20)
+        assert qlog.rotations > 0
+        files = qlog.files()
+        assert files[0] == qlog.path
+        names = [f.name for f in files]
+        assert "q.jsonl.1" in names
+        # Never more than live + max_files generations on disk.
+        assert len(files) <= 3
+        # Every surviving file parses, and the newest entry is last.
+        entries = qlog.read_entries()
+        assert entries[-1]["i"] == 19
+
+    def test_oldest_generation_is_dropped(self, tmp_path):
+        qlog = QueryLog(tmp_path / "q.jsonl", max_bytes=128, max_files=1)
+        self._fill(qlog, 30)
+        leftovers = sorted(p.name for p in tmp_path.iterdir())
+        assert leftovers == ["q.jsonl", "q.jsonl.1"]
+
+    def test_max_files_zero_truncates(self, tmp_path):
+        qlog = QueryLog(tmp_path / "q.jsonl", max_bytes=128, max_files=0)
+        self._fill(qlog, 30)
+        assert qlog.rotations > 0
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["q.jsonl"]
+        assert qlog.path.stat().st_size <= 128 + 128   # one entry slack
+
+    def test_disk_footprint_is_bounded(self, tmp_path):
+        qlog = QueryLog(tmp_path / "q.jsonl", max_bytes=512, max_files=3)
+        self._fill(qlog, 200)
+        total = sum(p.stat().st_size for p in tmp_path.iterdir())
+        # ~ max_bytes * (max_files + 1), plus one oversized entry of slack.
+        assert total <= 512 * 4 + 256
+
+
+class TestConcurrency:
+    def test_concurrent_writers_never_tear_lines(self, tmp_path):
+        qlog = QueryLog(tmp_path / "q.jsonl", max_bytes=1 << 20)
+        n, per = 8, 100
+
+        def pump(i):
+            for j in range(per):
+                qlog.record({"writer": i, "j": j})
+
+        threads = [threading.Thread(target=pump, args=(i,))
+                   for i in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        entries = qlog.read_entries()     # every line parses
+        assert len(entries) == n * per
+        assert qlog.entries == n * per

@@ -1,0 +1,195 @@
+"""Rolling SLO windows: slot recycling, percentiles, publication."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.rolling import (LATENCY_BUCKETS_MS, RollingStats,
+                               percentile_from_buckets)
+
+
+class FakeClock:
+    """A monotonic clock the test advances by hand."""
+
+    def __init__(self, t: float = 1000.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture
+def stats(clock) -> RollingStats:
+    return RollingStats(slot_s=10.0, slots=6, clock=clock)
+
+
+def _series(stats, tenant="t1", op="query"):
+    rows = [r for r in stats.snapshot()["series"]
+            if r["tenant"] == tenant and r["op"] == op]
+    assert len(rows) <= 1
+    return rows[0] if rows else None
+
+
+class TestPercentileFromBuckets:
+    def test_empty_is_zero(self):
+        assert percentile_from_buckets((1.0, 2.0), [0, 0, 0], 0.5) == 0.0
+
+    def test_interpolates_inside_the_crossing_bucket(self):
+        # 10 observations, all in the (1.0, 2.0] bucket: the median
+        # lands halfway through that bucket's width.
+        counts = [0, 10, 0]
+        assert percentile_from_buckets((1.0, 2.0), counts, 0.5) == 1.5
+
+    def test_overflow_clamps_to_last_finite_bound(self):
+        counts = [0, 0, 5]        # everything past the largest bound
+        assert percentile_from_buckets((1.0, 2.0), counts, 0.99) == 2.0
+
+    def test_rank_walks_cumulative_counts(self):
+        # 90 fast + 10 slow: p95 must come from the slow bucket.
+        counts = [90, 10, 0]
+        p95 = percentile_from_buckets((1.0, 10.0), counts, 0.95)
+        assert 1.0 < p95 <= 10.0
+        p50 = percentile_from_buckets((1.0, 10.0), counts, 0.50)
+        assert p50 <= 1.0
+
+
+class TestRollingWindow:
+    def test_observe_then_snapshot(self, stats, clock):
+        for _ in range(10):
+            stats.observe("t1", "query", 2.0)
+        row = _series(stats)
+        assert row["count"] == 10
+        assert row["errors"] == 0
+        assert row["latency_ms"]["mean"] == 2.0
+        assert 1.0 <= row["latency_ms"]["p50"] <= 2.5
+        # Young process: the window covers at least one slot width.
+        assert row["qps"] == 10 / stats.window_s()
+
+    def test_old_traffic_ages_out_slot_by_slot(self, stats, clock):
+        stats.observe("t1", "query", 1.0)
+        clock.advance(30.0)
+        stats.observe("t1", "query", 1.0)
+        assert _series(stats)["count"] == 2    # both inside the window
+        clock.advance(35.0)                    # first slot now expired
+        assert _series(stats)["count"] == 1
+        clock.advance(60.0)                    # everything expired
+        assert _series(stats) is None
+
+    def test_slot_reuse_zeroes_stale_contents(self, stats, clock):
+        stats.observe("t1", "query", 1.0)
+        # Come back exactly one full ring later: same slot index,
+        # different epoch — the old counts must not leak through.
+        clock.advance(6 * 10.0)
+        stats.observe("t1", "query", 5.0)
+        row = _series(stats)
+        assert row["count"] == 1
+        assert row["latency_ms"]["mean"] == 5.0
+
+    def test_series_are_per_tenant_and_op(self, stats):
+        stats.observe("alice", "query", 1.0)
+        stats.observe("alice", "batch", 1.0)
+        stats.observe("bob", "query", 1.0)
+        keys = {(r["tenant"], r["op"])
+                for r in stats.snapshot()["series"]}
+        assert keys == {("alice", "query"), ("alice", "batch"),
+                        ("bob", "query")}
+
+    def test_outcome_buckets(self, stats):
+        stats.observe("t1", "query", 1.0, outcome="ok")
+        stats.observe("t1", "query", 1.0, outcome="timeout")
+        stats.observe("t1", "query", 1.0, outcome="quota")
+        stats.observe("t1", "query", 1.0, outcome="backpressure")
+        stats.observe("t1", "query", 1.0, outcome="internal")
+        stats.observe("t1", "query", 1.0, outcome="bad-request")
+        row = _series(stats)
+        assert row["count"] == 6
+        assert row["timeouts"] == 1
+        assert row["rejections"] == 2
+        assert row["errors"] == 2
+        assert row["timeout_rate"] == pytest.approx(1 / 6, abs=1e-4)
+        assert row["rejection_rate"] == pytest.approx(2 / 6, abs=1e-4)
+
+    def test_window_never_exceeds_ring_span(self, stats, clock):
+        clock.advance(10_000.0)
+        assert stats.window_s() == 60.0
+
+    def test_reset_forgets_everything(self, stats):
+        stats.observe("t1", "query", 1.0)
+        stats.reset()
+        assert stats.snapshot()["series"] == []
+
+    def test_constructor_validation(self, clock):
+        with pytest.raises(ValueError):
+            RollingStats(slot_s=0.0, clock=clock)
+        with pytest.raises(ValueError):
+            RollingStats(slots=1, clock=clock)
+        with pytest.raises(ValueError):
+            RollingStats(buckets=(), clock=clock)
+
+    def test_latencies_beyond_last_bound_hit_overflow(self, stats):
+        huge = LATENCY_BUCKETS_MS[-1] * 10
+        for _ in range(4):
+            stats.observe("t1", "query", huge)
+        row = _series(stats)
+        # Clamped estimate: the overflow bucket reports the last bound.
+        assert row["latency_ms"]["p99"] == LATENCY_BUCKETS_MS[-1]
+
+
+class TestPublish:
+    def test_publish_pushes_gauges(self, stats):
+        registry = MetricsRegistry()
+        for _ in range(5):
+            stats.observe("t1", "query", 2.0)
+        stats.observe("t1", "query", 2.0, outcome="timeout")
+        stats.publish(registry)
+        qps = registry.get("repro_slo_qps")
+        assert qps.value(tenant="t1", op="query") > 0
+        latency = registry.get("repro_slo_latency_ms")
+        assert latency.value(tenant="t1", op="query",
+                             quantile="p95") > 0
+        timeout_rate = registry.get("repro_slo_timeout_rate")
+        assert timeout_rate.value(tenant="t1", op="query") == \
+            pytest.approx(1 / 6, abs=1e-4)
+
+    def test_quiet_series_zero_instead_of_freezing(self, clock):
+        stats = RollingStats(slot_s=10.0, slots=6, clock=clock)
+        registry = MetricsRegistry()
+        stats.observe("t1", "query", 2.0)
+        stats.publish(registry)
+        assert registry.get("repro_slo_qps").value(
+            tenant="t1", op="query") > 0
+        clock.advance(600.0)      # window empties; series still known
+        stats.publish(registry)
+        assert registry.get("repro_slo_qps").value(
+            tenant="t1", op="query") == 0.0
+        assert registry.get("repro_slo_latency_ms").value(
+            tenant="t1", op="query", quantile="p99") == 0.0
+
+
+class TestConcurrency:
+    def test_parallel_observers_lose_nothing(self, stats):
+        n, per = 8, 500
+
+        def pump(i):
+            for _ in range(per):
+                stats.observe(f"t{i % 2}", "query", 1.0)
+
+        threads = [threading.Thread(target=pump, args=(i,))
+                   for i in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = sum(r["count"] for r in stats.snapshot()["series"])
+        assert total == n * per

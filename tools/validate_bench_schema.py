@@ -381,6 +381,37 @@ def validate_serve(doc: dict) -> str:
         if mismatches is not None and mismatches != 0:
             err(f"equivalence: {mismatches} responses diverged from "
                 f"direct engine answers")
+
+    obs = expect(doc, "observability", dict, "top level")
+    if obs is not None:
+        rate = expect(obs, "trace_sample_rate", (int, float),
+                      "observability")
+        if rate is not None and not 0 <= rate <= 1:
+            err(f"observability: trace_sample_rate must be in [0, 1], "
+                f"got {rate}")
+        for key in ("sampled_spans", "trace_span_events",
+                    "qlog_entries"):
+            value = expect(obs, key, int, "observability")
+            if value is not None and value < 1:
+                err(f"observability: {key} must be >= 1 (the artifact "
+                    f"pass must record something), got {value}")
+        wait = expect(obs, "admission_wait_ms", dict, "observability")
+        if wait is not None:
+            previous = 0.0
+            for key in ("p50", "p95", "p99"):
+                value = expect(wait, key, (int, float),
+                               "observability.admission_wait_ms")
+                if value is None:
+                    continue
+                if value < 0:
+                    err(f"observability.admission_wait_ms: {key} must "
+                        f"be >= 0, got {value}")
+                elif value < previous:
+                    err(f"observability.admission_wait_ms: {key} "
+                        f"{value} below a lower percentile "
+                        f"({previous}) — not a distribution")
+                if value is not None and value >= 0:
+                    previous = max(previous, value)
     n = len(tenants) if isinstance(tenants, list) else 0
     qps = (totals or {}).get("qps")
     return (f"{n} tenants"
