@@ -1074,6 +1074,164 @@ def serve_bench(full: bool = False, queries: int | None = None,
     return "\n".join(lines)
 
 
+def shard_bench(full: bool = False, queries: int | None = None,
+                seed: int = 0, estimate: str = "area",
+                smoke: bool = False,
+                json_path: str | None = "BENCH_shard.json",
+                **_ignored) -> str:
+    """Scale-out sweep: Hilbert-range shards 1/2/4/8 on Fig. 8a.
+
+    For each shard count the Fig. 8a workload runs against a
+    :class:`~repro.shard.ShardedEngine` over tiered storage (every
+    shard's pages in a simulated object store behind a small local
+    cache) and every answer is verified identical — candidate count
+    and bit-equal area — to the unsharded I-Hilbert engine on local
+    storage.  The reported speedup is on the *simulated device model*
+    (:data:`~repro.storage.stats.RANDOM_READ_MS` /
+    :data:`~repro.storage.stats.SEQUENTIAL_READ_MS`): scatter-gather
+    wall time per query is the slowest shard's device time, so speedup
+    = unsharded device ms / Σ max-over-shards ms — the honest
+    distributed-I/O number, independent of host scheduling noise.
+    Remote-tier traffic (fetches, evictions, local hits) is reported
+    per shard count.  ``--smoke`` shrinks the field, skips the JSON
+    artifact, and exits non-zero on any divergence — the CI gate.
+    """
+    import json as json_mod
+
+    from ..shard import ShardedEngine
+    from ..storage import SimulatedObjectStore
+    from ..storage.stats import RANDOM_READ_MS, SEQUENTIAL_READ_MS
+    from ..synth import value_query_workload
+
+    if smoke:
+        size, per_q, shard_counts = 32, 2, (1, 2, 4)
+        json_path = None
+    else:
+        size = 256 if full else 128
+        per_q = 4 if queries is None else queries
+        shard_counts = (1, 2, 4, 8)
+    remote_cache_pages = 8
+
+    field = roseburg_like(cells_per_side=size)
+    workload = []
+    for q in QINTERVALS_FIG8:
+        workload += value_query_workload(field.value_range, q,
+                                         count=per_q, seed=seed)
+
+    def device_ms(delta) -> float:
+        return delta.simulated_cost(random_read=RANDOM_READ_MS,
+                                    sequential_read=SEQUENTIAL_READ_MS)
+
+    baseline = IHilbertIndex(field, cache_pages=0)
+    oracle, base_ms = [], 0.0
+    for query in workload:
+        result = baseline.query(query, estimate=estimate)
+        oracle.append((result.candidate_count, result.area))
+        base_ms += device_ms(result.io)
+        baseline.clear_caches()
+
+    lines = [
+        f"== shard: Hilbert-range scale-out sweep "
+        f"({size}x{size} terrain, tiered remote storage) ==",
+        f"workload: {len(workload)} queries ({per_q} per Qinterval "
+        f"setting {QINTERVALS_FIG8}), seed={seed}, estimate={estimate}",
+        f"device model: random {RANDOM_READ_MS} ms / sequential "
+        f"{SEQUENTIAL_READ_MS} ms; coordinator wall = slowest shard",
+        f"unsharded I-Hilbert: {base_ms:.1f} device ms over the workload",
+        "",
+        f"{'shards':>6} {'built':>6} {'verified':>9} {'reads':>7} "
+        f"{'dev ms':>9} {'speedup':>8} {'fetches':>8} {'evicted':>8} "
+        f"{'hits':>8}",
+    ]
+    sweep_payload = []
+    total_checked = total_mismatches = 0
+    for n_shards in shard_counts:
+        store = SimulatedObjectStore()
+        engine = ShardedEngine(field, n_shards=n_shards,
+                               method="I-Hilbert", cache_pages=0,
+                               remote_store=store,
+                               remote_cache_pages=remote_cache_pages)
+        mismatches, shard_ms, reads = 0, 0.0, 0
+        for query, want in zip(workload, oracle):
+            result = engine.query(query, estimate=estimate)
+            if (result.candidate_count, result.area) != want:
+                mismatches += 1
+            shard_ms += max((device_ms(d) for d in engine.last_shard_io),
+                            default=0.0)
+            reads += result.io.page_reads
+            engine.clear_caches()
+        total_checked += len(workload)
+        total_mismatches += mismatches
+        remote = engine.remote_counters()["total"]
+        speedup = base_ms / shard_ms if shard_ms > 0 else 0.0
+        lines.append(
+            f"{n_shards:>6} {engine.shard_map.num_shards:>6} "
+            f"{len(workload) - mismatches:>4}/{len(workload):<4} "
+            f"{reads:>7} {shard_ms:>9.1f} {speedup:>7.2f}x "
+            f"{int(remote['fetches']):>8} {int(remote['evictions']):>8} "
+            f"{int(remote['local_hits']):>8}")
+        sweep_payload.append({
+            "shards_requested": n_shards,
+            "shards_built": engine.shard_map.num_shards,
+            "verified": len(workload) - mismatches,
+            "mismatches": mismatches,
+            "page_reads": int(reads),
+            "device_ms": round(shard_ms, 3),
+            "speedup": round(speedup, 3),
+            "remote": {
+                "fetches": int(remote["fetches"]),
+                "evictions": int(remote["evictions"]),
+                "local_hits": int(remote["local_hits"]),
+                "puts": int(remote["puts"]),
+            },
+        })
+    lines += [
+        "",
+        f"equivalence: {total_checked - total_mismatches}/"
+        f"{total_checked} sharded answers identical to the unsharded "
+        f"engine",
+    ]
+    if json_path:
+        payload = {
+            "schema_version": 1,
+            "experiment": "shard",
+            "field": {
+                "type": type(field).__name__,
+                "cells_per_side": size,
+                "cells": field.num_cells,
+            },
+            "workload": {
+                "queries": len(workload),
+                "per_qinterval": per_q,
+                "qintervals": QINTERVALS_FIG8,
+                "seed": seed,
+                "estimate": estimate,
+            },
+            "device_model": {
+                "random_read_ms": RANDOM_READ_MS,
+                "sequential_read_ms": SEQUENTIAL_READ_MS,
+            },
+            "smoke": smoke,
+            "remote_cache_pages": remote_cache_pages,
+            "baseline_device_ms": round(base_ms, 3),
+            "sweep": sweep_payload,
+            "equivalence": {
+                "checked": total_checked,
+                "mismatches": total_mismatches,
+            },
+        }
+        with open(json_path, "w") as fh:
+            json_mod.dump(payload, fh, indent=1)
+            fh.write("\n")
+        lines.append(f"(machine-readable results written to {json_path})")
+    if smoke and total_mismatches:
+        print("\n".join(lines))
+        raise SystemExit(
+            f"shard smoke FAILED: {total_mismatches} sharded answers "
+            f"diverged from the unsharded engine")
+    return "\n".join(lines)
+
+
 def _render(result) -> str:
     if isinstance(result, str):
         return result
@@ -1099,4 +1257,5 @@ EXPERIMENTS: dict[str, Callable] = {
     "throughput": throughput,
     "update": update_stream,
     "serve": serve_bench,
+    "shard": shard_bench,
 }

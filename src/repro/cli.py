@@ -18,6 +18,11 @@ A small database-style front end over the library:
   snapshot afterwards);
 * ``compact`` — re-cluster stale subfields of a saved index and save
   the result;
+* ``shard``   — partition a field into Hilbert-range shards (one
+  I-Hilbert engine per shard, optional tiered remote storage) and
+  save the shard map + per-shard indexes;
+* ``rebalance`` — split oversized/drifted shards, merge undersized
+  neighbours, and atomically re-commit the shard map;
 * ``point``   — conventional (Q1) query on a ``.npy`` height grid;
 * ``serve``   — serve fields to concurrent multi-tenant clients over
   the newline-delimited JSON protocol (DESIGN.md §10).
@@ -38,6 +43,9 @@ Examples::
     python -m repro scrub terrain-index/
     python -m repro update terrain-index/ terrain.npy edits.txt
     python -m repro compact terrain-index/
+    python -m repro shard terrain.npy terrain-shards/ --shards 4
+    python -m repro rebalance terrain-shards/ --field terrain.npy \\
+        --max-cells 4096
     python -m repro point terrain.npy 30.5 99.25
     python -m repro serve terrain=terrain-index/ --port 7433 --rate 50
 """
@@ -379,6 +387,54 @@ def cmd_compact(args) -> int:
     return 0
 
 
+def cmd_shard(args) -> int:
+    """Partition a field into Hilbert-range shards and save the engine."""
+    from .shard import ShardedEngine
+
+    field = _load_field(Path(args.field))
+    remote_store = None
+    if args.tiered:
+        from .storage import SimulatedObjectStore
+        remote_store = SimulatedObjectStore()
+    engine = ShardedEngine(field, n_shards=args.shards,
+                           method="I-Hilbert", curve=args.curve,
+                           remote_store=remote_store,
+                           remote_cache_pages=args.remote_cache_pages)
+    engine.save(args.index_dir)
+    info = engine.describe()
+    print(f"sharded {info['cells']} cells into {info['shards']} "
+          f"Hilbert-range shards {info['shard_cells']} "
+          f"({info['data_pages']} data pages, "
+          f"{info['index_pages']} index pages"
+          + (", tiered remote storage" if info["tiered"] else "")
+          + ")")
+    print(f"saved to {args.index_dir}")
+    return 0
+
+
+def cmd_rebalance(args) -> int:
+    """Split/merge shards of a saved sharded engine and re-save it."""
+    from .shard import ShardedEngine
+
+    index_dir = Path(args.index_dir)
+    field = _load_field(Path(args.field)) if args.field else None
+    engine = ShardedEngine.load(index_dir, field=field)
+    if field is None and args.max_cells is not None:
+        print("note: size splits need the field file (--field) to "
+              "recover Hilbert keys; only drift splits and merges "
+              "will run", file=sys.stderr)
+    summary = engine.rebalance(max_cells=args.max_cells,
+                               min_cells=args.min_cells,
+                               drift_threshold=args.drift_threshold)
+    print(f"rebalanced: {summary['splits']} split(s), "
+          f"{summary['merges']} merge(s), "
+          f"{summary['shards_before']} -> {summary['shards_after']} "
+          f"shards")
+    engine.save(index_dir)
+    print(f"saved to {index_dir}")
+    return 0
+
+
 def cmd_serve(args) -> int:
     """Serve fields over the newline-JSON protocol (``repro.serve``)."""
     import asyncio
@@ -617,6 +673,46 @@ def main(argv: list[str] | None = None) -> int:
                               "subfield is re-clustered (default: 0, "
                               "any drift)")
     compact.set_defaults(func=cmd_compact)
+
+    shard = sub.add_parser("shard", help="partition a field into "
+                                         "Hilbert-range shards and "
+                                         "save the sharded engine")
+    shard.add_argument("field", help=".npy heights or .npz TIN")
+    shard.add_argument("index_dir", help="output directory (shard map "
+                                         "+ one index per shard)")
+    shard.add_argument("--shards", type=int, default=4,
+                       help="requested shard count (collapses when "
+                            "the field is too small; default: 4)")
+    shard.add_argument("--curve", default="hilbert",
+                       choices=["hilbert", "zorder", "gray"])
+    shard.add_argument("--tiered", action="store_true",
+                       help="back every shard with the simulated "
+                            "remote object store (cold pages fetched "
+                            "on demand into a local cache)")
+    shard.add_argument("--remote-cache-pages", type=int, default=64,
+                       help="local cache frames per shard disk when "
+                            "--tiered (default: 64)")
+    shard.set_defaults(func=cmd_shard)
+
+    rebalance = sub.add_parser("rebalance",
+                               help="split oversized/drifted shards, "
+                                    "merge undersized neighbours, and "
+                                    "re-commit the shard map")
+    rebalance.add_argument("index_dir")
+    rebalance.add_argument("--field", default=None,
+                           help="original field file; required for "
+                                "size splits (recovers Hilbert keys)")
+    rebalance.add_argument("--max-cells", type=int, default=None,
+                           help="split any shard holding more cells "
+                                "than this")
+    rebalance.add_argument("--min-cells", type=int, default=None,
+                           help="merge neighbours whose combined size "
+                                "is at most this")
+    rebalance.add_argument("--drift-threshold", type=float, default=None,
+                           help="split a shard whose worst relative "
+                                "cost drift (DESIGN.md §3.1.2) "
+                                "exceeds this")
+    rebalance.set_defaults(func=cmd_rebalance)
 
     serve = sub.add_parser("serve", help="serve fields over the "
                                          "newline-JSON protocol")

@@ -31,7 +31,10 @@ from .query import QueryResult, ValueQuery
 
 EstimateMode = Literal["none", "area", "regions"]
 FaultMode = Literal["raise", "skip"]
-DiskBackend = Literal["list", "mmap"]
+#: Either a named built-in backend or an explicit
+#: ``(plain disk class, retrying disk class)`` pair — the hook custom
+#: tiers (e.g. :func:`repro.storage.remote.remote_backend`) plug into.
+DiskBackend = Literal["list", "mmap"] | tuple[type, type]
 
 #: backend name -> (plain disk class, retrying disk class)
 _DISK_BACKENDS = {
@@ -125,10 +128,27 @@ class ValueIndex(abc.ABC):
         self.tracer = NULL_TRACER
         self.page_size = page_size
         self.retry_policy = retry_policy
-        if disk_backend not in _DISK_BACKENDS:
-            raise ValueError(
-                f"unknown disk_backend {disk_backend!r}; expected one of "
-                f"{sorted(_DISK_BACKENDS)}")
+        if isinstance(disk_backend, str):
+            if disk_backend not in _DISK_BACKENDS:
+                raise ValueError(
+                    f"unknown disk_backend {disk_backend!r}; expected one "
+                    f"of {sorted(_DISK_BACKENDS)} or a (plain, retrying) "
+                    f"disk-class pair")
+        else:
+            try:
+                plain_cls, retrying_cls = disk_backend
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"disk_backend must be a backend name or a "
+                    f"(plain, retrying) disk-class pair, got "
+                    f"{disk_backend!r}") from None
+            for cls in (plain_cls, retrying_cls):
+                if not (isinstance(cls, type)
+                        and issubclass(cls, DiskManager)):
+                    raise ValueError(
+                        f"disk_backend classes must subclass DiskManager, "
+                        f"got {cls!r}")
+            disk_backend = (plain_cls, retrying_cls)
         self.disk_backend = disk_backend
         self._fault_mode: FaultMode = "raise"
         self._query_faults: list[PageFault] = []
@@ -139,7 +159,9 @@ class ValueIndex(abc.ABC):
     def _make_disk(self, name: str) -> DiskManager:
         """Create a page file honouring this index's backend and retry
         policy."""
-        plain_cls, retrying_cls = _DISK_BACKENDS[self.disk_backend]
+        plain_cls, retrying_cls = (
+            _DISK_BACKENDS[self.disk_backend]
+            if isinstance(self.disk_backend, str) else self.disk_backend)
         if self.retry_policy is not None:
             return retrying_cls(stats=self.stats, name=name,
                                 page_size=self.page_size,

@@ -1,0 +1,32 @@
+"""Hilbert-range sharding with scatter-gather execution.
+
+A field is partitioned into N shards by contiguous Hilbert-key range
+(:mod:`~repro.shard.shardmap`); each shard is a full per-shard engine —
+own WAL, compaction, IOStats, buffer pools — behind one coordinator
+(:class:`~repro.shard.engine.ShardedEngine`) whose gathered answers are
+byte-identical to the unsharded access method's.
+"""
+
+from .engine import (SHARD_METHODS, ShardError, ShardRuntime,
+                     ShardedEngine)
+from .field import ShardFieldView, shard_field_view
+from .shardmap import (SHARD_MAP_FORMAT, ShardMap, ShardMapError,
+                       ShardSpec, aligned_cut, build_shard_map,
+                       load_shard_map, save_shard_map)
+
+__all__ = [
+    "SHARD_MAP_FORMAT",
+    "SHARD_METHODS",
+    "ShardError",
+    "ShardFieldView",
+    "ShardMap",
+    "ShardMapError",
+    "ShardRuntime",
+    "ShardSpec",
+    "ShardedEngine",
+    "aligned_cut",
+    "build_shard_map",
+    "load_shard_map",
+    "save_shard_map",
+    "shard_field_view",
+]

@@ -8,6 +8,9 @@ from .faults import (CorruptPageError, FaultEvent, FaultInjector, FaultSpec,
                      PageError, PageFault, SimulatedCrash, TransientIOError)
 from .mmapdisk import MmapDiskManager, RetryingMmapDiskManager
 from .records import RecordStore
+from .remote import (REMOTE_GET_MS, REMOTE_PUT_MS, RemoteDiskManager,
+                     RemoteFetchError, RetryingRemoteDiskManager,
+                     SimulatedObjectStore, remote_backend)
 from .retry import RetryingDiskManager, RetryingReadMixin, RetryPolicy
 from .scrub import ScrubReport, file_sha256, repair_index, scrub_index
 from .snapshot import (SAVE_DISK_CRASH_POINTS, SnapshotError, load_disk,
@@ -32,11 +35,17 @@ __all__ = [
     "PageError",
     "PageFault",
     "PoolCounters",
+    "REMOTE_GET_MS",
+    "REMOTE_PUT_MS",
     "RecordStore",
+    "RemoteDiskManager",
+    "RemoteFetchError",
     "RetryPolicy",
     "RetryingDiskManager",
     "RetryingMmapDiskManager",
     "RetryingReadMixin",
+    "RetryingRemoteDiskManager",
+    "SimulatedObjectStore",
     "SAVE_DISK_CRASH_POINTS",
     "ScrubReport",
     "SimulatedCrash",
@@ -51,6 +60,7 @@ __all__ = [
     "file_sha256",
     "load_disk",
     "page_checksum",
+    "remote_backend",
     "repair_index",
     "save_disk",
     "scan_wal",

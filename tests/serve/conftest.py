@@ -38,6 +38,22 @@ def value_band(dem):
     return vr.lo + 0.3 * span, vr.lo + 0.6 * span
 
 
+@pytest.fixture(params=["plain", "sharded"])
+def terrain_source(request, dem):
+    """The ``"terrain"`` mount, parametrized over both facade paths.
+
+    Every suite using the default ``server``/``client`` fixtures runs
+    once against a plain :class:`IHilbertIndex` and once against a
+    2-shard :class:`~repro.shard.ShardedEngine` — the two ways a field
+    mounts into a facade — with no test duplication.  Servers booted
+    with an explicit ``facade=`` are unaffected.
+    """
+    if request.param == "sharded":
+        from repro.shard import ShardedEngine
+        return ShardedEngine(dem, n_shards=2, method="I-Hilbert")
+    return IHilbertIndex(dem)
+
+
 @pytest.fixture
 def boot_server(dem):
     """Factory booting servers; every one is stopped at teardown.
@@ -70,9 +86,11 @@ def boot_server(dem):
 
 
 @pytest.fixture
-def server(boot_server):
-    """A default server with ``"terrain"`` open."""
-    return boot_server()
+def server(boot_server, terrain_source):
+    """A default server with ``"terrain"`` open (both mount paths)."""
+    facade = EngineFacade(default_workers=2)
+    facade.open_field("terrain", terrain_source)
+    return boot_server(facade=facade)
 
 
 @pytest.fixture

@@ -72,7 +72,7 @@ class TestClientSuppliedTraceId:
         query = _child(engine, "query")
         # Engine spans carry real I/O accounting from the index.
         assert query.io is not None
-        assert query.attrs["method"] == "I-Hilbert"
+        assert "I-Hilbert" in query.attrs["method"]
         # Wall-clock sanity: children fit inside their parent.
         assert root.t0_ns <= engine.t0_ns <= engine.t1_ns <= root.t1_ns
 

@@ -1,0 +1,149 @@
+"""Property tests for the shard map (Hypothesis).
+
+Invariants pinned here:
+
+* every Hilbert key in the key space is assigned to **exactly one**
+  shard, and the assignment agrees with the per-shard key bounds;
+* the cuts are contiguous: shard key ranges are non-empty, half-open,
+  ascending, and cover ``[0, key_space)`` with no gaps or overlaps —
+  likewise the position slices tile ``[0, n_cells)``;
+* cuts are page-aligned and never fall inside a run of equal keys, so
+  a key's cells can never straddle two shards;
+* ``split`` / ``merge`` round-trips preserve all of the above and
+  ``merge(split(m)) == m``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.shard import (ShardMap, ShardMapError, aligned_cut,
+                         build_shard_map)
+
+KEY_SPACE = 256
+
+
+@st.composite
+def sorted_keys(draw, max_cells=120):
+    """An ascending multiset of Hilbert keys (ties allowed)."""
+    n = draw(st.integers(min_value=1, max_value=max_cells))
+    keys = draw(st.lists(st.integers(min_value=0, max_value=KEY_SPACE - 1),
+                         min_size=n, max_size=n))
+    return np.sort(np.asarray(keys, dtype=np.int64))
+
+
+@st.composite
+def built_map(draw):
+    keys = draw(sorted_keys())
+    n_shards = draw(st.integers(min_value=1, max_value=8))
+    quantum = draw(st.sampled_from([1, 2, 3, 5, 8]))
+    smap = build_shard_map(keys, n_shards, KEY_SPACE,
+                           curve_name="hilbert", curve_order=4, dim=2,
+                           page_quantum=quantum)
+    return keys, n_shards, smap
+
+
+def assert_invariants(smap: ShardMap, keys: np.ndarray) -> None:
+    shards = smap.shards
+    # Dense ids, contiguous keyspace cover, contiguous position tiling.
+    assert [s.shard_id for s in shards] == list(range(len(shards)))
+    assert shards[0].key_lo == 0
+    assert shards[-1].key_hi == smap.key_space
+    assert shards[0].start == 0
+    assert shards[-1].stop == smap.n_cells
+    for left, right in zip(shards, shards[1:]):
+        assert left.key_hi == right.key_lo
+        assert left.stop == right.start
+    for s in shards:
+        assert s.key_lo < s.key_hi
+        assert s.start < s.stop
+        # Owned keys lie inside the shard's key bounds.
+        owned = keys[s.start:s.stop]
+        assert owned.min() >= s.key_lo
+        assert owned.max() < s.key_hi
+    # Interior cuts are page-aligned and never split a key run.
+    for s in shards[:-1]:
+        assert s.stop % smap.page_quantum == 0
+        assert keys[s.stop - 1] < keys[s.stop]
+
+
+@given(built_map())
+@settings(max_examples=200, deadline=None)
+def test_build_invariants(data):
+    keys, n_shards, smap = data
+    assert 1 <= smap.num_shards <= n_shards
+    assert smap.n_cells == len(keys)
+    assert_invariants(smap, keys)
+
+
+@given(built_map())
+@settings(max_examples=200, deadline=None)
+def test_every_key_in_exactly_one_shard(data):
+    keys, _, smap = data
+    domain = np.arange(KEY_SPACE, dtype=np.int64)
+    owners = smap.assign(domain)
+    # Exactly one shard per key, and it is the bounds-owning shard.
+    assert owners.min() >= 0 and owners.max() < smap.num_shards
+    for s in smap.shards:
+        mask = owners == s.shard_id
+        assert np.array_equal(np.flatnonzero(mask),
+                              np.arange(s.key_lo, s.key_hi))
+    # Position assignment agrees with key assignment for owned cells.
+    positions = np.arange(smap.n_cells, dtype=np.int64)
+    assert np.array_equal(smap.assign_positions(positions),
+                          smap.assign(keys))
+
+
+@given(built_map(), st.data())
+@settings(max_examples=150, deadline=None)
+def test_split_merge_roundtrip(data, draw):
+    keys, _, smap = data
+    # Pick a shard with an interior aligned cut, if any exists.
+    candidates = []
+    for s in smap.shards:
+        local = keys[s.start:s.stop]
+        cut = aligned_cut(local, len(local) // 2, smap.page_quantum)
+        if cut is not None:
+            candidates.append((s, cut))
+    if not candidates:
+        return
+    shard, cut = draw.draw(st.sampled_from(candidates))
+    position = shard.start + cut
+    split = smap.split(shard.shard_id, position, int(keys[position]))
+    assert split.num_shards == smap.num_shards + 1
+    assert_invariants(split, keys)
+    merged = split.merge(shard.shard_id)
+    assert merged.to_dict() == smap.to_dict()
+
+
+@given(sorted_keys(), st.integers(min_value=0, max_value=130),
+       st.sampled_from([1, 2, 3, 5]))
+@settings(max_examples=200, deadline=None)
+def test_aligned_cut_contract(keys, position, quantum):
+    cut = aligned_cut(keys, position, quantum)
+    if cut is None:
+        return
+    assert 0 < cut < len(keys)
+    assert cut % quantum == 0
+    assert cut >= min(position, len(keys))
+    assert keys[cut - 1] < keys[cut]
+
+
+def test_validate_rejects_gap():
+    smap = build_shard_map(np.array([0, 1, 2, 3], dtype=np.int64), 2, 8,
+                           curve_name="hilbert", curve_order=2, dim=2)
+    if smap.num_shards < 2:
+        pytest.skip("keys collapsed to one shard")
+    broken = smap.to_dict()
+    broken["shards"][0]["key_hi"] -= 1    # gap between shard 0 and 1
+    with pytest.raises(ShardMapError):
+        ShardMap.from_dict(broken)
+
+
+def test_roundtrip_serialization():
+    smap = build_shard_map(np.arange(16, dtype=np.int64), 4, 16,
+                           curve_name="hilbert", curve_order=2, dim=2,
+                           page_quantum=2)
+    assert ShardMap.from_dict(smap.to_dict()).to_dict() == smap.to_dict()

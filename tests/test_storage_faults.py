@@ -494,3 +494,117 @@ def test_fault_counters_reach_the_registry(backend, smooth_dem):
     finally:
         REGISTRY.disable()
         REGISTRY.reset()
+
+
+# -- the remote tier ---------------------------------------------------------
+#
+# Cold pages live in a latency-modeled object store and are fetched on
+# demand into a per-disk local cache.  The same fault contract applies:
+# transient fetch errors are retried with backoff, permanent corruption
+# surfaces as a typed `CorruptPageError` on the first attempt, and
+# `on_fault="skip"` degrades one shard without poisoning the gather.
+
+from repro.core.query import ValueQuery as _VQ  # noqa: E402
+from repro.shard import ShardedEngine  # noqa: E402
+from repro.storage import (  # noqa: E402
+    RemoteFetchError,
+    RetryingRemoteDiskManager,
+    SimulatedObjectStore,
+    remote_backend,
+)
+
+
+def _remote_disk(**kwargs):
+    store = SimulatedObjectStore()
+    disk = RetryingRemoteDiskManager(
+        page_size=80, store=store, cache_pages=0, **kwargs)
+    pid = disk.allocate()
+    disk.write(pid, b"cold bytes")
+    return store, disk, pid
+
+
+def test_remote_transient_fetch_errors_are_retried_with_backoff():
+    store, disk, pid = _remote_disk(
+        retry_policy=RetryPolicy(max_attempts=4))
+    store.fail_next_gets([0, 1])        # first two fetches fail
+    assert disk.read(pid)[:10] == b"cold bytes"
+    assert disk.stats.read_retries == 2
+    assert disk.simulated_backoff_ms == pytest.approx(1.0 + 2.0)
+    assert store.counters()["failed_gets"] == 2
+    # Every attempt was a charged round-trip to the store.
+    assert store.counters()["gets"] == 3
+
+
+def test_remote_fetch_exhaustion_raises_typed_error():
+    store, disk, pid = _remote_disk(
+        retry_policy=RetryPolicy(max_attempts=3))
+    store.fail_next_gets(range(10))
+    with pytest.raises(TransientIOError):
+        disk.read(pid)
+    assert disk.stats.read_retries == 2
+
+
+def test_remote_fetch_error_is_a_transient_io_error():
+    assert issubclass(RemoteFetchError, TransientIOError)
+
+
+def test_remote_permanent_corruption_is_typed_and_never_retried():
+    store, disk, pid = _remote_disk(
+        retry_policy=RetryPolicy(max_attempts=4))
+    store.corrupt(disk._key(pid), byte_index=1, bit=2)
+    with pytest.raises(CorruptPageError):
+        disk.read(pid)
+    assert disk.stats.read_retries == 0
+
+
+def test_remote_backend_answers_match_local_backend(smooth_dem):
+    """An index whose pages live in the object store answers exactly
+    like one on local storage, under a transient-fault schedule."""
+    plain = IHilbertIndex(smooth_dem, disk_backend="list")
+    store = SimulatedObjectStore()
+    remote = IHilbertIndex(
+        smooth_dem, retry_policy=RetryPolicy(max_attempts=5),
+        disk_backend=remote_backend(store, cache_pages=2))
+    store.fail_next_gets([0, 3, 7])
+    for query in _workloads(smooth_dem):
+        expected = plain.query(query)
+        got = remote.query(query)
+        assert got.candidate_count == expected.candidate_count
+        assert got.area == expected.area
+    assert store.counters()["failed_gets"] == 3
+
+
+def test_remote_cache_fetch_and_eviction_accounting(smooth_dem):
+    store = SimulatedObjectStore()
+    engine = ShardedEngine(smooth_dem, n_shards=2, method="I-Hilbert",
+                           remote_store=store, remote_cache_pages=1)
+    vr = smooth_dem.value_range
+    engine.query(_VQ(vr.lo, vr.hi))
+    engine.clear_caches()
+    engine.query(_VQ(vr.lo, vr.hi))
+    counters = engine.remote_counters()
+    assert counters["total"]["fetches"] > 0
+    assert counters["total"]["evictions"] > 0
+    assert counters["store"]["gets"] == counters["total"]["fetches"]
+    # Per-shard attribution covers every shard and sums to the total.
+    assert set(counters["shards"]) == {rt.name for rt in engine.shards}
+    assert sum(c.get("fetches", 0) for c in counters["shards"].values()) \
+        == counters["total"]["fetches"]
+
+
+def test_remote_skip_degrades_one_shard_without_poisoning_gather(
+        smooth_dem):
+    store = SimulatedObjectStore()
+    engine = ShardedEngine(smooth_dem, n_shards=4, method="I-Hilbert",
+                           remote_store=store, remote_cache_pages=0)
+    victim = engine.shards[2]
+    store.corrupt(f"shard-{victim.uid}/data/0", byte_index=5, bit=1)
+    vr = smooth_dem.value_range
+    with pytest.raises(CorruptPageError):
+        engine.query(_VQ(vr.lo, vr.hi))
+    result = engine.query(_VQ(vr.lo, vr.hi), on_fault="skip")
+    assert result.degraded
+    assert len(result.faults) == 1
+    # Healthy shards contributed all their cells.
+    missing = smooth_dem.num_cells - result.candidate_count
+    assert 0 < missing <= engine.shard_map.page_quantum

@@ -4,7 +4,9 @@
 Understands the repo-root artifacts and dispatches on the document's
 ``experiment`` field: ``BENCH_throughput.json`` (parallel-engine
 sweep), ``BENCH_update.json`` (live-update degradation/compaction/WAL
-run) and ``BENCH_serve.json`` (multi-tenant query-service load run).
+run), ``BENCH_serve.json`` (multi-tenant query-service load run) and
+``BENCH_shard.json`` (Hilbert-range scale-out sweep over tiered
+remote storage).
 
 Standard library only — this runs in the CI lint job, which installs no
 scientific stack.  The checks are deliberately structural *and*
@@ -419,10 +421,114 @@ def validate_serve(doc: dict) -> str:
                else ""))
 
 
+def validate_shard(doc: dict) -> str:
+    check_common(doc)
+
+    workload = doc.get("workload")
+    workload_queries = (workload.get("queries")
+                        if isinstance(workload, dict) else None)
+
+    device = expect(doc, "device_model", dict, "top level")
+    if device is not None:
+        for key in ("random_read_ms", "sequential_read_ms"):
+            value = expect(device, key, (int, float), "device_model")
+            if value is not None and value <= 0:
+                err(f"device_model: {key} must be positive, got {value}")
+
+    base_ms = expect(doc, "baseline_device_ms", (int, float), "top level")
+    if base_ms is not None and base_ms <= 0:
+        err(f"baseline_device_ms must be positive, got {base_ms}")
+
+    cache = expect(doc, "remote_cache_pages", int, "top level")
+    if cache is not None and cache < 1:
+        err(f"remote_cache_pages must be >= 1, got {cache}")
+
+    sweep = expect(doc, "sweep", list, "top level")
+    max_speedup = None
+    if sweep is not None:
+        if not sweep:
+            err("sweep: must contain at least one shard-count entry")
+        previous_shards = 0
+        for i, entry in enumerate(sweep):
+            ctx = f"sweep[{i}]"
+            if not isinstance(entry, dict):
+                err(f"{ctx}: every entry must be an object")
+                continue
+            requested = expect(entry, "shards_requested", int, ctx)
+            built = expect(entry, "shards_built", int, ctx)
+            if requested is not None:
+                if requested <= previous_shards:
+                    err(f"{ctx}: shard counts must be strictly "
+                        f"ascending, got {requested} after "
+                        f"{previous_shards}")
+                previous_shards = requested
+                if built is not None and not 1 <= built <= requested:
+                    err(f"{ctx}: shards_built {built} outside "
+                        f"[1, {requested}]")
+            verified = expect(entry, "verified", int, ctx)
+            mismatches = expect(entry, "mismatches", int, ctx)
+            if mismatches is not None and mismatches != 0:
+                err(f"{ctx}: {mismatches} sharded answers diverged "
+                    f"from the unsharded engine")
+            if verified is not None and workload_queries is not None \
+                    and verified != workload_queries:
+                err(f"{ctx}: verified {verified} != workload queries "
+                    f"{workload_queries}")
+            reads = expect(entry, "page_reads", int, ctx)
+            if reads is not None and reads < 1:
+                err(f"{ctx}: page_reads must be >= 1, got {reads}")
+            for key in ("device_ms", "speedup"):
+                value = expect(entry, key, (int, float), ctx)
+                if value is not None and value <= 0:
+                    err(f"{ctx}: {key} must be positive, got {value}")
+            speedup = entry.get("speedup")
+            if isinstance(speedup, (int, float)):
+                max_speedup = max(max_speedup or 0.0, speedup)
+            remote = expect(entry, "remote", dict, ctx)
+            if remote is not None:
+                for key in ("fetches", "evictions", "local_hits",
+                            "puts"):
+                    value = expect(remote, key, int, f"{ctx}.remote")
+                    if value is not None and value < 0:
+                        err(f"{ctx}.remote: {key} must be >= 0, "
+                            f"got {value}")
+                puts = remote.get("puts")
+                if isinstance(puts, int) and puts < 1:
+                    err(f"{ctx}.remote: a tiered run must upload "
+                        f"pages (puts >= 1), got {puts}")
+        if len(sweep) > 1 and max_speedup is not None \
+                and max_speedup <= 1.0:
+            err(f"sweep: best scale-out speedup {max_speedup} <= 1.0 "
+                f"— sharding regressed the device-model cost")
+
+    equivalence = expect(doc, "equivalence", dict, "top level")
+    if equivalence is not None:
+        checked = expect(equivalence, "checked", int, "equivalence")
+        mismatches = expect(equivalence, "mismatches", int,
+                            "equivalence")
+        if checked is not None and checked < 1:
+            err(f"equivalence: checked must be >= 1, got {checked}")
+        if mismatches is not None and mismatches != 0:
+            err(f"equivalence: {mismatches} sharded answers diverged "
+                f"from the unsharded engine")
+        if checked is not None and isinstance(sweep, list) \
+                and workload_queries is not None \
+                and checked != workload_queries * len(sweep):
+            err(f"equivalence: checked {checked} != "
+                f"{workload_queries} queries x {len(sweep)} "
+                f"shard counts")
+
+    n = len(sweep) if isinstance(sweep, list) else 0
+    return (f"{n} shard counts"
+            + (f", best speedup {max_speedup}x"
+               if isinstance(max_speedup, (int, float)) else ""))
+
+
 VALIDATORS = {
     "throughput": validate_throughput,
     "update": validate_update,
     "serve": validate_serve,
+    "shard": validate_shard,
 }
 
 
