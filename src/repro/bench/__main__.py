@@ -40,10 +40,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="throughput only: comma-separated worker "
                              "counts to sweep (default: 1,2,4,8)")
     parser.add_argument("--smoke", action="store_true",
-                        help="throughput/update/serve/shard only: tiny "
-                             "field "
-                             "and workload, exit 1 on regression "
-                             "(CI gate)")
+                        help="throughput/update/serve/shard/micro only: "
+                             "tiny field and workload, exit 1 on "
+                             "regression (CI gate; micro gates ns/op "
+                             "against the committed BENCH_micro.json)")
     parser.add_argument("--updates", type=int, default=None,
                         help="update only: length of the random vertex "
                              "update stream (default: 1000)")
@@ -75,7 +75,7 @@ def main(argv: list[str] | None = None) -> int:
                 options["smoke"] = True
             if args.updates is not None:
                 options["updates"] = args.updates
-        if name in ("serve", "shard") and args.smoke:
+        if name in ("serve", "shard", "micro") and args.smoke:
             options["smoke"] = True
         result = runner(**options)
         print(_render(result))

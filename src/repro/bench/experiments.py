@@ -370,6 +370,17 @@ def throughput(full: bool = False, queries: int | None = None,
     ``smoke=True`` shrinks everything (64² field, 24 queries, workers 1
     and 4, no JSON artifact) and exits non-zero if workers=4 fails to
     beat workers=1 — the CI regression gate.
+
+    Each method is swept twice.  The *legacy* sweep (``merge=False``,
+    no cache) reproduces the PR-8 baseline configuration so q/s stays
+    comparable across commits.  The *pipeline* sweep is the serving
+    configuration — merged fetch groups, a shared
+    :data:`~repro.core.batch.DEFAULT_BATCH_CACHE_PAGES`-page buffer
+    pool, and the vectorized hot path — whose oracle is one serial run
+    with ``engine="scalar"``: every pipelined point must match that
+    oracle byte for byte (per-query answers, per-query I/O, and total
+    I/O accounting), so the speedup it reports is a speedup on a
+    provably equivalent execution.
     """
     import json as json_mod
     import time
@@ -379,6 +390,7 @@ def throughput(full: bool = False, queries: int | None = None,
         DeviceModel,
         ParallelQueryEngine,
     )
+    from ..core.batch import DEFAULT_BATCH_CACHE_PAGES
     from ..storage import IOStats
     from ..synth import value_query_workload
 
@@ -469,12 +481,65 @@ def throughput(full: bool = False, queries: int | None = None,
                 and qps_by_workers[worker_counts[-1]]
                 < qps_by_workers[worker_counts[0]]):
             regressions.append(name)
+        # Pipeline sweep: merged groups + shared pool + vectorized
+        # engine, checked byte-for-byte against a serial scalar oracle.
+        cache = DEFAULT_BATCH_CACHE_PAGES
+        index.engine = "scalar"
+        index.clear_caches()
+        index.stats.reset()
+        oracle = BatchQueryEngine(index, cache_pages=cache,
+                                  merge=True).run(workload,
+                                                  estimate=estimate)
+        index.engine = "vectorized"
+        entry["pipeline"] = {
+            "cache_pages": cache,
+            "merge": True,
+            "scalar_oracle_page_reads": oracle.io.page_reads,
+            "points": [],
+        }
+        for n_workers in worker_counts:
+            index.clear_caches()
+            index.stats.reset()
+            engine = ParallelQueryEngine(index, workers=n_workers,
+                                         cache_pages=cache, merge=True,
+                                         device=device)
+            t0 = time.perf_counter()
+            par = engine.run(workload, estimate=estimate)
+            wall = time.perf_counter() - t0
+            for r_scl, r_par in zip(oracle.results, par.results):
+                assert r_scl.candidate_count == r_par.candidate_count, name
+                assert r_scl.area == r_par.area, name
+                assert r_scl.io == r_par.io, name
+            assert oracle.io == par.io, name
+            qps = len(workload) / wall
+            vs_legacy = qps / qps_by_workers[n_workers]
+            lines.append(
+                f"{name + '+pipe':>12} {n_workers:>8} {wall:>8.2f} "
+                f"{qps:>8.1f} {vs_legacy:>7.2f}x "
+                f"{par.io.page_reads:>9} {par.io.random_reads:>8} "
+                f"{par.io.sequential_reads:>9}")
+            entry["pipeline"]["points"].append({
+                "workers": n_workers,
+                "wall_s": round(wall, 4),
+                "qps": round(qps, 2),
+                "speedup_vs_legacy": round(vs_legacy, 3),
+                "page_reads": par.io.page_reads,
+                "random_reads": par.io.random_reads,
+                "sequential_reads": par.io.sequential_reads,
+            })
+            if (n_workers == worker_counts[-1]
+                    and qps < qps_by_workers[n_workers]):
+                regressions.append(f"{name}+pipeline")
         payload_methods.append(entry)
         del index
     lines += [
         "",
         "(answers, per-query I/O and total page counts verified "
-        "identical to the serial batch engine at every worker count)",
+        "identical to the serial batch engine at every worker count; "
+        "'+pipe' rows are the merged+cached+vectorized pipeline, "
+        "verified byte-identical to a serial scalar-engine oracle, "
+        "speedup column relative to the legacy row at the same worker "
+        "count)",
     ]
     if json_path:
         payload = {
@@ -509,6 +574,252 @@ def throughput(full: bool = False, queries: int | None = None,
         raise SystemExit(
             f"throughput regression: workers={worker_counts[-1]} slower "
             f"than workers={worker_counts[0]} for {', '.join(regressions)}")
+    return "\n".join(lines)
+
+
+def micro(full: bool = False, seed: int = 0, smoke: bool = False,
+          json_path: str | None = "BENCH_micro.json",
+          gate_ratio: float = 1.5, **_ignored) -> str:
+    """Criterion-style microbenchmarks of the query hot path + ingestion.
+
+    Times the five kernels the vectorized executor is built from —
+    inverse-interpolation estimation, interval filter + pack, page
+    decode, Hilbert key computation, greedy grouping — plus R*-tree
+    traversal, each as repeated rounds until a minimum measurement
+    time, reporting best/median ns per operation.  A separate ingest
+    section measures bulk-load cells/s (1M-cell field with ``full`` or
+    the default run) against the per-insert incremental path.
+
+    ``smoke=True`` shrinks the ingest fields and measurement budget,
+    writes no JSON, and instead *gates* against the committed
+    ``BENCH_micro.json``: any kernel whose best ns/op exceeds
+    ``gate_ratio`` (default 1.5×) of the pinned value fails the run —
+    the CI regression gate.  Kernel input sizes are identical in both
+    modes, so ns/op is comparable across them.
+    """
+    import json as json_mod
+    import statistics
+    import time
+    from pathlib import Path
+
+    from ..core import CostBasedGrouping, bulk_build, group_cells
+    from ..core.cost import ThresholdGrouping  # noqa: F401 (doc link)
+    from ..curves import HilbertCurve2D
+    from ..field.interpolation import triangle_band_fraction
+    from ..geometry import Rect
+    from ..rstar import RStarTree
+    from ..storage import DiskManager
+    from ..storage.codec import decode_pages
+
+    rng = np.random.default_rng(seed)
+    min_time = 0.05 if smoke else 0.25
+
+    def _rounds(fn, ops: int) -> dict:
+        """Warm up once, then repeat until ``min_time`` of samples."""
+        fn()
+        times = []
+        total = 0.0
+        while total < min_time or len(times) < 3:
+            t0 = time.perf_counter()
+            fn()
+            dt = time.perf_counter() - t0
+            times.append(dt)
+            total += dt
+            if len(times) >= 500:
+                break
+        return {
+            "ops_per_round": ops,
+            "rounds": len(times),
+            "best_ns_per_op": round(min(times) / ops * 1e9, 2),
+            "median_ns_per_op": round(
+                statistics.median(times) / ops * 1e9, 2),
+            "total_s": round(total, 4),
+        }
+
+    kernels = []
+
+    # 1. Estimation kernel: closed-form band fraction over triangles.
+    n_tri = 200_000
+    v0, v1, v2 = (rng.random(n_tri) * 1000.0 for _ in range(3))
+    kernels.append(("estimate_kernel", n_tri, lambda:
+                    triangle_band_fraction(v0, v1, v2, 300.0, 320.0)))
+
+    # 2. Filter + pack: float64 interval mask over float32 records,
+    #    then gather of the survivors (the _candidates hot loop).
+    n_rec = 1_000_000
+    block = np.zeros(n_rec, dtype=[("vmin", "f4"), ("vmax", "f4"),
+                                   ("cell", "i8")])
+    lo32 = (rng.random(n_rec) * 1000.0).astype(np.float32)
+    block["vmin"] = lo32
+    block["vmax"] = lo32 + rng.random(n_rec).astype(np.float32) * 5.0
+    block["cell"] = np.arange(n_rec)
+
+    def _filter_pack():
+        mask = ((block["vmin"].astype(np.float64) <= 320.0)
+                & (block["vmax"].astype(np.float64) >= 300.0))
+        return block[mask]
+    kernels.append(("filter_pack", n_rec, _filter_pack))
+
+    # 3. Page decode: frames -> one structured array (the codec).
+    rec_dtype = block.dtype
+    per_page = 4096 // rec_dtype.itemsize
+    n_pages = 256
+    payloads = [block[i * per_page:(i + 1) * per_page].tobytes()
+                for i in range(n_pages)]
+    counts = [per_page] * n_pages
+    kernels.append(("page_decode", n_pages * per_page, lambda:
+                    decode_pages(payloads, rec_dtype, counts)))
+
+    # 4. Hilbert keys: vectorized curve arithmetic (the bulk-load sort
+    #    key and the I-Hilbert linearization).
+    n_keys = 262_144
+    curve = HilbertCurve2D(10)
+    xs = rng.integers(0, curve.side, n_keys)
+    ys = rng.integers(0, curve.side, n_keys)
+    kernels.append(("hilbert_keys", n_keys, lambda: curve.keys(xs, ys)))
+
+    # 5. Greedy grouping: the cost-based subfield pass.
+    n_cells = 262_144
+    gmin = np.sort(rng.random(n_cells) * 1000.0)
+    gmax = gmin + rng.random(n_cells) * 4.0
+    policy = CostBasedGrouping(unit=1000.0, avg_query=500.0)
+    kernels.append(("group_cells", n_cells, lambda:
+                    group_cells(gmin, gmax, policy)))
+
+    # 6. R*-tree traversal: interval searches against a bulk-loaded
+    #    1-D tree of 16384 cell intervals (the I-All shape).
+    t_lo = rng.random(16384) * 1000.0
+    t_hi = t_lo + rng.random(16384) * 5.0
+    tree = RStarTree(dim=1, disk=DiskManager(name="micro-tree"),
+                     cache_pages=64)
+    tree.bulk_load_arrays(t_lo, t_hi, np.arange(16384, dtype=np.int64))
+    tree.flush()
+    queries = [(float(lo), float(lo + 10.0))
+               for lo in rng.random(64) * 990.0]
+    kernels.append(("rtree_search", len(queries), lambda:
+                    [tree.search(Rect.from_interval(lo, hi))
+                     for lo, hi in queries]))
+
+    results = {name: _rounds(fn, ops) for name, ops, fn in kernels}
+
+    # -- ingestion: bulk vs per-insert ---------------------------------
+    # Bulk loads a >= 1M-cell field by default; the per-insert baseline
+    # is measured on a small field (its throughput only *degrades* with
+    # size — tree descents deepen — so the reported speedup is a lower
+    # bound).
+    bulk_side = 128 if smoke else 1024
+    inc_side = 16 if smoke else 32
+    cmp_side = 64 if smoke else 256
+
+    bulk_field = roseburg_like(cells_per_side=bulk_side)
+    _, bulk_rep = bulk_build(bulk_field, method="I-Hilbert")
+
+    inc_field = roseburg_like(cells_per_side=inc_side)
+    t0 = time.perf_counter()
+    IAllIndex(inc_field, bulk=False)
+    inc_s = time.perf_counter() - t0
+    inc_cps = inc_field.num_cells / inc_s
+
+    cmp_field = roseburg_like(cells_per_side=cmp_side)
+    t0 = time.perf_counter()
+    IHilbertIndex(cmp_field)
+    ih_inc_s = time.perf_counter() - t0
+    _, ih_bulk_rep = bulk_build(cmp_field, method="I-Hilbert")
+    ih_inc_cps = cmp_field.num_cells / ih_inc_s
+
+    ingest = {
+        "bulk": dict(bulk_rep.to_dict(),
+                     cells_per_second=round(bulk_rep.cells_per_second),
+                     build_seconds=round(bulk_rep.build_seconds, 4)),
+        "incremental": {
+            "method": "I-All (per-insert R* path)",
+            "cells": inc_field.num_cells,
+            "build_seconds": round(inc_s, 4),
+            "cells_per_second": round(inc_cps, 1),
+            "note": "measured at small n; upper bound on 1M-cell rate",
+        },
+        "speedup_bulk_vs_incremental": round(
+            bulk_rep.cells_per_second / inc_cps, 1),
+        "ihilbert_same_field": {
+            "cells": cmp_field.num_cells,
+            "incremental_cells_per_second": round(ih_inc_cps),
+            "bulk_cells_per_second": round(
+                ih_bulk_rep.cells_per_second),
+            "speedup": round(
+                ih_bulk_rep.cells_per_second / ih_inc_cps, 2),
+        },
+    }
+
+    lines = [
+        "== micro: query hot path + ingestion kernels ==",
+        f"seed={seed}, min measurement time {min_time}s/kernel",
+        "",
+        f"{'kernel':>16} {'ops/round':>10} {'rounds':>7} "
+        f"{'best ns/op':>11} {'median ns/op':>13}",
+    ]
+    for name, stats in results.items():
+        lines.append(
+            f"{name:>16} {stats['ops_per_round']:>10} "
+            f"{stats['rounds']:>7} {stats['best_ns_per_op']:>11.1f} "
+            f"{stats['median_ns_per_op']:>13.1f}")
+    lines += [
+        "",
+        f"bulk load   : {bulk_rep.cells:,} cells in "
+        f"{bulk_rep.build_seconds:.3f}s = "
+        f"{bulk_rep.cells_per_second:,.0f} cells/s (I-Hilbert)",
+        f"incremental : {inc_field.num_cells:,} cells in {inc_s:.3f}s = "
+        f"{inc_cps:,.0f} cells/s (I-All per-insert; upper bound)",
+        f"speedup     : {ingest['speedup_bulk_vs_incremental']:,.1f}x "
+        f"bulk vs per-insert",
+        f"I-Hilbert   : bulk "
+        f"{ih_bulk_rep.cells_per_second:,.0f} vs incremental "
+        f"{ih_inc_cps:,.0f} cells/s on the same "
+        f"{cmp_field.num_cells:,}-cell field "
+        f"({ingest['ihilbert_same_field']['speedup']:.2f}x)",
+    ]
+
+    if smoke:
+        baseline_path = Path(json_path or "BENCH_micro.json")
+        failures = []
+        if baseline_path.is_file():
+            with open(baseline_path) as fh:
+                baseline = json_mod.load(fh)
+            pinned = baseline.get("kernels", {})
+            for name, stats in results.items():
+                pin = pinned.get(name)
+                if pin is None:
+                    continue
+                ratio = stats["best_ns_per_op"] / pin["best_ns_per_op"]
+                mark = "FAIL" if ratio > gate_ratio else "ok"
+                lines.append(
+                    f"gate {name}: {ratio:.2f}x of pinned "
+                    f"{pin['best_ns_per_op']:.1f} ns/op "
+                    f"(limit {gate_ratio}x) — {mark}")
+                if ratio > gate_ratio:
+                    failures.append(name)
+        else:
+            lines.append(f"(no {baseline_path} baseline; gate skipped)")
+        if failures:
+            raise SystemExit(
+                f"micro regression: {', '.join(failures)} slower than "
+                f"{gate_ratio}x the pinned BENCH_micro.json")
+        return "\n".join(lines)
+
+    if json_path:
+        payload = {
+            "schema_version": 1,
+            "experiment": "micro",
+            "seed": seed,
+            "smoke": False,
+            "gate": {"max_ratio": gate_ratio},
+            "kernels": results,
+            "ingest": ingest,
+        }
+        with open(json_path, "w") as fh:
+            json_mod.dump(payload, fh, indent=1)
+            fh.write("\n")
+        lines.append("")
+        lines.append(f"(machine-readable results written to {json_path})")
     return "\n".join(lines)
 
 
@@ -1254,6 +1565,7 @@ EXPERIMENTS: dict[str, Callable] = {
     "ablation-pagesize": ablation_pagesize,
     "scale": scale_sweep,
     "methods-extra": methods_extra,
+    "micro": micro,
     "throughput": throughput,
     "update": update_stream,
     "serve": serve_bench,

@@ -99,12 +99,21 @@ def _load_field(path: Path):
 def cmd_build(args) -> int:
     """Build an I-Hilbert index over a field file and save it."""
     field = _load_field(Path(args.field))
-    index = IHilbertIndex(field, curve=args.curve)
+    if args.bulk:
+        from .core import bulk_build
+        index, report = bulk_build(field, curve=args.curve)
+    else:
+        index = IHilbertIndex(field, curve=args.curve)
+        report = None
     save_index(index, args.index_dir)
     info = index.describe()
     print(f"indexed {info['cells']} cells into {info['subfields']} "
           f"subfields ({info['data_pages']} data pages, "
           f"{info['index_pages']} index pages)")
+    if report is not None:
+        print(f"bulk load: {report.cells} cells in "
+              f"{report.build_seconds:.3f}s "
+              f"({report.cells_per_second:,.0f} cells/s)")
     print(f"saved to {args.index_dir}")
     return 0
 
@@ -573,6 +582,10 @@ def main(argv: list[str] | None = None) -> int:
     build.add_argument("index_dir", help="output index directory")
     build.add_argument("--curve", default="hilbert",
                        choices=["hilbert", "zorder", "gray"])
+    build.add_argument("--bulk", action="store_true",
+                       help="bulk-load: sort cells by Hilbert key, pack "
+                            "pages sequentially, build the R*-tree "
+                            "bottom-up (no per-insert descent)")
     build.set_defaults(func=cmd_build)
 
     query = sub.add_parser("query", help="run a value query against a "

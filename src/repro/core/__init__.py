@@ -14,6 +14,7 @@ from .cost import (
     ThresholdGrouping,
     group_cells,
 )
+from .bulkload import BulkLoadReport, bulk_build, bulk_methods
 from .facade import (
     EngineFacade,
     FacadeError,
@@ -53,6 +54,9 @@ METHODS = {
 __all__ = [
     "BatchQueryEngine",
     "BatchResult",
+    "BulkLoadReport",
+    "bulk_build",
+    "bulk_methods",
     "QueryGroup",
     "merge_queries",
     "run_sequential",

@@ -31,6 +31,13 @@ from .query import QueryResult, ValueQuery
 
 EstimateMode = Literal["none", "area", "regions"]
 FaultMode = Literal["raise", "skip"]
+#: Execution engine for the filtering step: ``"vectorized"`` (default)
+#: fetches candidate page runs as one batch and evaluates the interval
+#: filter as whole-array operations; ``"scalar"`` keeps the original
+#: page-at-a-time loops.  Both produce byte-identical answers and
+#: IOStats — the scalar engine is the escape hatch the equivalence
+#: tests cross-check against.
+Engine = Literal["vectorized", "scalar"]
 #: Either a named built-in backend or an explicit
 #: ``(plain disk class, retrying disk class)`` pair — the hook custom
 #: tiers (e.g. :func:`repro.storage.remote.remote_backend`) plug into.
@@ -110,7 +117,12 @@ class ValueIndex(abc.ABC):
                  stats: IOStats | None = None,
                  page_size: int = PAGE_SIZE,
                  retry_policy: RetryPolicy | None = None,
-                 disk_backend: DiskBackend = "list") -> None:
+                 disk_backend: DiskBackend = "list",
+                 engine: Engine = "vectorized") -> None:
+        if engine not in ("vectorized", "scalar"):
+            raise ValueError(
+                f"engine must be 'vectorized' or 'scalar', got {engine!r}")
+        self.engine = engine
         self.field = field
         self.field_type = type(field)
         self.stats = stats if stats is not None else IOStats()
@@ -263,6 +275,43 @@ class ValueIndex(abc.ABC):
                 disk=exc.disk, page_id=exc.page_id,
                 kind=type(exc).__name__, detail=str(exc)))
             return None
+
+    def _vector_fetch_ok(self) -> bool:
+        """True when the batched fetch path may be used for this query.
+
+        Requires the vectorized engine and a clean fault regime: with a
+        fault injector attached the disk must observe every page access
+        individually (injection schedules are per-read), and in
+        ``on_fault="skip"`` mode faults must be attributable to single
+        pages — both are what the per-page scalar loop provides.
+        """
+        return (self.engine == "vectorized"
+                and self._fault_mode == "raise"
+                and self.data_disk.fault_injector is None)
+
+    def _read_data_run(self, first_page: int,
+                       last_page: int) -> np.ndarray | None:
+        """Fetch a contiguous store page run as one decoded array.
+
+        On the clean path this is one :meth:`RecordStore.read_pages`
+        batch (accounting identical to a serial page loop); when a
+        fault injector is attached or the query runs in skip mode it
+        degrades to per-page :meth:`_read_data_page` calls so fault
+        semantics are untouched.  Returns ``None`` when every page of
+        the run was skipped.
+        """
+        if self._vector_fetch_ok():
+            return self.store.read_pages(first_page, last_page)
+        parts = []
+        for page_no in range(first_page, last_page + 1):
+            page = self._read_data_page(page_no)
+            if page is not None:
+                parts.append(page)
+        if not parts:
+            return None
+        if len(parts) == 1:
+            return parts[0]
+        return np.concatenate(parts)
 
     def _finish(self, query: ValueQuery, candidates: np.ndarray,
                 estimate: EstimateMode) -> QueryResult:

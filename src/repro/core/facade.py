@@ -183,6 +183,53 @@ class EngineFacade:
             f"{path}: unsupported field source (expected an index "
             f"directory, .npy heights, or a .npz TIN)")
 
+    def bulk_build(self, name: str, source, *, method: str = "I-Hilbert",
+                   workers: int | None = None,
+                   cache_pages: int | None = None,
+                   **build_kwargs) -> dict:
+        """Bulk-build ``source`` and open the result under ``name``.
+
+        ``source`` must be an in-memory :class:`~repro.field.base.Field`
+        or a field file (``.npy`` heights / ``.npz`` TIN) — saved index
+        directories are already built.  Extra keyword arguments pass to
+        the index constructor (``curve``, ``engine``, ...).  Returns the
+        field description extended with the bulk-load timing report
+        under ``"bulk"`` (see :class:`~repro.core.bulkload
+        .BulkLoadReport`).
+        """
+        from .bulkload import bulk_build
+        if isinstance(source, Field):
+            field, origin = source, "field-object"
+        else:
+            path = Path(source)
+            if path.suffix == ".npy":
+                from ..field.dem import DEMField
+                field, origin = DEMField(np.load(path)), str(path)
+            elif path.suffix == ".npz":
+                from ..field.tin import TINField
+                data = np.load(path)
+                for key in ("points", "values"):
+                    if key not in data:
+                        raise FacadeError(
+                            f"{path}: TIN archives need 'points' and "
+                            f"'values' arrays (optional 'triangles')")
+                triangles = (data["triangles"] if "triangles" in data
+                             else None)
+                field = TINField(data["points"], data["values"],
+                                 triangles=triangles)
+                origin = str(path)
+            else:
+                raise FacadeError(
+                    f"{path}: bulk_build needs a field source "
+                    f"(.npy heights or .npz TIN), not a built index")
+        index, report = bulk_build(field, method=method, **build_kwargs)
+        info = self.open_field(name, index, workers=workers,
+                               cache_pages=cache_pages)
+        self.handle(name).source = origin
+        info["source"] = origin
+        info["bulk"] = report.to_dict()
+        return info
+
     def close_field(self, name: str) -> None:
         """Forget an open field (its in-memory pages are released)."""
         with self._lock:

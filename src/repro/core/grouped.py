@@ -15,7 +15,7 @@ from ..geometry import Rect
 from ..obs.metrics import REGISTRY
 from ..rstar import RStarTree
 from ..storage import IOStats, PAGE_SIZE, RetryPolicy
-from .base import DiskBackend, ValueIndex
+from .base import DiskBackend, Engine, ValueIndex
 from .cost import CostBasedGrouping, GroupingPolicy, group_cells
 from .subfield import Subfield
 
@@ -57,10 +57,12 @@ class GroupedIntervalIndex(ValueIndex):
                  page_size: int = PAGE_SIZE,
                  retry_policy: RetryPolicy | None = None,
                  disk_backend: DiskBackend = "list",
-                 grouping: GroupingPolicy | None = None) -> None:
+                 grouping: GroupingPolicy | None = None,
+                 engine: Engine = "vectorized",
+                 bulk: bool = False) -> None:
         super().__init__(field, cache_pages=cache_pages, stats=stats,
                          page_size=page_size, retry_policy=retry_policy,
-                         disk_backend=disk_backend)
+                         disk_backend=disk_backend, engine=engine)
         order = np.asarray(order, dtype=np.int64)
         records = field.cell_records()
         if len(order) != len(records):
@@ -70,7 +72,12 @@ class GroupedIntervalIndex(ValueIndex):
         self._validate_groups(groups, len(records))
         self.order = order
         self.grouping = grouping
-        self.store.extend(records[order])
+        if bulk:
+            # Same page ids and page bytes as extend(); the bulk path
+            # just writes straight from array slices.
+            self.store.bulk_extend(records[order])
+        else:
+            self.store.extend(records[order])
 
         vmins = records["vmin"][order].astype(np.float64)
         vmaxs = records["vmax"][order].astype(np.float64)
@@ -78,13 +85,11 @@ class GroupedIntervalIndex(ValueIndex):
         sizes = vmaxs - vmins + unit
         self.subfields: list[Subfield] = []
         self._sf_si: list[float] = []
-        rects: list[Rect] = []
         for sf_id, (start, end) in enumerate(groups):
             lo = float(vmins[start:end + 1].min())
             hi = float(vmaxs[start:end + 1].max())
             self.subfields.append(Subfield(sf_id, lo, hi, start, end))
             self._sf_si.append(float(sizes[start:end + 1].sum()))
-            rects.append(Rect.from_interval(lo, hi))
         self._built_costs: list[float] = [
             self._sf_cost(sf, si)
             for sf, si in zip(self.subfields, self._sf_si)]
@@ -92,7 +97,10 @@ class GroupedIntervalIndex(ValueIndex):
         self.index_disk = self._make_disk("sf-tree")
         self.tree = RStarTree(dim=1, disk=self.index_disk,
                               cache_pages=cache_pages)
-        self.tree.bulk_load(rects, range(len(rects)))
+        self.tree.bulk_load_arrays(
+            np.array([sf.lo for sf in self.subfields], dtype=np.float64),
+            np.array([sf.hi for sf in self.subfields], dtype=np.float64),
+            np.arange(len(self.subfields), dtype=np.int64))
         self.tree.flush()
 
     # -- reporting ----------------------------------------------------------
@@ -375,15 +383,28 @@ class GroupedIntervalIndex(ValueIndex):
                 runs.append([first, last])
         with tracer.span("fetch") as span:
             chunks = []
-            for first, last in runs:
-                for page_no in range(first, last + 1):
-                    block = self._read_data_page(page_no)
+            if self.engine == "vectorized":
+                # One batched fetch + one array-wide interval mask per
+                # coalesced run — identical reads and output order to
+                # the per-page loop below.
+                for first, last in runs:
+                    block = self._read_data_run(first, last)
                     if block is None:
                         continue
                     mask = ((block["vmin"].astype(np.float64) <= hi)
                             & (block["vmax"].astype(np.float64) >= lo))
                     if mask.any():
                         chunks.append(block[mask])
+            else:
+                for first, last in runs:
+                    for page_no in range(first, last + 1):
+                        block = self._read_data_page(page_no)
+                        if block is None:
+                            continue
+                        mask = ((block["vmin"].astype(np.float64) <= hi)
+                                & (block["vmax"].astype(np.float64) >= lo))
+                        if mask.any():
+                            chunks.append(block[mask])
             if span.enabled:
                 span.attrs["runs"] = len(runs)
         if not chunks:

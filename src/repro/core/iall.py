@@ -15,7 +15,7 @@ from ..field.base import Field
 from ..geometry import Rect
 from ..rstar import RStarTree
 from ..storage import IOStats, PAGE_SIZE, RetryPolicy
-from .base import DiskBackend, ValueIndex
+from .base import DiskBackend, Engine, ValueIndex
 
 
 class IAllIndex(ValueIndex):
@@ -39,23 +39,31 @@ class IAllIndex(ValueIndex):
                  cache_pages: int = 0, stats: IOStats | None = None,
                  page_size: int = PAGE_SIZE,
                  retry_policy: RetryPolicy | None = None,
-                 disk_backend: DiskBackend = "list") -> None:
+                 disk_backend: DiskBackend = "list",
+                 engine: Engine = "vectorized") -> None:
         super().__init__(field, cache_pages=cache_pages, stats=stats,
                          page_size=page_size, retry_policy=retry_policy,
-                         disk_backend=disk_backend)
+                         disk_backend=disk_backend, engine=engine)
         records = field.cell_records()
-        self.store.extend(records)
+        if bulk:
+            self.store.bulk_extend(records)
+        else:
+            self.store.extend(records)
         self.index_disk = self._make_disk("iall-tree")
         self.tree = RStarTree(dim=1, disk=self.index_disk,
                               cache_pages=cache_pages)
-        intervals = [Rect.from_interval(float(lo), float(hi))
-                     for lo, hi in zip(records["vmin"], records["vmax"])]
-        rids = list(range(len(records)))
         if bulk:
-            self.tree.bulk_load(intervals, rids)
+            # Array-native packing: identical pages to the Rect-object
+            # bulk_load (float() of a float32 is exact in float64).
+            self.tree.bulk_load_arrays(
+                records["vmin"].astype(np.float64),
+                records["vmax"].astype(np.float64),
+                np.arange(len(records), dtype=np.int64))
         else:
-            for rect, rid in zip(intervals, rids):
-                self.tree.insert(rect, rid)
+            for rid, (lo, hi) in enumerate(zip(records["vmin"],
+                                               records["vmax"])):
+                self.tree.insert(Rect.from_interval(float(lo), float(hi)),
+                                 rid)
         self.tree.flush()
 
     @property
@@ -107,6 +115,13 @@ class IAllIndex(ValueIndex):
         pages = rids_arr // per_page
         slots = rids_arr - pages * per_page
         with tracer.span("fetch"):
+            if self._vector_fetch_ok():
+                # One batched fetch of the (deduplicated, ascending)
+                # page set, then a single gather in rid order — the
+                # same reads and output as the page-group loop below.
+                records, upages, offsets = self.store.read_page_set(pages)
+                return records[offsets[np.searchsorted(upages, pages)]
+                               + slots]
             chunks = []
             start = 0
             for end in range(1, len(pages) + 1):

@@ -22,7 +22,7 @@ from ..curves import (
 )
 from ..field.base import Field
 from ..storage import IOStats, PAGE_SIZE, RetryPolicy
-from .base import DiskBackend
+from .base import DiskBackend, Engine
 from .cost import CostBasedGrouping, GroupingPolicy, group_cells
 from .grouped import GroupedIntervalIndex
 
@@ -93,7 +93,9 @@ class IHilbertIndex(GroupedIntervalIndex):
                  cache_pages: int = 0, stats: IOStats | None = None,
                  page_size: int = PAGE_SIZE,
                  retry_policy: RetryPolicy | None = None,
-                 disk_backend: DiskBackend = "list") -> None:
+                 disk_backend: DiskBackend = "list",
+                 engine: Engine = "vectorized",
+                 bulk: bool = False) -> None:
         if isinstance(curve, str):
             dim = field.cell_centroids().shape[1]
             curve = make_curve(curve, default_curve_order(field, dim), dim)
@@ -114,7 +116,8 @@ class IHilbertIndex(GroupedIntervalIndex):
         super().__init__(field, order, groups, cache_pages=cache_pages,
                          stats=stats, page_size=page_size,
                          retry_policy=retry_policy,
-                         disk_backend=disk_backend, grouping=grouping)
+                         disk_backend=disk_backend, grouping=grouping,
+                         engine=engine, bulk=bulk)
 
     def describe(self) -> dict:
         info = super().describe()

@@ -12,7 +12,7 @@ import numpy as np
 
 from ..field.base import Field
 from ..storage import IOStats, PAGE_SIZE, RetryPolicy
-from .base import DiskBackend, ValueIndex
+from .base import DiskBackend, Engine, ValueIndex
 
 
 class LinearScanIndex(ValueIndex):
@@ -24,10 +24,11 @@ class LinearScanIndex(ValueIndex):
                  stats: IOStats | None = None,
                  page_size: int = PAGE_SIZE,
                  retry_policy: RetryPolicy | None = None,
-                 disk_backend: DiskBackend = "list") -> None:
+                 disk_backend: DiskBackend = "list",
+                 engine: Engine = "vectorized") -> None:
         super().__init__(field, cache_pages=cache_pages, stats=stats,
                          page_size=page_size, retry_policy=retry_policy,
-                         disk_backend=disk_backend)
+                         disk_backend=disk_backend, engine=engine)
         self.store.extend(field.cell_records())
 
     def _apply_cell_updates(self, cell_ids: np.ndarray,
@@ -42,6 +43,8 @@ class LinearScanIndex(ValueIndex):
         with self.tracer.span("fetch") as span:
             if span.enabled:
                 span.attrs["path"] = "scan"
+            if self.engine == "vectorized":
+                return self._candidates_vectorized(lo, hi)
             matches = []
             for page_no in range(self.store.num_pages):
                 page = self._read_data_page(page_no)
@@ -59,3 +62,20 @@ class LinearScanIndex(ValueIndex):
         if len(matches) == 1:
             return matches[0]
         return np.concatenate(matches)
+
+    def _candidates_vectorized(self, lo: float, hi: float) -> np.ndarray:
+        """Whole-scan fetch + one array-wide interval filter.
+
+        Reads the store front to back as a single run and evaluates the
+        float64 interval mask over every cell at once — the same
+        comparisons, reads, and output order as the page-at-a-time
+        loop, minus the per-page interpreter overhead.
+        """
+        if not self.store.num_pages:
+            return np.empty(0, dtype=self.store.dtype)
+        block = self._read_data_run(0, self.store.num_pages - 1)
+        if block is None:
+            return np.empty(0, dtype=self.store.dtype)
+        mask = ((block["vmin"].astype(np.float64) <= hi)
+                & (block["vmax"].astype(np.float64) >= lo))
+        return block[mask]

@@ -24,7 +24,7 @@ import numpy as np
 from ..field.base import Field
 from ..obs.metrics import REGISTRY
 from ..storage import IOStats, PAGE_SIZE, RetryPolicy
-from .base import DiskBackend
+from .base import DiskBackend, Engine
 from .cost import GroupingPolicy
 from .ihilbert import IHilbertIndex
 from ..curves import SpaceFillingCurve
@@ -98,6 +98,12 @@ def estimate_plan(index, lo: float, hi: float,
 
 def scan_candidates(index, lo: float, hi: float) -> np.ndarray:
     """Sequential-scan filtering over any index's record store."""
+    if index.store.num_pages and getattr(index, "_vector_fetch_ok",
+                                         lambda: False)():
+        block = index.store.read_pages(0, index.store.num_pages - 1)
+        mask = ((block["vmin"].astype(np.float64) <= hi)
+                & (block["vmax"].astype(np.float64) >= lo))
+        return block[mask]
     matches = []
     for page in index.store.scan():
         mask = ((page["vmin"].astype(np.float64) <= hi)
@@ -126,11 +132,14 @@ class PlannedIndex(IHilbertIndex):
                  costs: CostConstants | None = None,
                  page_size: int = PAGE_SIZE,
                  retry_policy: RetryPolicy | None = None,
-                 disk_backend: DiskBackend = "list") -> None:
+                 disk_backend: DiskBackend = "list",
+                 engine: Engine = "vectorized",
+                 bulk: bool = False) -> None:
         super().__init__(field, curve=curve, grouping=grouping,
                          cache_pages=cache_pages, stats=stats,
                          page_size=page_size, retry_policy=retry_policy,
-                         disk_backend=disk_backend)
+                         disk_backend=disk_backend, engine=engine,
+                         bulk=bulk)
         self.costs = costs if costs is not None else CostConstants()
         self.last_plan: Plan | None = None
 

@@ -77,6 +77,19 @@ class HilbertCurve2D(SpaceFillingCurve):
             s >>= 1
         return d
 
+    def keys(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Vectorized curve positions for separate x/y coordinate arrays.
+
+        Convenience wrapper over :meth:`indices` for callers that already
+        hold columnar coordinates (the bulk-load path), avoiding an
+        intermediate ``(n, 2)`` stack at every call site.
+        """
+        xs = np.asarray(xs)
+        ys = np.asarray(ys)
+        if xs.shape != ys.shape:
+            raise ValueError("xs and ys must have the same shape")
+        return self.indices(np.column_stack([xs, ys]))
+
     @staticmethod
     def _rotate(s: int, x: int, y: int, rx: int, ry: int) -> tuple[int, int]:
         if ry == 0:

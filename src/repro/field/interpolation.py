@@ -97,10 +97,16 @@ def triangle_fraction_below(v0, v1, v2, threshold):
     * ``1 − (v2−t)² / ((v2−v1)(v2−v0))`` between ``v1`` and ``v2``;
     * 1 above ``v2``.
     """
-    v = np.sort(np.stack([np.asarray(v0, dtype=float),
-                          np.asarray(v1, dtype=float),
-                          np.asarray(v2, dtype=float)]), axis=0)
-    lo, mid, hi = v[0], v[1], v[2]
+    a = np.asarray(v0, dtype=float)
+    b = np.asarray(v1, dtype=float)
+    c = np.asarray(v2, dtype=float)
+    # Exact 3-way selection (min / median / max) in five elementwise
+    # passes: selection only moves values, so the result is bit-identical
+    # to the np.sort it replaces at roughly half the kernel cost.
+    lo = np.minimum(np.minimum(a, b), c)
+    hi = np.maximum(np.maximum(a, b), c)
+    mid = np.maximum(np.minimum(a, b),
+                     np.minimum(np.maximum(a, b), c))
     t = np.asarray(threshold, dtype=float)
     span = hi - lo
     flat = span <= 0.0
@@ -141,8 +147,11 @@ def triangle_band_fraction(v0, v1, v2, lo, hi):
     # Flat triangles sitting exactly on the band boundary: fraction_below
     # uses a half-open convention (value <= t), so a flat triangle at
     # exactly ``lo`` would be counted in both terms and cancel; include it.
-    v = np.stack([np.asarray(v0, float), np.asarray(v1, float),
-                  np.asarray(v2, float)])
-    flat = (v.max(axis=0) - v.min(axis=0)) <= 0.0
-    inside_flat = flat & (v[0] >= lo) & (v[0] <= hi)
+    a = np.asarray(v0, float)
+    b = np.asarray(v1, float)
+    c = np.asarray(v2, float)
+    vmax = np.maximum(np.maximum(a, b), c)
+    vmin = np.minimum(np.minimum(a, b), c)
+    flat = (vmax - vmin) <= 0.0
+    inside_flat = flat & (a >= lo) & (a <= hi)
     return np.where(inside_flat, 1.0, np.clip(frac, 0.0, 1.0))

@@ -5,6 +5,11 @@ in internal nodes the id is a child page id, in leaves it is an opaque
 data id (a cell rid for I-All, a subfield id for I-Hilbert).  The byte
 layout is a small header followed by a packed numpy record array, so node
 capacity — and therefore tree height — derives honestly from the page size.
+
+Nodes built by the bulk loader (and nodes deserialized from disk) carry
+their entries as the packed record array itself and only materialize the
+``(Rect, id)`` object list on first access — serialization and MBR
+computation stay vectorized for nodes the insert path never touches.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ import struct
 import numpy as np
 
 from ..geometry import Rect
+from ..storage.codec import decode_records
 
 #: Node header: leaf flag (1 byte), pad, entry count (uint32).
 _HEADER = struct.Struct("<B3xI")
@@ -38,19 +44,63 @@ def node_capacity(page_size: int, dim: int) -> int:
 class Node:
     """One R*-tree node (in memory)."""
 
-    __slots__ = ("page_id", "is_leaf", "entries")
+    __slots__ = ("page_id", "is_leaf", "_entries", "_records")
 
     def __init__(self, page_id: int, is_leaf: bool,
                  entries: list[tuple[Rect, int]] | None = None) -> None:
         self.page_id = page_id
         self.is_leaf = is_leaf
-        self.entries: list[tuple[Rect, int]] = entries if entries else []
+        self._entries: list[tuple[Rect, int]] | None = \
+            entries if entries else []
+        self._records: np.ndarray | None = None
+
+    @classmethod
+    def from_records(cls, page_id: int, is_leaf: bool,
+                     records: np.ndarray) -> "Node":
+        """Build a node directly over a packed entry record array.
+
+        The object-level entry list is materialized lazily on first
+        access to :attr:`entries`; until then ``to_bytes`` and ``mbr``
+        run straight off the array.
+        """
+        node = cls(page_id, is_leaf)
+        node._entries = None
+        node._records = records
+        return node
+
+    @property
+    def entries(self) -> list[tuple[Rect, int]]:
+        """The ``(Rect, child-or-record id)`` entry list, materializing
+        it lazily from the packed record array on first access."""
+        if self._entries is None:
+            self._entries = [
+                (Rect(tuple(rec["lows"]), tuple(rec["highs"])),
+                 int(rec["id"]))
+                for rec in self._records
+            ]
+            # Mutations go through the list from here on; the packed
+            # array would go stale, so drop it.
+            self._records = None
+        return self._entries
+
+    @entries.setter
+    def entries(self, value: list[tuple[Rect, int]]) -> None:
+        self._entries = value
+        self._records = None
 
     def __len__(self) -> int:
-        return len(self.entries)
+        if self._entries is None:
+            return len(self._records)
+        return len(self._entries)
 
     def mbr(self) -> Rect:
         """Bounding box of every entry (node must be non-empty)."""
+        if self._entries is None:
+            if not len(self._records):
+                raise ValueError("MBR of an empty node")
+            # Element-wise min/max equals the chain of pairwise unions.
+            return Rect(tuple(self._records["lows"].min(axis=0)),
+                        tuple(self._records["highs"].max(axis=0)))
         if not self.entries:
             raise ValueError("MBR of an empty node")
         box = self.entries[0][0]
@@ -60,14 +110,17 @@ class Node:
 
     def to_bytes(self, page_size: int, dim: int) -> bytes:
         """Serialize into one page image."""
-        records = np.empty(len(self.entries), dtype=entry_dtype(dim))
-        for i, (rect, ident) in enumerate(self.entries):
-            records[i] = (rect.lows, rect.highs, ident)
+        if self._entries is None:
+            records = self._records
+        else:
+            records = np.empty(len(self.entries), dtype=entry_dtype(dim))
+            for i, (rect, ident) in enumerate(self.entries):
+                records[i] = (rect.lows, rect.highs, ident)
         payload = _HEADER.pack(1 if self.is_leaf else 0,
-                               len(self.entries)) + records.tobytes()
+                               len(records)) + records.tobytes()
         if len(payload) > page_size:
             raise ValueError(
-                f"node with {len(self.entries)} entries overflows the page")
+                f"node with {len(records)} entries overflows the page")
         return payload
 
     @classmethod
@@ -79,18 +132,14 @@ class Node:
         objects.
         """
         leaf_flag, count = _HEADER.unpack_from(data, 0)
-        records = np.frombuffer(data, dtype=entry_dtype(dim),
-                                count=count, offset=_HEADER.size)
+        records = decode_records(data, entry_dtype(dim),
+                                 count=count, offset=_HEADER.size)
         return bool(leaf_flag), records
 
     @classmethod
     def from_bytes(cls, page_id: int, data: bytes, dim: int) -> "Node":
         """Deserialize a page image back into a node."""
         leaf_flag, count = _HEADER.unpack_from(data, 0)
-        records = np.frombuffer(data, dtype=entry_dtype(dim),
-                                count=count, offset=_HEADER.size)
-        entries = [
-            (Rect(tuple(rec["lows"]), tuple(rec["highs"])), int(rec["id"]))
-            for rec in records
-        ]
-        return cls(page_id, bool(leaf_flag), entries)
+        records = decode_records(data, entry_dtype(dim),
+                                 count=count, offset=_HEADER.size)
+        return cls.from_records(page_id, bool(leaf_flag), records)

@@ -18,7 +18,7 @@ import numpy as np
 from ..curves import HilbertCurve2D
 from ..geometry import Rect
 from ..storage import BufferPool, DiskManager
-from .node import Node, node_capacity
+from .node import Node, entry_dtype, node_capacity
 from .split import rstar_split
 
 Entry = tuple[Rect, int]
@@ -183,56 +183,100 @@ class RStarTree:
         center order in 1-D) and packed bottom-up at ``fill`` × capacity.
         The tree must be empty.
         """
-        if self._count:
-            raise ValueError("bulk_load requires an empty tree")
-        if not 0.0 < fill <= 1.0:
-            raise ValueError(f"fill must be in (0, 1], got {fill}")
         idents = list(idents)
         if len(rects) != len(idents):
             raise ValueError(
                 f"{len(rects)} rects vs {len(idents)} ids")
-        if not rects:
-            return
         for rect in rects:
             self._require_dim(rect)
-        order = self._packing_order(rects)
+        n = len(rects)
+        lows = np.array([r.lows for r in rects],
+                        dtype=np.float64).reshape(n, self.dim)
+        highs = np.array([r.highs for r in rects],
+                         dtype=np.float64).reshape(n, self.dim)
+        self.bulk_load_arrays(lows, highs,
+                              np.asarray(idents, dtype=np.int64), fill=fill)
+
+    def bulk_load_arrays(self, lows: np.ndarray, highs: np.ndarray,
+                         idents: np.ndarray, fill: float = 1.0) -> None:
+        """Array-native bulk load: same packing, no per-entry objects.
+
+        ``lows``/``highs`` are float64 arrays of shape ``(n, dim)`` (or
+        ``(n,)`` for 1-D trees) and ``idents`` an int64 array of ids.
+        Produces a tree byte-identical to :meth:`bulk_load` over the
+        equivalent ``Rect`` sequence — same page allocation order, same
+        node records — but sorts, chunks, and packs straight over the
+        input arrays, so the build cost is the ``argsort`` plus one
+        record-array fill per node.  This is the bulk-ingestion entry
+        point: :meth:`bulk_load` itself converts and delegates here.
+        """
+        if self._count:
+            raise ValueError("bulk_load requires an empty tree")
+        if not 0.0 < fill <= 1.0:
+            raise ValueError(f"fill must be in (0, 1], got {fill}")
+        lows = np.asarray(lows, dtype=np.float64)
+        highs = np.asarray(highs, dtype=np.float64)
+        idents = np.asarray(idents, dtype=np.int64)
+        if lows.ndim == 1:
+            lows = lows[:, None]
+        if highs.ndim == 1:
+            highs = highs[:, None]
+        n = len(lows)
+        if lows.shape != (n, self.dim) or highs.shape != (n, self.dim):
+            raise ValueError(
+                f"expected ({n}, {self.dim}) bounds arrays, got "
+                f"{lows.shape} / {highs.shape}")
+        if len(idents) != n:
+            raise ValueError(f"{n} rects vs {len(idents)} ids")
+        if not n:
+            return
+        order = self._packing_order_arrays(lows, highs)
+        slows = np.ascontiguousarray(lows[order])
+        shighs = np.ascontiguousarray(highs[order])
+        sids = np.ascontiguousarray(idents[order])
         per_node = max(self.min_fill, int(self.capacity * fill))
-        # Pack leaves.
+        dtype = entry_dtype(self.dim)
         self._nodes.clear()
-        leaf_entries = [(rects[i], idents[i]) for i in order]
-        level_entries: list[Entry] = []
-        for chunk in self._balanced_chunks(leaf_entries, per_node):
-            node = self._new_node(is_leaf=True)
-            node.entries = chunk
-            level_entries.append((node.mbr(), node.page_id))
         self._height = 1
-        # Pack internal levels until a single root remains.
-        while len(level_entries) > 1:
-            next_level: list[Entry] = []
-            for chunk in self._balanced_chunks(level_entries, per_node):
-                node = self._new_node(is_leaf=False)
-                node.entries = chunk
-                next_level.append((node.mbr(), node.page_id))
-            level_entries = next_level
+        while True:
+            bounds = self._chunk_bounds(len(sids), per_node)
+            is_leaf = self._height == 1
+            up_lows = np.empty((len(bounds), self.dim))
+            up_highs = np.empty((len(bounds), self.dim))
+            up_ids = np.empty(len(bounds), dtype=np.int64)
+            for k, (s, e) in enumerate(bounds):
+                records = np.empty(e - s, dtype=dtype)
+                records["lows"] = slows[s:e]
+                records["highs"] = shighs[s:e]
+                records["id"] = sids[s:e]
+                page_id = self.disk.allocate()
+                self._nodes[page_id] = Node.from_records(
+                    page_id, is_leaf, records)
+                up_lows[k] = slows[s:e].min(axis=0)
+                up_highs[k] = shighs[s:e].max(axis=0)
+                up_ids[k] = page_id
+            if len(bounds) == 1:
+                self._root_id = int(up_ids[0])
+                break
+            slows, shighs, sids = up_lows, up_highs, up_ids
             self._height += 1
-        self._root_id = level_entries[0][1]
-        self._count = len(rects)
+        self._count = n
         self._dirty = True
 
-    def _balanced_chunks(self, entries: list[Entry],
-                         per_node: int) -> list[list[Entry]]:
-        """Split into groups of ~``per_node``, none below ``min_fill``.
+    def _chunk_bounds(self, n: int, per_node: int) -> list[tuple[int, int]]:
+        """Slice bounds of ~``per_node`` groups, none below ``min_fill``.
 
         A short remainder borrows from the previous full group so every
-        packed node satisfies the fill invariant.
+        packed node satisfies the fill invariant (the array twin of the
+        object path's balanced chunking).
         """
-        chunks = [entries[s:s + per_node]
-                  for s in range(0, len(entries), per_node)]
-        if len(chunks) > 1 and len(chunks[-1]) < self.min_fill:
-            merged = chunks[-2] + chunks[-1]
-            half = len(merged) // 2
-            chunks[-2:] = [merged[:half], merged[half:]]
-        return chunks
+        bounds = [(s, min(s + per_node, n)) for s in range(0, n, per_node)]
+        if len(bounds) > 1 and bounds[-1][1] - bounds[-1][0] < self.min_fill:
+            s0 = bounds[-2][0]
+            e1 = bounds[-1][1]
+            half = (e1 - s0) // 2
+            bounds[-2:] = [(s0, s0 + half), (s0 + half, e1)]
+        return bounds
 
     def flush(self) -> None:
         """Serialize every node to its page (mirror for accounted reads)."""
@@ -468,8 +512,11 @@ class RStarTree:
         data = self.pool.read(page_id)
         return Node.from_bytes(page_id, data, self.dim)
 
-    def _packing_order(self, rects: Sequence[Rect]) -> np.ndarray:
-        centers = np.array([r.center() for r in rects])
+    def _packing_order_arrays(self, lows: np.ndarray,
+                              highs: np.ndarray) -> np.ndarray:
+        # (lo + hi) / 2.0 matches Rect.center() bit for bit, so the
+        # array path sorts exactly as the object path did.
+        centers = (lows + highs) / 2.0
         if self.dim == 1:
             return np.argsort(centers[:, 0], kind="stable")
         curve = HilbertCurve2D(16)

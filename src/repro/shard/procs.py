@@ -21,6 +21,7 @@ from dataclasses import asdict
 import numpy as np
 
 from ..storage import IOStats, PageFault
+from ..storage.codec import decode_records
 
 
 class ShardWorkerPool:
@@ -61,7 +62,7 @@ class ShardWorkerPool:
             reply = conn.recv()
             if reply[0] == "ok":
                 _, raw, delta_dict, fault_tuples = reply
-                chunks.append(np.frombuffer(raw, dtype=dtype))
+                chunks.append(decode_records(raw, dtype))
                 deltas.append(IOStats(**delta_dict))
                 faults.extend(PageFault(*tup) for tup in fault_tuples)
             elif failure is None:

@@ -139,24 +139,96 @@ class BufferPool:
         with self._lock:
             if tenant is None:
                 tenant = self._current_tenant
-            if page_id in self._frames:
-                self._frames.move_to_end(page_id)
-                self.hits += 1
-                self.disk.stats.cache_hits += 1
-                if REGISTRY.enabled:
-                    _POOL_READS.inc(1, disk=self.disk.name, event="hit")
-                data = self._frames[page_id]
-                if tenant is not None:
-                    self._attribute(tenant, page_id, len(data), hit=True)
-                return data
-            self.misses += 1
+            return self._read_locked(page_id, tenant)
+
+    def _read_locked(self, page_id: int, tenant: str | None) -> bytes:
+        """One hit-or-miss access; the caller holds the lock."""
+        if page_id in self._frames:
+            self._frames.move_to_end(page_id)
+            self.hits += 1
+            self.disk.stats.cache_hits += 1
             if REGISTRY.enabled:
-                _POOL_READS.inc(1, disk=self.disk.name, event="miss")
-            data = self.disk.read(page_id)
-            self._admit(page_id, data)
+                _POOL_READS.inc(1, disk=self.disk.name, event="hit")
+            data = self._frames[page_id]
             if tenant is not None:
-                self._attribute(tenant, page_id, len(data), hit=False)
+                self._attribute(tenant, page_id, len(data), hit=True)
             return data
+        self.misses += 1
+        if REGISTRY.enabled:
+            _POOL_READS.inc(1, disk=self.disk.name, event="miss")
+        data = self.disk.read(page_id)
+        self._admit(page_id, data)
+        if tenant is not None:
+            self._attribute(tenant, page_id, len(data), hit=False)
+        return data
+
+    def read_many(self, page_ids, tenant: str | None = None) -> list:
+        """Read a batch of pages with serial-identical accounting.
+
+        Hits, misses, eviction counts, tenant attribution, and the
+        backing disk's ``IOStats`` come out exactly as a loop of
+        :meth:`read` calls would — the batch only saves per-page lock
+        round-trips and lets the disk account misses in bulk
+        (:meth:`DiskManager.read_many`).  Batched miss prefetching is
+        only safe when admission cannot evict (an eviction mid-batch
+        could turn an expected hit stale), so it engages when the pool
+        is capacity-0 (every access misses, nothing is admitted) or
+        when all missing pages fit without eviction; otherwise the
+        batch degrades to exact per-page accesses under one lock.
+        """
+        page_ids = list(page_ids)
+        with self._lock:
+            if tenant is None:
+                tenant = self._current_tenant
+            frames = self._frames
+            if self.capacity == 0 and not frames:
+                # Admission-free: every access is a miss straight to disk.
+                self.misses += len(page_ids)
+                if REGISTRY.enabled and page_ids:
+                    _POOL_READS.inc(len(page_ids), disk=self.disk.name,
+                                    event="miss")
+                payloads = self.disk.read_many(page_ids)
+                if tenant is not None:
+                    for pid, data in zip(page_ids, payloads):
+                        self._attribute(tenant, pid, len(data), hit=False)
+                return payloads
+            missing: list[int] = []
+            seen: set[int] = set()
+            for pid in page_ids:
+                if pid not in frames and pid not in seen:
+                    missing.append(pid)
+                    seen.add(pid)
+            if len(frames) + len(missing) > self.capacity:
+                # Eviction possible mid-batch: classify one at a time.
+                return [self._read_locked(pid, tenant) for pid in page_ids]
+            fetched = dict(zip(missing, self.disk.read_many(missing))) \
+                if missing else {}
+            hits = misses = 0
+            out: list = []
+            for pid in page_ids:
+                data = frames.get(pid)
+                if data is not None:
+                    frames.move_to_end(pid)
+                    hits += 1
+                    if tenant is not None:
+                        self._attribute(tenant, pid, len(data), hit=True)
+                else:
+                    data = fetched[pid]
+                    misses += 1
+                    self._admit(pid, data)
+                    if tenant is not None:
+                        self._attribute(tenant, pid, len(data), hit=False)
+                out.append(data)
+            self.hits += hits
+            self.misses += misses
+            self.disk.stats.cache_hits += hits
+            if REGISTRY.enabled:
+                if hits:
+                    _POOL_READS.inc(hits, disk=self.disk.name, event="hit")
+                if misses:
+                    _POOL_READS.inc(misses, disk=self.disk.name,
+                                    event="miss")
+            return out
 
     def write(self, page_id: int, data: bytes) -> None:
         """Write through to disk and refresh the cached copy."""

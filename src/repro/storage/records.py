@@ -14,6 +14,7 @@ from collections.abc import Iterable, Iterator
 import numpy as np
 
 from .buffer import BufferPool
+from .codec import decode_pages, decode_records
 from .disk import DiskManager
 
 
@@ -95,6 +96,37 @@ class RecordStore:
             self._sync_partial_tail()
         return range(first, self._count)
 
+    def bulk_extend(self, records: np.ndarray | Iterable) -> range:
+        """Append many records the bulk-load way; return their rid range.
+
+        Byte-identical store layout to :meth:`extend` — same page ids,
+        same page contents — but the full pages are allocated in one
+        :meth:`DiskManager.allocate_many` call and written straight from
+        slices of the input array, skipping the per-chunk tail-mirror
+        copies.  A store whose tail page is partially filled falls back
+        to :meth:`extend` (the bulk path only handles the page-aligned
+        case, which is where bulk loading starts: an empty store).
+        """
+        arr = np.ascontiguousarray(np.asarray(records, dtype=self.dtype))
+        if self._tail_len or not len(arr):
+            return self.extend(arr)
+        first = self._count
+        rpp = self.records_per_page
+        full, rem = divmod(len(arr), rpp)
+        if full:
+            first_page = self.disk.allocate_many(full)
+            write = self.disk.write
+            for k in range(full):
+                write(first_page + k, arr[k * rpp:(k + 1) * rpp].tobytes())
+            self._page_ids.extend(range(first_page, first_page + full))
+            self._count += full * rpp
+        if rem:
+            self._tail[:rem] = arr[full * rpp:]
+            self._tail_len = rem
+            self._count += rem
+            self._sync_partial_tail()
+        return range(first, self._count)
+
     def update(self, rid: int, record) -> None:
         """Overwrite one record in place (read-modify-write of its page)."""
         self._check_rid(rid)
@@ -124,7 +156,28 @@ class RecordStore:
                 f"{len(self._page_ids)} pages)")
         raw = self.pool.read(self._page_ids[page_no])
         n = self._records_on_page(page_no)
-        return np.frombuffer(raw, dtype=self.dtype, count=n)
+        return decode_records(raw, self.dtype, n)
+
+    def read_pages(self, first_page: int, last_page: int) -> np.ndarray:
+        """Decode a contiguous page run into one structured array.
+
+        Inclusive on both ends.  The pages are fetched as one batch
+        (:meth:`BufferPool.read_many`) with accounting identical to a
+        serial :meth:`read_page` loop, then decoded in one pass by the
+        shared codec — the vectorized query path's bulk fetch.
+        """
+        if first_page > last_page:
+            return np.empty(0, dtype=self.dtype)
+        for p in (first_page, last_page):
+            if not 0 <= p < len(self._page_ids):
+                raise IndexError(
+                    f"page {p} out of range (store has "
+                    f"{len(self._page_ids)} pages)")
+        ids = self._page_ids[first_page:last_page + 1]
+        payloads = self.pool.read_many(ids)
+        counts = [self._records_on_page(p)
+                  for p in range(first_page, last_page + 1)]
+        return decode_pages(payloads, self.dtype, counts)
 
     def scan(self) -> Iterator[np.ndarray]:
         """Yield every page's records, front to back (sequential reads)."""
@@ -154,6 +207,33 @@ class RecordStore:
             hi = rid_end - p * rpp + 1 if p == last_page else len(page)
             parts.append(page[lo:hi])
         return np.concatenate(parts) if len(parts) > 1 else parts[0]
+
+    def read_page_set(self, page_nos) -> tuple[np.ndarray, np.ndarray,
+                                               np.ndarray]:
+        """Fetch a set of store pages as one concatenated array.
+
+        ``page_nos`` may repeat and is reduced to its sorted unique
+        pages, which are fetched as one batch (same accounting as a
+        serial ascending page loop).  Returns ``(records, unique_pages,
+        offsets)``: ``records[offsets[i]:]`` starts the records of page
+        ``unique_pages[i]``, so callers can gather arbitrary slots with
+        ``records[offsets[searchsorted(unique_pages, page)] + slot]``.
+        """
+        upages = np.unique(np.asarray(page_nos, dtype=np.int64))
+        if len(upages) and not (
+                0 <= upages[0] and upages[-1] < len(self._page_ids)):
+            raise IndexError(
+                f"page {upages[0] if upages[0] < 0 else upages[-1]} out "
+                f"of range (store has {len(self._page_ids)} pages)")
+        ids = [self._page_ids[p] for p in upages.tolist()]
+        payloads = self.pool.read_many(ids)
+        counts = np.array([self._records_on_page(p)
+                           for p in upages.tolist()], dtype=np.int64)
+        records = decode_pages(payloads, self.dtype, counts.tolist())
+        offsets = np.zeros(len(upages), dtype=np.int64)
+        if len(counts) > 1:
+            np.cumsum(counts[:-1], out=offsets[1:])
+        return records, upages, offsets
 
     def _records_on_page(self, page_no: int) -> int:
         if page_no == len(self._page_ids) - 1:

@@ -90,6 +90,16 @@ class RetryingReadMixin:
                     _RETRIES.inc(1, disk=self.name)
                 attempt += 1
 
+    def read_many(self, page_ids) -> list:
+        """Serial retrying reads: every page gets its own retry loop.
+
+        The base class's bulk fast path would bypass the retry wrapper
+        (and transient faults can come from sources other than an
+        attached injector — e.g. the simulated remote tier's failure
+        schedule), so a retrying disk always reads page by page.
+        """
+        return [self.read(pid) for pid in page_ids]
+
 
 class RetryingDiskManager(RetryingReadMixin, DiskManager):
     """A :class:`DiskManager` whose reads survive transient faults."""

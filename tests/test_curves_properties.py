@@ -90,6 +90,36 @@ def test_hilbert_curve_neighbors_are_grid_neighbors(data):
     assert manhattan == 1
 
 
+@given(data=st.data())
+@settings(max_examples=200, deadline=None)
+def test_keys_matches_scalar_index(data):
+    """``keys(xs, ys)`` equals the scalar encoder element by element."""
+    order = data.draw(st.integers(min_value=1, max_value=6))
+    curve = HilbertCurve2D(order)
+    n = data.draw(st.integers(min_value=0, max_value=64))
+    coord = st.integers(min_value=0, max_value=curve.side - 1)
+    xs = np.array(data.draw(st.lists(coord, min_size=n, max_size=n)),
+                  dtype=np.int64)
+    ys = np.array(data.draw(st.lists(coord, min_size=n, max_size=n)),
+                  dtype=np.int64)
+    keys = curve.keys(xs, ys)
+    assert keys.shape == (n,)
+    assert keys.tolist() == [curve.index((int(x), int(y)))
+                             for x, y in zip(xs, ys)]
+
+
+def test_keys_rejects_mismatched_shapes():
+    curve = HilbertCurve2D(3)
+    with pytest.raises(ValueError, match="same shape"):
+        curve.keys(np.arange(3), np.arange(4))
+
+
+def test_keys_rejects_out_of_grid():
+    curve = HilbertCurve2D(2)
+    with pytest.raises(ValueError, match="outside grid"):
+        curve.keys(np.array([curve.side]), np.array([0]))
+
+
 @pytest.mark.parametrize("make,order", [("zorder", 2), ("gray", 2)])
 def test_non_hilbert_curves_do_jump(make, order):
     """Sanity contrast: Z-order and Gray-code orders are bijective but

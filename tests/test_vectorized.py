@@ -1,0 +1,163 @@
+"""Vectorized-engine equivalence: the fast path changes nothing but time.
+
+The vectorized executor (``engine="vectorized"``, the default) must be
+observationally identical to the scalar page-at-a-time path
+(``engine="scalar"``): same candidate sets, same answer areas, and the
+same :class:`~repro.storage.stats.IOStats` field by field — page counts,
+sequential/random classification, cache hits — across the full matrix of
+{DEM, TIN} fields × {LinearScan, I-All, I-Hilbert} methods × {list,
+mmap} disk backends.  Plus hypothesis round-trips of the shared
+frame→records codec both engines decode through.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    IAllIndex,
+    IHilbertIndex,
+    LinearScanIndex,
+    ValueQuery,
+)
+from repro.field import DEMField
+from repro.storage.codec import decode_pages, decode_records
+from repro.synth import fractal_dem_heights, lyon_like
+
+METHODS = {
+    "LinearScan": LinearScanIndex,
+    "I-All": IAllIndex,
+    "I-Hilbert": IHilbertIndex,
+}
+
+FIELDS = {
+    "dem": lambda: DEMField(fractal_dem_heights(24, 0.6, seed=11)),
+    "tin": lambda: lyon_like(num_sites=220, seed=7),
+}
+
+
+def queries_for(field) -> list[ValueQuery]:
+    """Interval, exact and one-sided queries over the value range."""
+    rng = np.random.default_rng(42)
+    vr = field.value_range
+    span = vr.hi - vr.lo
+    queries = [
+        ValueQuery(vr.lo, vr.hi),                    # everything
+        ValueQuery.exact(float(field.cell_records()["vmin"][0])),
+        ValueQuery.at_least(vr.lo + 0.5 * span, vr.hi),
+    ]
+    for _ in range(12):
+        lo = vr.lo + rng.random() * span
+        queries.append(ValueQuery(lo, min(vr.hi, lo + rng.random()
+                                          * 0.2 * span)))
+    return queries
+
+
+@pytest.fixture(scope="module", params=sorted(FIELDS))
+def field(request):
+    return FIELDS[request.param]()
+
+
+@pytest.mark.parametrize("method", sorted(METHODS))
+@pytest.mark.parametrize("backend", ["list", "mmap"])
+def test_vectorized_equals_scalar(field, method, backend, tmp_path_factory):
+    """Answers AND I/O accounting match the scalar engine exactly."""
+    kwargs = {"disk_backend": backend}
+    vec = METHODS[method](field, engine="vectorized", **kwargs)
+    scl = METHODS[method](field, engine="scalar", **kwargs)
+    for query in queries_for(field):
+        for index in (vec, scl):
+            index.clear_caches()
+            index.stats.reset()
+        rv = vec.query(query)
+        rs = scl.query(query)
+        assert rv.candidate_count == rs.candidate_count, query
+        assert rv.area == rs.area, query
+        assert rv.io == rs.io, query
+        assert vec.stats == scl.stats, query
+
+
+@pytest.mark.parametrize("method", sorted(METHODS))
+def test_vectorized_equals_scalar_warm_cache(field, method):
+    """The batched pool fetch keeps hit/miss accounting identical."""
+    vec = METHODS[method](field, engine="vectorized", cache_pages=64)
+    scl = METHODS[method](field, engine="scalar", cache_pages=64)
+    for query in queries_for(field)[:8]:
+        rv = vec.query(query)     # caches deliberately NOT cleared
+        rs = scl.query(query)
+        assert rv.candidate_count == rs.candidate_count
+        assert rv.area == rs.area
+        assert rv.io == rs.io
+    assert vec.stats == scl.stats
+    assert vec.store.pool.counters() == scl.store.pool.counters()
+
+
+def test_engine_validated():
+    field = FIELDS["dem"]()
+    with pytest.raises(ValueError, match="engine"):
+        LinearScanIndex(field, engine="simd")
+
+
+def test_scalar_engine_is_preserved_on_candidates():
+    """The scalar escape hatch actually takes the per-page path."""
+    field = FIELDS["dem"]()
+    index = LinearScanIndex(field, engine="scalar")
+    assert not index._vector_fetch_ok()
+    index = LinearScanIndex(field, engine="vectorized")
+    assert index._vector_fetch_ok()
+
+
+# -- codec round-trips -------------------------------------------------------
+
+RECORD_DTYPE = np.dtype([("vmin", "<f4"), ("vmax", "<f4"),
+                         ("cell", "<i8")])
+
+
+@st.composite
+def record_arrays(draw, max_len=64):
+    n = draw(st.integers(min_value=0, max_value=max_len))
+    arr = np.zeros(n, dtype=RECORD_DTYPE)
+    floats = st.floats(allow_nan=False, width=32)
+    arr["vmin"] = draw(st.lists(floats, min_size=n, max_size=n))
+    arr["vmax"] = draw(st.lists(floats, min_size=n, max_size=n))
+    arr["cell"] = draw(st.lists(
+        st.integers(min_value=-2**62, max_value=2**62),
+        min_size=n, max_size=n))
+    return arr
+
+
+@given(arr=record_arrays())
+@settings(max_examples=100, deadline=None)
+def test_codec_roundtrip_single_frame(arr):
+    """decode_records(tobytes) is the identity (bit-for-bit)."""
+    out = decode_records(arr.tobytes(), RECORD_DTYPE, len(arr))
+    assert out.dtype == RECORD_DTYPE
+    assert out.tobytes() == arr.tobytes()
+
+
+@given(arrs=st.lists(record_arrays(max_len=16), min_size=0, max_size=8))
+@settings(max_examples=100, deadline=None)
+def test_codec_roundtrip_multi_frame(arrs):
+    """decode_pages over per-page frames equals the concatenation."""
+    payloads = [a.tobytes() for a in arrs]
+    counts = [len(a) for a in arrs]
+    out = decode_pages(payloads, RECORD_DTYPE, counts)
+    want = (np.concatenate(arrs) if arrs
+            else np.empty(0, dtype=RECORD_DTYPE))
+    assert out.tobytes() == want.tobytes()
+    assert len(out) == sum(counts)
+
+
+def test_codec_offset_and_inferred_count():
+    arr = np.arange(6, dtype=np.int64)
+    raw = b"\x00" * 8 + arr.tobytes()
+    out = decode_records(raw, np.int64, offset=8)
+    assert out.tolist() == arr.tolist()
+
+
+def test_codec_rejects_mismatched_lengths():
+    with pytest.raises(ValueError):
+        decode_pages([b""], np.int64, [0, 0])

@@ -4,9 +4,10 @@
 Understands the repo-root artifacts and dispatches on the document's
 ``experiment`` field: ``BENCH_throughput.json`` (parallel-engine
 sweep), ``BENCH_update.json`` (live-update degradation/compaction/WAL
-run), ``BENCH_serve.json`` (multi-tenant query-service load run) and
+run), ``BENCH_serve.json`` (multi-tenant query-service load run),
 ``BENCH_shard.json`` (Hilbert-range scale-out sweep over tiered
-remote storage).
+remote storage) and ``BENCH_micro.json`` (hot-path kernel + ingestion
+microbenchmarks with the pinned ns/op regression gate).
 
 Standard library only — this runs in the CI lint job, which installs no
 scientific stack.  The checks are deliberately structural *and*
@@ -102,6 +103,66 @@ def check_method(entry: dict, workers: list) -> None:
         err(f"{ctx}: qps regressed from {first['qps']} "
             f"(workers={first['workers']}) to {last['qps']} "
             f"(workers={last['workers']})")
+    pipeline = entry.get("pipeline")
+    if pipeline is not None:
+        check_pipeline(pipeline, points, workers, ctx)
+
+
+def check_pipeline(pipeline: dict, legacy_points: list, workers: list,
+                   ctx: str) -> None:
+    """The merged+cached+vectorized sweep attached to a method entry."""
+    pctx = f"{ctx}.pipeline"
+    if not isinstance(pipeline, dict):
+        err(f"{pctx}: must be an object")
+        return
+    cache = expect(pipeline, "cache_pages", int, pctx)
+    if cache is not None and cache < 1:
+        err(f"{pctx}: cache_pages must be >= 1, got {cache}")
+    expect(pipeline, "merge", bool, pctx)
+    oracle = expect(pipeline, "scalar_oracle_page_reads", int, pctx)
+    points = expect(pipeline, "points", list, pctx)
+    if points is None:
+        return
+    before = len(_errors)
+    for i, point in enumerate(points):
+        if not isinstance(point, dict):
+            err(f"{pctx}.points[{i}]: must be an object")
+            return
+        sub = f"{pctx}.points[{i}]"
+        w = expect(point, "workers", int, sub)
+        if w is not None and w < 1:
+            err(f"{sub}: workers must be >= 1, got {w}")
+        for field in ("wall_s", "qps", "speedup_vs_legacy"):
+            value = expect(point, field, (int, float), sub)
+            if value is not None and value <= 0:
+                err(f"{sub}: {field} must be positive, got {value}")
+        for field in ("page_reads", "random_reads", "sequential_reads"):
+            value = expect(point, field, int, sub)
+            if value is not None and value < 0:
+                err(f"{sub}: {field} must be >= 0, got {value}")
+    if len(_errors) > before:
+        return
+    if [p["workers"] for p in points] != workers:
+        err(f"{pctx}: points sweep {[p['workers'] for p in points]} "
+            f"!= declared workers {workers}")
+    # Byte-identity to the serial scalar oracle shows up as exactly the
+    # oracle's page count at every sweep point.
+    if oracle is not None:
+        for point in points:
+            if point["page_reads"] != oracle:
+                err(f"{pctx}: workers={point['workers']} read "
+                    f"{point['page_reads']} pages, scalar oracle read "
+                    f"{oracle}")
+    # The serving configuration must not lose to the legacy sweep at
+    # the largest worker count.
+    legacy_by_workers = {p["workers"]: p["qps"] for p in legacy_points
+                         if isinstance(p, dict) and "workers" in p
+                         and "qps" in p}
+    last = points[-1]
+    legacy_qps = legacy_by_workers.get(last["workers"])
+    if legacy_qps is not None and last["qps"] < legacy_qps:
+        err(f"{pctx}: qps {last['qps']} at workers={last['workers']} "
+            f"below the legacy sweep's {legacy_qps}")
 
 
 def check_common(doc: dict) -> None:
@@ -524,11 +585,92 @@ def validate_shard(doc: dict) -> str:
                if isinstance(max_speedup, (int, float)) else ""))
 
 
+#: Kernels every micro artifact must time (the vectorized hot path).
+REQUIRED_KERNELS = {"estimate_kernel", "filter_pack", "page_decode",
+                    "hilbert_keys", "group_cells", "rtree_search"}
+#: Acceptance bars for the ingest section of the micro artifact.
+MICRO_MIN_BULK_CELLS = 1_000_000
+MICRO_MIN_BULK_SPEEDUP = 10.0
+
+
+def validate_micro(doc: dict) -> str:
+    version = expect(doc, "schema_version", int, "top level")
+    if version is not None and version != SCHEMA_VERSION:
+        err(f"top level: schema_version {version} != {SCHEMA_VERSION}")
+    smoke = expect(doc, "smoke", bool, "top level")
+    if smoke:
+        err("top level: the committed micro artifact must come from a "
+            "full run (smoke runs write no JSON)")
+    expect(doc, "seed", int, "top level")
+
+    gate = expect(doc, "gate", dict, "top level")
+    if gate is not None:
+        ratio = expect(gate, "max_ratio", (int, float), "gate")
+        if ratio is not None and ratio <= 1.0:
+            err(f"gate: max_ratio must be > 1.0, got {ratio}")
+
+    kernels = expect(doc, "kernels", dict, "top level")
+    if kernels is not None:
+        missing = REQUIRED_KERNELS - set(kernels)
+        if missing:
+            err(f"kernels: missing {sorted(missing)}")
+        for name, stats in kernels.items():
+            ctx = f"kernels[{name}]"
+            if not isinstance(stats, dict):
+                err(f"{ctx}: must be an object")
+                continue
+            ops = expect(stats, "ops_per_round", int, ctx)
+            if ops is not None and ops < 1:
+                err(f"{ctx}: ops_per_round must be >= 1, got {ops}")
+            rounds = expect(stats, "rounds", int, ctx)
+            if rounds is not None and rounds < 3:
+                err(f"{ctx}: rounds must be >= 3, got {rounds}")
+            best = expect(stats, "best_ns_per_op", (int, float), ctx)
+            median = expect(stats, "median_ns_per_op", (int, float), ctx)
+            if best is not None and best <= 0:
+                err(f"{ctx}: best_ns_per_op must be positive, got {best}")
+            if None not in (best, median) and median < best:
+                err(f"{ctx}: median_ns_per_op {median} below best "
+                    f"{best} — not a distribution")
+
+    ingest = expect(doc, "ingest", dict, "top level")
+    speedup = None
+    if ingest is not None:
+        bulk = expect(ingest, "bulk", dict, "ingest")
+        if bulk is not None:
+            cells = expect(bulk, "cells", int, "ingest.bulk")
+            if cells is not None and cells < MICRO_MIN_BULK_CELLS:
+                err(f"ingest.bulk: cells {cells} below the "
+                    f"{MICRO_MIN_BULK_CELLS}-cell acceptance bar")
+            cps = expect(bulk, "cells_per_second", (int, float),
+                         "ingest.bulk")
+            if cps is not None and cps <= 0:
+                err(f"ingest.bulk: cells_per_second must be positive, "
+                    f"got {cps}")
+        incremental = expect(ingest, "incremental", dict, "ingest")
+        if incremental is not None:
+            cps = expect(incremental, "cells_per_second", (int, float),
+                         "ingest.incremental")
+            if cps is not None and cps <= 0:
+                err(f"ingest.incremental: cells_per_second must be "
+                    f"positive, got {cps}")
+        speedup = expect(ingest, "speedup_bulk_vs_incremental",
+                         (int, float), "ingest")
+        if speedup is not None and speedup < MICRO_MIN_BULK_SPEEDUP:
+            err(f"ingest: speedup_bulk_vs_incremental {speedup} below "
+                f"the {MICRO_MIN_BULK_SPEEDUP}x acceptance bar")
+    n = len(kernels) if isinstance(kernels, dict) else 0
+    return (f"{n} kernels"
+            + (f", bulk ingest {speedup}x vs per-insert"
+               if isinstance(speedup, (int, float)) else ""))
+
+
 VALIDATORS = {
     "throughput": validate_throughput,
     "update": validate_update,
     "serve": validate_serve,
     "shard": validate_shard,
+    "micro": validate_micro,
 }
 
 
