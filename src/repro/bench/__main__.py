@@ -40,7 +40,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="throughput only: comma-separated worker "
                              "counts to sweep (default: 1,2,4,8)")
     parser.add_argument("--smoke", action="store_true",
-                        help="throughput/update/serve/shard/micro only: "
+                        help="throughput/update/serve/shard/micro/"
+                             "aggregate only: "
                              "tiny field and workload, exit 1 on "
                              "regression (CI gate; micro gates ns/op "
                              "against the committed BENCH_micro.json)")
@@ -75,7 +76,7 @@ def main(argv: list[str] | None = None) -> int:
                 options["smoke"] = True
             if args.updates is not None:
                 options["updates"] = args.updates
-        if name in ("serve", "shard", "micro") and args.smoke:
+        if name in ("serve", "shard", "micro", "aggregate") and args.smoke:
             options["smoke"] = True
         result = runner(**options)
         print(_render(result))

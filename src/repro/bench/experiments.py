@@ -1543,6 +1543,238 @@ def shard_bench(full: bool = False, queries: int | None = None,
     return "\n".join(lines)
 
 
+def aggregate_bench(full: bool = False, queries: int | None = None,
+                    seed: int = 0, smoke: bool = False,
+                    json_path: str | None = "BENCH_aggregate.json",
+                    gate_ratio: float = 1.5,
+                    **_ignored) -> str:
+    """Accuracy-vs-speed frontier of the learned aggregate models.
+
+    Runs the Fig. 8a query mix as COUNT/SUM/area aggregates against an
+    I-Hilbert index through four configurations — exact, hybrid at a
+    1% and a 0.1% tolerance (of each kind's field total), and pure
+    model — each query cold (caches dropped), reporting wall time,
+    pages and error statistics per configuration.
+
+    Hard checks on every run (CI and full): every model-only answer
+    must lie within its reported error bound vs the exact vectorized
+    path; every hybrid answer's bound must fit its tolerance; and a
+    ``tolerance=0`` hybrid subsample must match the exact answers
+    byte for byte.  ``smoke=True`` shrinks the field, skips the JSON
+    artifact and additionally gates hybrid wall time at
+    ``gate_ratio``x the same run's exact wall time, cross-checking the
+    committed ``BENCH_aggregate.json`` frontier the same way.
+    """
+    import json as json_mod
+    import time
+    from pathlib import Path
+
+    from ..synth import value_query_workload
+
+    if smoke:
+        size, per_q = 48, 4
+        json_path = None
+    else:
+        size = 512 if full else 256
+        per_q = 20 if queries is None else queries
+    field = roseburg_like(cells_per_side=size)
+    workload = []
+    for q in QINTERVALS_FIG8:
+        workload += value_query_workload(field.value_range, q,
+                                         count=per_q, seed=seed)
+    kinds = ("count", "sum", "area")
+
+    index = IHilbertIndex(field)
+    t0 = time.perf_counter()
+    models = index.fit_aggregate_models()
+    fit_seconds = time.perf_counter() - t0
+    vr = field.value_range
+    # Full-range aggregates cover every subfield, so these are the
+    # exact stored totals (zero pages) — the per-kind tolerance scale.
+    totals = {k: index.aggregate(k, vr.lo, vr.hi, mode="model").value
+              for k in kinds}
+
+    configs = [
+        ("exact", "exact", None),
+        ("hybrid-1pct", "hybrid", 0.01),
+        ("hybrid-0.1pct", "hybrid", 0.001),
+        ("model", "model", None),
+    ]
+    lines = [
+        f"== aggregate: learned-model frontier on Fig. 8a workload "
+        f"({size}x{size} terrain) ==",
+        f"queries: {len(workload)} ({per_q} per Qinterval setting "
+        f"{QINTERVALS_FIG8}), seed={seed}, kinds={list(kinds)}",
+        f"models: degree {models.degree}, {models.num_subfields} "
+        f"subfields, {models.nbytes:,} bytes, fitted in "
+        f"{fit_seconds:.3f}s",
+        "",
+        f"{'config':>14} {'wall s':>8} {'ops/s':>8} {'pages':>9} "
+        f"{'max err%':>9} {'mean err%':>9} {'exact sf':>9} "
+        f"{'model sf':>9}",
+    ]
+    exact_values: dict[tuple[int, str], float] = {}
+    config_payload = []
+    violations: list[str] = []
+    wall_by_name: dict[str, float] = {}
+    for name, mode, frac in configs:
+        tols = ({k: frac * abs(totals[k]) for k in kinds}
+                if frac is not None else {k: None for k in kinds})
+        pages = 0
+        n_exact_sf = 0
+        n_model_sf = 0
+        max_abs = {k: 0.0 for k in kinds}
+        max_rel = 0.0
+        sum_rel = 0.0
+        ops = 0
+        index.clear_caches()
+        t0 = time.perf_counter()
+        for qi, query in enumerate(workload):
+            for kind in kinds:
+                index.clear_caches()
+                result = index.aggregate(kind, query.lo, query.hi,
+                                         tolerance=tols[kind], mode=mode)
+                ops += 1
+                pages += result.page_reads
+                n_exact_sf += result.exact_subfields
+                n_model_sf += result.model_subfields
+                if mode == "exact":
+                    exact_values[(qi, kind)] = result.value
+                    continue
+                truth = exact_values[(qi, kind)]
+                err = abs(result.value - truth)
+                max_abs[kind] = max(max_abs[kind], err)
+                rel = err / max(abs(totals[kind]), 1e-12)
+                max_rel = max(max_rel, rel)
+                sum_rel += rel
+                if err > result.bound:
+                    violations.append(
+                        f"{name} {kind}[{query.lo:.4g},{query.hi:.4g}]: "
+                        f"error {err:.6g} exceeds bound "
+                        f"{result.bound:.6g}")
+                if tols[kind] is not None and \
+                        result.bound > tols[kind]:
+                    violations.append(
+                        f"{name} {kind}: bound {result.bound:.6g} "
+                        f"exceeds tolerance {tols[kind]:.6g}")
+        wall = time.perf_counter() - t0
+        wall_by_name[name] = wall
+        mean_rel = sum_rel / ops if mode != "exact" else 0.0
+        lines.append(
+            f"{name:>14} {wall:>8.3f} {ops / wall:>8.1f} {pages:>9,} "
+            f"{max_rel * 100:>9.4f} {mean_rel * 100:>9.4f} "
+            f"{n_exact_sf:>9,} {n_model_sf:>9,}")
+        config_payload.append({
+            "name": name,
+            "mode": mode,
+            "tolerance_frac": frac,
+            "wall_seconds": round(wall, 4),
+            "ops": ops,
+            "ops_per_second": round(ops / wall, 2),
+            "pages": pages,
+            "exact_subfields": n_exact_sf,
+            "model_subfields": n_model_sf,
+            "max_abs_error": {k: max_abs[k] for k in kinds},
+            "max_rel_error_pct": round(max_rel * 100, 6),
+            "mean_rel_error_pct": round(mean_rel * 100, 6),
+        })
+
+    # Byte-for-byte equivalence: tolerance=0 hybrid must be the exact
+    # vectorized path, AVG included.
+    eq_checked = 0
+    eq_mismatches = 0
+    for qi, query in enumerate(workload[::5]):
+        for kind in kinds + ("avg",):
+            exact = index.aggregate(kind, query.lo, query.hi,
+                                    mode="exact")
+            hybrid = index.aggregate(kind, query.lo, query.hi,
+                                     tolerance=0.0, mode="hybrid")
+            eq_checked += 1
+            if hybrid.value != exact.value or hybrid.bound != 0.0:
+                eq_mismatches += 1
+                violations.append(
+                    f"hybrid(tol=0) {kind}[{query.lo:.4g},"
+                    f"{query.hi:.4g}] = {hybrid.value!r} != exact "
+                    f"{exact.value!r}")
+    lines.append("")
+    lines.append(
+        f"equivalence: {eq_checked} tolerance=0 hybrid answers "
+        f"checked against exact — {eq_mismatches} mismatches")
+
+    if smoke:
+        ratio = wall_by_name["hybrid-1pct"] / wall_by_name["exact"]
+        mark = "FAIL" if ratio > gate_ratio else "ok"
+        lines.append(
+            f"gate hybrid-1pct: {ratio:.2f}x of exact wall "
+            f"(limit {gate_ratio}x) — {mark}")
+        if ratio > gate_ratio:
+            violations.append(
+                f"hybrid-1pct wall {ratio:.2f}x exact (limit "
+                f"{gate_ratio}x)")
+        baseline_path = Path(json_path or "BENCH_aggregate.json")
+        if baseline_path.is_file():
+            with open(baseline_path) as fh:
+                pinned = json_mod.load(fh)
+            by_name = {c["name"]: c for c in pinned.get("configs", [])}
+            if "exact" in by_name and "hybrid-1pct" in by_name:
+                pinned_ratio = (by_name["hybrid-1pct"]["wall_seconds"]
+                                / by_name["exact"]["wall_seconds"])
+                mark = "FAIL" if pinned_ratio > gate_ratio else "ok"
+                lines.append(
+                    f"gate pinned frontier: hybrid-1pct "
+                    f"{pinned_ratio:.2f}x of exact (limit "
+                    f"{gate_ratio}x) — {mark}")
+                if pinned_ratio > gate_ratio:
+                    violations.append(
+                        f"pinned BENCH_aggregate.json frontier has "
+                        f"hybrid-1pct at {pinned_ratio:.2f}x exact")
+        else:
+            lines.append(f"(no {baseline_path} baseline; pinned-frontier "
+                         f"gate skipped)")
+
+    if json_path:
+        payload = {
+            "schema_version": 1,
+            "experiment": "aggregate",
+            "field": {
+                "type": type(field).__name__,
+                "cells_per_side": size,
+                "cells": field.num_cells,
+            },
+            "workload": {
+                "queries": len(workload),
+                "per_qinterval": per_q,
+                "qintervals": QINTERVALS_FIG8,
+                "seed": seed,
+                "kinds": list(kinds),
+            },
+            "model": {
+                "degree": models.degree,
+                "subfields": models.num_subfields,
+                "nbytes": models.nbytes,
+                "fit_seconds": round(fit_seconds, 4),
+                "weight": models.weight,
+            },
+            "smoke": smoke,
+            "gate": {"max_slowdown": gate_ratio},
+            "totals": {k: totals[k] for k in kinds},
+            "configs": config_payload,
+            "equivalence": {
+                "checked": eq_checked,
+                "mismatches": eq_mismatches,
+            },
+        }
+        with open(json_path, "w") as fh:
+            json_mod.dump(payload, fh, indent=1)
+            fh.write("\n")
+        lines.append(f"(machine-readable results written to {json_path})")
+    if violations:
+        print("\n".join(lines))
+        raise SystemExit(
+            "aggregate bench FAILED:\n  " + "\n  ".join(violations[:20]))
+    return "\n".join(lines)
+
+
 def _render(result) -> str:
     if isinstance(result, str):
         return result
@@ -1570,4 +1802,5 @@ EXPERIMENTS: dict[str, Callable] = {
     "update": update_stream,
     "serve": serve_bench,
     "shard": shard_bench,
+    "aggregate": aggregate_bench,
 }

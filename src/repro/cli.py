@@ -54,12 +54,15 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from pathlib import Path
 
 import numpy as np
 
 from .core import (
+    AGGREGATE_KINDS,
+    AGGREGATE_MODES,
     EngineFacade,
     FacadeError,
     IHilbertIndex,
@@ -168,6 +171,30 @@ def cmd_query(args) -> int:
                                for x, y in region.polygon)
             print(f"  cell {region.cell_id}: area={region.area:.4f} "
                   f"[{coords}]")
+    _write_observability(args, tracer)
+    return 0
+
+
+def cmd_aggregate(args) -> int:
+    """Run an approximate range-aggregate against a saved index."""
+    facade = EngineFacade()
+    facade.open_field("cli", args.index_dir)
+    index = facade.handle("cli").index
+    tracer = _setup_observability(args, index)
+    result = facade.aggregate("cli", args.kind, args.lo, args.hi,
+                              tolerance=args.tolerance, mode=args.mode)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=1))
+    else:
+        bound = ("exact" if result.bound == 0.0
+                 else "unbounded" if not math.isfinite(result.bound)
+                 else f"±{result.bound:.6g}")
+        print(f"{result.kind}[{result.lo:g}, {result.hi:g}] = "
+              f"{result.value:.6g} ({bound})")
+        print(f"subfields: {result.covered_subfields} covered, "
+              f"{result.model_subfields} model, "
+              f"{result.exact_subfields} exact")
+        print(f"I/O: {result.page_reads} pages")
     _write_observability(args, tracer)
     return 0
 
@@ -602,6 +629,27 @@ def main(argv: list[str] | None = None) -> int:
                             "worker threads (default: 1, serial)")
     _add_obs_flags(query)
     query.set_defaults(func=cmd_query)
+
+    agg = sub.add_parser("aggregate",
+                         help="approximate COUNT/SUM/AVG/area over a "
+                              "value interval from learned models")
+    agg.add_argument("index_dir")
+    agg.add_argument("kind", choices=list(AGGREGATE_KINDS))
+    agg.add_argument("lo", type=float)
+    agg.add_argument("hi", type=float)
+    agg.add_argument("--tolerance", type=float, default=None,
+                     help="max acceptable error bound; hybrid mode reads "
+                          "exact subfields until the bound fits "
+                          "(default: model answers only)")
+    agg.add_argument("--mode", default="hybrid",
+                     choices=list(AGGREGATE_MODES),
+                     help="model: never read pages; hybrid: fall back "
+                          "per subfield to fit --tolerance; exact: "
+                          "vectorized exact path (default: hybrid)")
+    agg.add_argument("--json", action="store_true",
+                     help="emit the result as JSON")
+    _add_obs_flags(agg)
+    agg.set_defaults(func=cmd_aggregate)
 
     batch = sub.add_parser("batch", help="run a file of value queries "
                                          "through the batch engine")

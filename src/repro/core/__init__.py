@@ -1,5 +1,12 @@
 """The paper's contribution: value-domain access methods for fields."""
 
+from .aggregate import (
+    AGGREGATE_KINDS,
+    AGGREGATE_MODES,
+    AggregateModelSet,
+    AggregateResult,
+    fit_aggregate_models,
+)
 from .base import UPDATE_CRASH_POINTS, ValueIndex
 from .batch import (
     BatchQueryEngine,
@@ -52,6 +59,11 @@ METHODS = {
 }
 
 __all__ = [
+    "AGGREGATE_KINDS",
+    "AGGREGATE_MODES",
+    "AggregateModelSet",
+    "AggregateResult",
+    "fit_aggregate_models",
     "BatchQueryEngine",
     "BatchResult",
     "BulkLoadReport",

@@ -497,6 +497,23 @@ class ValueIndex(abc.ABC):
         self._stat_cache[bins] = result
         return result
 
+    def aggregate(self, kind: str, lo: float, hi: float, *,
+                  tolerance: float | None = None, mode: str = "exact"):
+        """Exact COUNT/SUM/AVG/area over a value interval.
+
+        The generic path filters candidates like a Q2 query and reduces
+        them in one vectorized pass.  Model-accelerated modes need the
+        per-subfield boundaries of the grouped index
+        (:meth:`repro.core.grouped.GroupedIntervalIndex.aggregate`).
+        """
+        if mode != "exact":
+            raise ValueError(
+                f"{type(self).__name__} has no aggregate models; only "
+                f"mode='exact' is supported (got {mode!r}). Use the "
+                f"grouped access method for model/hybrid aggregates.")
+        from .aggregate import exact_aggregate
+        return exact_aggregate(self, kind, lo, hi)
+
     # -- introspection ------------------------------------------------------
 
     @property

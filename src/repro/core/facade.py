@@ -274,6 +274,26 @@ class EngineFacade:
             handle.queries += 1
         return result
 
+    def aggregate(self, name: str, kind: str, lo: float, hi: float, *,
+                  tolerance: float | None = None, mode: str = "hybrid",
+                  tenant: str | None = None,
+                  tracer: Tracer | None = None):
+        """Approximate COUNT/SUM/AVG/area over a value interval.
+
+        Answered from the index's learned polynomial models with a
+        guaranteed error bound; ``tolerance``/``mode`` select the
+        accuracy-vs-speed point (see ``repro.core.aggregate``).  Indexes
+        without subfield models (e.g. LinearScan) support only
+        ``mode="exact"``.
+        """
+        handle = self.handle(name)
+        with handle.lock, self._tenancy(handle, tenant), \
+                self._traced(handle, tracer):
+            result = handle.index.aggregate(
+                kind, float(lo), float(hi), tolerance=tolerance, mode=mode)
+            handle.queries += 1
+        return result
+
     def batch(self, name: str, queries: Sequence, *,
               estimate: EstimateMode = "area",
               on_fault: FaultMode = "raise",

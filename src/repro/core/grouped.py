@@ -93,6 +93,9 @@ class GroupedIntervalIndex(ValueIndex):
         self._built_costs: list[float] = [
             self._sf_cost(sf, si)
             for sf, si in zip(self.subfields, self._sf_si)]
+        #: Learned aggregate models (core.aggregate); fitted lazily on
+        #: the first aggregate() call or loaded from the manifest.
+        self.aggregate_models = None
 
         self.index_disk = self._make_disk("sf-tree")
         self.tree = RStarTree(dim=1, disk=self.index_disk,
@@ -170,6 +173,11 @@ class GroupedIntervalIndex(ValueIndex):
             new_lo = float(vmins.min())
             new_hi = float(vmaxs.max())
             self._sf_si[sf_id] = float((vmaxs - vmins + unit).sum())
+            # Values can move without changing the subfield interval, so
+            # the aggregate models refit before the interval check —
+            # reusing the block already in hand (no extra reads).
+            if self.aggregate_models is not None:
+                self.aggregate_models.refit(self.field_type, sf_id, block)
             if new_lo == sf.lo and new_hi == sf.hi:
                 continue
             self.tree.delete(Rect.from_interval(sf.lo, sf.hi), sf_id)
@@ -331,10 +339,44 @@ class GroupedIntervalIndex(ValueIndex):
                 range(len(self.subfields)))
             self.tree.flush()
         summary["subfields_after"] = len(self.subfields)
+        # Compaction moved subfield boundaries — the natural refit point
+        # for the aggregate models (ROADMAP item 3 / PolyFit).
+        if self.aggregate_models is not None:
+            self.fit_aggregate_models(degree=self.aggregate_models.degree)
         if REGISTRY.enabled:
             _COMPACTIONS.inc(1, method=self.name)
             _STALENESS.set(self.staleness()["max_drift"], method=self.name)
         return summary
+
+    # -- approximate aggregates (ROADMAP item 3) -------------------------------
+
+    def fit_aggregate_models(self, degree: int | None = None):
+        """(Re)fit per-subfield polynomial aggregate models.
+
+        One sequential maintenance pass over the store; see
+        ``repro.core.aggregate`` for the model form and guarantees.
+        """
+        from .aggregate import DEFAULT_DEGREE, fit_aggregate_models
+        self.aggregate_models = fit_aggregate_models(
+            self, degree=DEFAULT_DEGREE if degree is None else degree)
+        return self.aggregate_models
+
+    def aggregate(self, kind: str, lo: float, hi: float, *,
+                  tolerance: float | None = None, mode: str = "hybrid"):
+        """COUNT/SUM/AVG/area over ``[lo, hi]`` with an error guarantee.
+
+        Models are fitted lazily on first use; ``mode`` and
+        ``tolerance`` pick the point on the accuracy-vs-speed frontier
+        (see :func:`repro.core.aggregate.evaluate_aggregate`).
+        """
+        from .aggregate import evaluate_aggregate
+        if self.aggregate_models is None or \
+                self.aggregate_models.num_subfields != len(self.subfields):
+            self.fit_aggregate_models(
+                degree=None if self.aggregate_models is None
+                else self.aggregate_models.degree)
+        return evaluate_aggregate(self, self.aggregate_models, kind, lo, hi,
+                                  tolerance=tolerance, mode=mode)
 
     def _rid_of_cell(self, cell_id: int) -> int:
         if not 0 <= cell_id < len(self.order):

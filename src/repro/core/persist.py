@@ -105,6 +105,14 @@ def _save_order(order: np.ndarray, path: Path) -> None:
         os.fsync(fh.fileno())
 
 
+def _save_aggregate(models, path: Path) -> None:
+    """Write the aggregate model arrays (same fsync discipline)."""
+    with open(path, "wb") as fh:
+        np.savez(fh, **models.to_arrays())
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
 def _grouping_to_meta(grouping) -> dict | None:
     """JSON form of the grouping policy's cost parameters, so a
     reloaded index can track staleness and compact with the same
@@ -136,7 +144,7 @@ def _collect_garbage(directory: Path, keep: set[str]) -> None:
         name = path.name
         if name in keep or name == "meta.json":
             continue
-        if name.endswith((".pages", ".npy", ".tmp")):
+        if name.endswith((".pages", ".npy", ".npz", ".tmp")):
             path.unlink(missing_ok=True)
 
 
@@ -176,6 +184,12 @@ def save_index(index, directory: str | Path,
     _maybe_crash("tree-written", crash_point)
     _save_order(index.order, directory / names["order"])
     _maybe_crash("order-written", crash_point)
+    # Aggregate models are optional — only a fitted index writes the
+    # ``agg`` generation file (and its manifest entry / meta block).
+    models = getattr(index, "aggregate_models", None)
+    if models is not None:
+        names["agg"] = f"agg-{generation}.npz"
+        _save_aggregate(models, directory / names["agg"])
 
     built_costs = getattr(index, "_built_costs", None)
     if built_costs is not None:
@@ -203,6 +217,9 @@ def save_index(index, directory: str | Path,
         "files": {role: _manifest_entry(directory, name)
                   for role, name in names.items()},
     }
+    if models is not None:
+        meta["aggregate"] = {"degree": models.degree,
+                             "weight": models.weight}
     _maybe_crash("pre-commit", crash_point)
     tmp = directory / "meta.json.tmp"
     with open(tmp, "w") as fh:
@@ -361,6 +378,24 @@ def load_index(directory: str | Path, cache_pages: int = 0,
     tree._dirty = False
     tree._reinserted_levels = set()
     index.tree = tree
+
+    # Aggregate models (optional generation file; older manifests
+    # simply have no "agg" role).  Loaded before WAL replay so pending
+    # update batches refit the touched subfields like the live index.
+    index.aggregate_models = None
+    agg_entry = files.get("agg")
+    if agg_entry is not None:
+        from .aggregate import AggregateModelSet
+        agg_meta = meta.get("aggregate", {})
+        with np.load(directory / agg_entry["name"]) as arrays:
+            index.aggregate_models = AggregateModelSet.from_arrays(
+                arrays, degree=int(agg_meta.get("degree", 3)),
+                weight=agg_meta.get("weight", "midpoint"))
+        if index.aggregate_models.num_subfields != len(index.subfields):
+            raise PersistError(
+                f"{directory}: aggregate model file covers "
+                f"{index.aggregate_models.num_subfields} subfields, "
+                f"manifest has {len(index.subfields)}")
 
     # Recovery: re-apply updates acknowledged after the checkpoint.
     wal_path = directory / "wal.log"

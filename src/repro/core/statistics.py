@@ -2,13 +2,19 @@
 
 Database optimizers decide between access paths from summary statistics,
 not by executing the query.  This module summarizes a field's cell
-intervals into two cumulative histograms (of low endpoints and of high
-endpoints); the count of cells intersecting ``[lo, hi]`` is then
+intervals into cumulative histograms of low and high endpoints; the
+count of cells intersecting ``[lo, hi]`` is then
 
     n  −  #(vmin > hi)  −  #(vmax < lo)
 
-each term answered by one histogram lookup.  The estimator feeds the
-planner and the reports; its accuracy is tested against exact counts.
+each term answered by one histogram lookup.  The two terms are *not*
+symmetric: a cell with ``vmin == hi`` or ``vmax == lo`` touches the
+query and must be counted, so the low-endpoint table is cumulative with
+``<=`` while the high-endpoint table used for exclusion is strictly
+``<``.  The estimator feeds the planner and the reports; its accuracy
+is tested against exact counts (exactly, when the distinct endpoint
+values fit in the bin budget — the grid then sits on the data values —
+and within one bin's mass otherwise).
 """
 
 from __future__ import annotations
@@ -27,12 +33,20 @@ class FieldStatistics:
     num_cells: int
     value_lo: float
     value_hi: float
-    #: Histogram grid (bin edges), length ``bins + 1``.
+    #: Histogram grid.  When the distinct endpoint values fit in the bin
+    #: budget the grid *is* those values (the estimator is then exact at
+    #: every data value, including degenerate constant fields whose
+    #: ``linspace`` grid would collapse); otherwise ``bins + 1`` equally
+    #: spaced edges.
     edges: np.ndarray
     #: cum_low[k] = number of cells with vmin <= edges[k].
     cum_low: np.ndarray
     #: cum_high[k] = number of cells with vmax <= edges[k].
     cum_high: np.ndarray
+    #: cum_high_strict[k] = number of cells with vmax < edges[k] — the
+    #: table the "entirely below [lo, hi]" term needs: a cell with
+    #: ``vmax == lo`` still intersects the query.
+    cum_high_strict: np.ndarray
     mean_interval_extent: float
 
     @classmethod
@@ -57,9 +71,21 @@ class FieldStatistics:
             raise ValueError("no intervals to summarize")
         lo = float(vmins.min())
         hi = float(vmaxs.max())
-        edges = np.linspace(lo, hi, bins + 1)
-        cum_low = np.searchsorted(np.sort(vmins), edges, side="right")
-        cum_high = np.searchsorted(np.sort(vmaxs), edges, side="right")
+        # Small/discrete endpoint sets keep their exact values as the
+        # grid: interpolation nodes sit on the data, so lookups at data
+        # values are exact.  This also covers the degenerate constant
+        # field (lo == hi), where linspace would produce bins + 1
+        # identical edges and break interpolation.
+        points = np.unique(np.concatenate([vmins, vmaxs]))
+        if len(points) <= bins + 1:
+            edges = points
+        else:
+            edges = np.linspace(lo, hi, bins + 1)
+        sorted_vmins = np.sort(vmins)
+        sorted_vmaxs = np.sort(vmaxs)
+        cum_low = np.searchsorted(sorted_vmins, edges, side="right")
+        cum_high = np.searchsorted(sorted_vmaxs, edges, side="right")
+        cum_high_strict = np.searchsorted(sorted_vmaxs, edges, side="left")
         return cls(
             num_cells=len(vmins),
             value_lo=lo,
@@ -67,6 +93,7 @@ class FieldStatistics:
             edges=edges,
             cum_low=cum_low.astype(np.float64),
             cum_high=cum_high.astype(np.float64),
+            cum_high_strict=cum_high_strict.astype(np.float64),
             mean_interval_extent=float((vmaxs - vmins).mean()),
         )
 
@@ -80,15 +107,29 @@ class FieldStatistics:
             return float(table[-1])
         return float(np.interp(value, self.edges, table))
 
+    def _cum_strict(self, table: np.ndarray, value: float) -> float:
+        """Interpolated count of endpoints < ``value``.
+
+        Beyond the last grid point every endpoint is strictly below;
+        at and before the first, none is (``np.interp`` clamps to
+        ``table[0]``, which is 0 for a strict table over high
+        endpoints: no ``vmax`` lies below the smallest ``vmin``).
+        """
+        if value > self.edges[-1]:
+            return float(self.num_cells)
+        return float(np.interp(value, self.edges, table))
+
     def estimate_candidates(self, lo: float, hi: float) -> float:
         """Estimated number of cells whose interval intersects [lo, hi]."""
         if lo > hi:
             raise ValueError(f"empty query: lo={lo} > hi={hi}")
         n = float(self.num_cells)
-        # Cells entirely above the query: vmin > hi.
+        # Cells entirely above the query: vmin > hi (a cell with
+        # vmin == hi intersects, so the inclusive table is correct here).
         above = n - self._cum(self.cum_low, hi)
-        # Cells entirely below the query: vmax < lo.
-        below = self._cum(self.cum_high, lo)
+        # Cells entirely below the query: vmax < lo, strictly — a cell
+        # with vmax == lo intersects [lo, hi] and must not be excluded.
+        below = self._cum_strict(self.cum_high_strict, lo)
         return max(0.0, n - above - below)
 
     def estimate_selectivity(self, lo: float, hi: float) -> float:
@@ -104,5 +145,5 @@ class FieldStatistics:
             "mean_interval_extent": self.mean_interval_extent,
             "relative_interval_extent": (self.mean_interval_extent / span
                                          if span > 0 else 0.0),
-            "bins": len(self.edges) - 1,
+            "bins": max(len(self.edges) - 1, 1),
         }

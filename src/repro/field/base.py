@@ -108,6 +108,34 @@ class Field(abc.ABC):
         the estimation step in large experiments.
         """
 
+    @classmethod
+    def band_area_curves(cls, records: np.ndarray,
+                         thresholds: np.ndarray) -> tuple[
+                             np.ndarray, np.ndarray, float]:
+        """Cumulative band-area curves sampled at ``thresholds``.
+
+        Returns ``(area_le, area_lt, total)`` where ``area_le[k]`` is the
+        answer area of ``value <= thresholds[k]`` over the records,
+        ``area_lt[k]`` the area of ``value < thresholds[k]`` (the two
+        differ only on completely flat atoms sitting exactly at a
+        threshold), and ``total`` the whole footprint area.  The exact
+        band area of ``[lo, hi]`` decomposes as
+        ``area_le(hi) - area_lt(lo)`` — the identity the aggregate models
+        (``repro.core.aggregate``) are fitted on.
+
+        Generic implementation: one :meth:`estimate_area` call per
+        threshold.  Field types with a cheap closed form override this
+        with a single broadcast evaluation.
+        """
+        thresholds = np.asarray(thresholds, dtype=np.float64)
+        total = float(cls.estimate_area(records, -np.inf, np.inf))
+        area_le = np.array([cls.estimate_area(records, -np.inf, float(t))
+                            for t in thresholds])
+        area_lt = total - np.array(
+            [cls.estimate_area(records, float(t), np.inf)
+             for t in thresholds])
+        return area_le, area_lt, total
+
     # -- spatial access (conventional queries through an index) ----------
 
     @classmethod

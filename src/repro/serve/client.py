@@ -161,6 +161,17 @@ class FieldClient:
         """One value query: where is ``lo <= F(x) <= hi``?"""
         return self.request("query", field=field, lo=lo, hi=hi, **params)
 
+    def aggregate(self, field: str, kind: str, lo: float, hi: float,
+                  **params) -> dict:
+        """Approximate COUNT/SUM/AVG/area with a guaranteed error bound.
+
+        ``tolerance=`` and ``mode=`` pick the accuracy-vs-speed point;
+        the response carries ``value``/``bound`` (``bound`` is ``None``
+        for an unbounded AVG) plus per-subfield routing counts.
+        """
+        return self.request("aggregate", field=field, kind=kind,
+                            lo=lo, hi=hi, **params)
+
     def batch(self, field: str, queries, **params) -> dict:
         """Many value queries through the batch/parallel engine."""
         return self.request("batch", field=field,

@@ -33,6 +33,7 @@ The verbs:
 ``close``   close an open field
 ``query``   one value query (Q2) → candidates/area/io
 ``batch``   many value queries through the batch/parallel engine
+``aggregate`` approximate COUNT/SUM/AVG/area with an error bound
 ``update``  apply vertex-value updates
 ``stats``   per-field + per-tenant serving statistics
 ``metrics`` metrics-registry dump (JSON or Prometheus-style text)
@@ -57,7 +58,7 @@ MAX_UPDATE_VERTICES = 100_000
 
 #: Verbs the server understands.
 OPS = frozenset({"ping", "fields", "open", "close", "query", "batch",
-                 "update", "stats", "metrics"})
+                 "aggregate", "update", "stats", "metrics"})
 
 #: Every error code a response frame may carry.
 ERROR_CODES = frozenset({

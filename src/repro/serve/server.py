@@ -66,6 +66,7 @@ import uuid
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 
+from ..core.aggregate import AGGREGATE_KINDS, AGGREGATE_MODES
 from ..core.facade import (EngineFacade, FacadeError, FieldExistsError,
                            UnknownFieldError)
 from ..obs.export import render_prometheus, span_to_tree
@@ -300,6 +301,7 @@ class FieldServer:
             "open": self._op_open,
             "close": self._op_close,
             "query": self._op_query,
+            "aggregate": self._op_aggregate,
             "batch": self._op_batch,
             "update": self._op_update,
             "stats": self._op_stats,
@@ -813,6 +815,34 @@ class FieldServer:
             ]
             payload["regions_total"] = len(result.regions)
         return payload
+
+    async def _op_aggregate(self, request: Request,
+                            ctx: _RequestContext) -> dict:
+        params = request.params
+        name = need(params, "field", str, "a string")
+        kind = optional_choice(params, "kind", AGGREGATE_KINDS, "count")
+        lo = need_number(params, "lo")
+        hi = need_number(params, "hi")
+        if lo > hi:
+            raise ProtocolError(
+                "bad-request",
+                f"empty aggregate interval: lo={lo} > hi={hi}")
+        mode = optional_choice(params, "mode", AGGREGATE_MODES, "hybrid")
+        tolerance = params.get("tolerance")
+        if tolerance is not None:
+            tolerance = need_number(params, "tolerance")
+            if tolerance < 0:
+                raise ProtocolError("bad-request",
+                                    "'tolerance' must be >= 0")
+
+        def fn():
+            return self.facade.aggregate(name, kind, lo, hi,
+                                         tolerance=tolerance, mode=mode,
+                                         tenant=request.tenant,
+                                         tracer=ctx.engine)
+
+        result = await self._in_engine(request, fn, ctx)
+        return {"field": name, **result.to_dict()}
 
     async def _op_batch(self, request: Request,
                         ctx: _RequestContext) -> dict:

@@ -683,6 +683,63 @@ class ShardedEngine(ValueIndex):
                                      for s in shard_summaries),
         }
 
+    def aggregate(self, kind: str, lo: float, hi: float, *,
+                  tolerance: float | None = None, mode: str = "hybrid"):
+        """Scatter-gather range aggregate over the shards.
+
+        COUNT/SUM/area are additive, so each grouped shard answers from
+        its own learned models (the tolerance splits evenly across
+        shards, which keeps the summed bound within the caller's) and
+        the values and bounds sum.  AVG recombines from its COUNT and
+        SUM parts; with a tolerance it routes to the exact path, since
+        a ratio bound cannot be pre-split across shards.  Exact mode —
+        and every mode on non-grouped shard methods — goes through the
+        inherited candidate scatter.
+        """
+        from ..core.aggregate import (AggregateResult, _avg_bound,
+                                      _validate)
+        _validate(kind, lo, hi, mode, tolerance)
+        if mode == "exact" or self.method != "I-Hilbert" or (
+                kind == "avg" and mode == "hybrid"
+                and tolerance is not None):
+            return super().aggregate(kind, lo, hi, mode="exact")
+        self._require_local("aggregate")
+        per_kind = ("count", "sum") if kind == "avg" else (kind,)
+        split = (tolerance / len(self.shards)
+                 if tolerance is not None else None)
+        totals = {k: 0.0 for k in per_kind}
+        bounds = {k: 0.0 for k in per_kind}
+        covered = model = exact = pages = 0
+        with self._gather_lock, self.tracer.span(
+                "aggregate", {"kind": kind, "shards": len(self.shards)}):
+            for rt in self.shards:
+                before = rt.index.stats.snapshot()
+                try:
+                    for k in per_kind:
+                        r = rt.index.aggregate(k, lo, hi, tolerance=split,
+                                               mode=mode)
+                        totals[k] += r.value
+                        bounds[k] += r.bound
+                        covered += r.covered_subfields
+                        model += r.model_subfields
+                        exact += r.exact_subfields
+                        pages += r.page_reads
+                finally:
+                    self.stats += rt.index.stats.diff(before)
+        if kind == "avg":
+            count, total = totals["count"], totals["sum"]
+            value = total / count if count > 0 else 0.0
+            bound = _avg_bound(count, bounds["count"],
+                               total, bounds["sum"])
+        else:
+            value = totals[kind]
+            bound = bounds[kind]
+        return AggregateResult(
+            kind=kind, lo=lo, hi=hi, value=float(value),
+            bound=float(bound), mode=mode, tolerance=tolerance,
+            covered_subfields=covered, model_subfields=model,
+            exact_subfields=exact, page_reads=pages)
+
     def staleness(self, threshold: float = 0.0) -> dict:
         """Aggregate §3.1.2 drift over the shards (grouped method)."""
         if self.method != "I-Hilbert":

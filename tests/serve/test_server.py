@@ -57,6 +57,40 @@ def test_query_over_the_wire_matches_direct_engine_call(server, client,
     assert answer["io"]["page_reads"] >= 0
 
 
+@pytest.mark.parametrize("kind", ["count", "sum", "area"])
+def test_aggregate_over_the_wire_matches_direct_call(server, client,
+                                                     value_band, kind):
+    srv, _, _ = server
+    lo, hi = value_band
+    for params in (dict(mode="exact"), dict(mode="hybrid", tolerance=0.0),
+                   dict(mode="hybrid", tolerance=5.0), dict(mode="model")):
+        direct = srv.facade.aggregate("terrain", kind, lo, hi, **params)
+        answer = client.aggregate("terrain", kind, lo, hi, **params)
+        assert answer["value"] == direct.value    # JSON floats are exact
+        assert answer["bound"] == direct.bound
+        assert answer["kind"] == kind
+        assert answer["mode"] == params["mode"]
+    exact = client.aggregate("terrain", kind, lo, hi, mode="exact")
+    zero = client.aggregate("terrain", kind, lo, hi,
+                            mode="hybrid", tolerance=0.0)
+    assert zero["value"] == exact["value"]
+    assert zero["bound"] == 0.0
+
+
+def test_aggregate_default_mode_and_avg(client, value_band):
+    lo, hi = value_band
+    answer = client.aggregate("terrain", "avg", lo, hi)
+    assert answer["mode"] == "hybrid"
+    count = client.aggregate("terrain", "count", lo, hi, mode="exact")
+    total = client.aggregate("terrain", "sum", lo, hi, mode="exact")
+    exact_avg = client.aggregate("terrain", "avg", lo, hi, mode="exact")
+    assert exact_avg["value"] == pytest.approx(
+        total["value"] / count["value"])
+    if answer["bound"] is not None:
+        assert abs(answer["value"] - exact_avg["value"]) \
+            <= answer["bound"] + 1e-9
+
+
 def test_concurrent_clients_get_byte_identical_answers(server, dem):
     """Eight clients hammering four bands concurrently must all get the
     single-threaded oracle's answers, byte for byte."""
@@ -144,6 +178,16 @@ def test_update_changes_answers_over_the_wire(client):
     (dict(op="update", field="terrain", vertex_ids=[True],
           values=[1.0]), "bad-request"),
     (dict(op="stats", field=7), "bad-request"),
+    (dict(op="aggregate", field="terrain", kind="median",
+          lo=0.0, hi=1.0), "bad-request"),
+    (dict(op="aggregate", field="terrain", kind="count",
+          lo=5.0, hi=1.0), "bad-request"),
+    (dict(op="aggregate", field="terrain", kind="count",
+          lo=0.0, hi=1.0, tolerance=-1.0), "bad-request"),
+    (dict(op="aggregate", field="terrain", kind="count",
+          lo=0.0, hi=1.0, mode="psychic"), "bad-request"),
+    (dict(op="aggregate", field="nope", kind="count",
+          lo=0.0, hi=1.0), "unknown-field"),
 ])
 def test_invalid_requests_get_typed_errors(client, params, code):
     # Don't pop: the parametrize dicts are shared across fixture params.

@@ -1,0 +1,204 @@
+"""Property suite for the selectivity estimator's boundary semantics.
+
+Regression cases from the estimator fix — a query endpoint landing
+exactly on a cell-interval endpoint must count the touching cell — plus
+Hypothesis properties pinning :meth:`FieldStatistics.estimate_candidates`
+against the exact interval-stabbing count, and planner stability checks
+for queries sitting exactly on histogram bin edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FieldStatistics, IHilbertIndex
+from repro.core.planner import estimate_plan
+from repro.field import DEMField
+from repro.synth import fractal_dem_heights
+
+
+def exact_stabbing(vmins, vmaxs, lo, hi):
+    """Ground truth: #cells whose closed interval intersects [lo, hi]."""
+    vmins = np.asarray(vmins, dtype=np.float64)
+    vmaxs = np.asarray(vmaxs, dtype=np.float64)
+    return float(((vmins <= hi) & (vmaxs >= lo)).sum())
+
+
+def stats_for(intervals, bins=64):
+    vmins = np.array([a for a, _ in intervals], dtype=np.float64)
+    vmaxs = np.array([b for _, b in intervals], dtype=np.float64)
+    return FieldStatistics.from_intervals(vmins, vmaxs, bins=bins)
+
+
+# --------------------------------------------------- regression cases
+
+REPRO_INTERVALS = [(0.0, 1.0), (1.0, 2.0), (2.0, 3.0), (5.0, 6.0)]
+
+
+def test_vmax_on_query_lo_is_counted():
+    """The ISSUE repro: [2.0, 2.5] touches (1, 2) at vmax == lo and
+    overlaps (2, 3) — exactly two candidates, not one."""
+    stats = stats_for(REPRO_INTERVALS)
+    assert stats.estimate_candidates(2.0, 2.5) == 2.0
+
+
+def test_vmin_on_query_hi_is_counted():
+    """Mirror side: the point query [2.0, 2.0] touches (1, 2) at
+    vmax == lo and (2, 3) at vmin == hi — both count."""
+    stats = stats_for(REPRO_INTERVALS)
+    assert stats.estimate_candidates(2.0, 2.0) == 2.0
+    assert stats.estimate_candidates(1.0, 2.0) == 3.0
+
+
+def test_query_between_gaps():
+    """[3.5, 4.5] falls in the gap between (2, 3) and (5, 6): off the
+    histogram grid the estimate interpolates, but it stays within one
+    bin's mass of the true zero and never goes negative."""
+    stats = stats_for(REPRO_INTERVALS)
+    estimate = stats.estimate_candidates(3.5, 4.5)
+    assert 0.0 <= estimate <= 2.0
+    # At grid values the gap's edges are exact again.
+    assert stats.estimate_candidates(3.0, 5.0) == 2.0
+
+
+def test_query_entirely_below_and_above():
+    stats = stats_for(REPRO_INTERVALS)
+    assert stats.estimate_candidates(-2.0, -1.0) == 0.0
+    assert stats.estimate_candidates(10.0, 11.0) == 0.0
+
+
+def test_degenerate_constant_field():
+    """Eight cells all pinned at 5.0: the point query [5.0, 5.0] must
+    report every cell (the linspace grid would collapse here)."""
+    stats = stats_for([(5.0, 5.0)] * 8)
+    assert stats.estimate_candidates(5.0, 5.0) == 8.0
+    assert stats.estimate_selectivity(5.0, 5.0) == 1.0
+    assert stats.estimate_candidates(4.0, 4.5) == 0.0
+
+
+def test_point_queries_at_every_endpoint():
+    stats = stats_for(REPRO_INTERVALS)
+    vmins = np.array([a for a, _ in REPRO_INTERVALS])
+    vmaxs = np.array([b for _, b in REPRO_INTERVALS])
+    for v in np.unique(np.concatenate([vmins, vmaxs])):
+        assert stats.estimate_candidates(v, v) == \
+            exact_stabbing(vmins, vmaxs, v, v)
+
+
+# ---------------------------------------------------- hypothesis suite
+
+# A small value pool keeps the distinct endpoint count within the bin
+# budget, so the histogram grid *is* the endpoint set and any query
+# whose endpoints sit on data values must be answered exactly —
+# including every touching-endpoint configuration.
+small_values = st.integers(min_value=0, max_value=24).map(float)
+small_intervals = st.lists(
+    st.tuples(small_values, small_values).map(sorted),
+    min_size=1, max_size=40)
+
+
+@st.composite
+def intervals_with_grid_query(draw):
+    intervals = draw(small_intervals)
+    points = sorted({v for ab in intervals for v in ab})
+    lo = draw(st.sampled_from(points))
+    hi = draw(st.sampled_from(points))
+    return intervals, min(lo, hi), max(lo, hi)
+
+
+@given(case=intervals_with_grid_query())
+@settings(max_examples=200, deadline=None)
+def test_exact_when_query_sits_on_data(case):
+    intervals, lo, hi = case
+    stats = stats_for(intervals, bins=64)
+    vmins = [a for a, _ in intervals]
+    vmaxs = [b for _, b in intervals]
+    assert stats.estimate_candidates(lo, hi) == \
+        exact_stabbing(vmins, vmaxs, lo, hi)
+
+
+finite = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+dense_intervals = st.lists(
+    st.tuples(finite, finite).map(sorted), min_size=2, max_size=120)
+
+
+@given(intervals=dense_intervals, lo=finite, hi=finite)
+@settings(max_examples=200, deadline=None)
+def test_error_bounded_by_one_bin_mass(intervals, lo, hi):
+    """With a coarse grid each of the estimator's two histogram terms
+    interpolates inside one bin, and the true count lies between that
+    bin's table values — so the total error is at most the heaviest
+    bin's mass per table."""
+    lo, hi = min(lo, hi), max(lo, hi)
+    stats = stats_for(intervals, bins=8)
+    vmins = [a for a, _ in intervals]
+    vmaxs = [b for _, b in intervals]
+    exact = exact_stabbing(vmins, vmaxs, lo, hi)
+    estimate = stats.estimate_candidates(lo, hi)
+    slack = (float(np.max(np.diff(stats.cum_low), initial=0.0))
+             + float(np.max(np.diff(stats.cum_high_strict), initial=0.0)))
+    assert abs(estimate - exact) <= slack + 1e-6
+    assert 0.0 <= estimate <= stats.num_cells
+
+
+@given(intervals=small_intervals)
+@settings(max_examples=100, deadline=None)
+def test_full_range_query_counts_everything(intervals):
+    stats = stats_for(intervals, bins=64)
+    assert stats.estimate_candidates(stats.value_lo,
+                                     stats.value_hi) == len(intervals)
+
+
+# ------------------------------------------------- planner stability
+
+@pytest.fixture(scope="module")
+def planner_index():
+    field = DEMField(fractal_dem_heights(16, 0.9, seed=3))
+    return IHilbertIndex(field)
+
+
+def test_plan_choice_stable_at_bin_edges(planner_index):
+    """Queries sitting exactly on histogram bin edges must plan the
+    same as the 1-ulp-widened query: the boundary fix means no cell
+    flickers in or out of the estimate at a grid value."""
+    index = planner_index
+    stats = index.statistics()
+    for edge in stats.edges:
+        e = float(edge)
+        at_edge = estimate_plan(index, e, e)
+        widened = estimate_plan(index, np.nextafter(e, -np.inf),
+                                np.nextafter(e, np.inf))
+        assert at_edge.path == widened.path
+        assert at_edge == estimate_plan(index, e, e)  # deterministic
+
+
+def test_estimates_exact_at_bin_edges(planner_index):
+    """On a field whose distinct endpoints fit the bin budget the grid
+    *is* the endpoint set, so edge-value queries are exact."""
+    field = DEMField(fractal_dem_heights(4, 0.9, seed=5))
+    records = field.cell_records()
+    vmins = records["vmin"].astype(np.float64)
+    vmaxs = records["vmax"].astype(np.float64)
+    stats = FieldStatistics.from_intervals(vmins, vmaxs, bins=256)
+    assert len(stats.edges) <= 257
+    for edge in stats.edges:
+        e = float(edge)
+        assert stats.estimate_candidates(e, e) == \
+            exact_stabbing(vmins, vmaxs, e, e)
+
+
+def test_plan_extremes(planner_index):
+    """Sanity on the choice itself: the full-range query sweeps the
+    file (scan) and an empty-range query off the top plans filtered."""
+    index = planner_index
+    stats = index.statistics()
+    full = estimate_plan(index, stats.value_lo, stats.value_hi)
+    assert full.path == "scan"
+    empty = estimate_plan(index, stats.value_hi + 1.0,
+                          stats.value_hi + 2.0)
+    assert empty.path == "filtered"
+    assert empty.est_pages == 0

@@ -665,12 +665,128 @@ def validate_micro(doc: dict) -> str:
                if isinstance(speedup, (int, float)) else ""))
 
 
+#: Configurations every committed aggregate frontier must report.
+AGGREGATE_CONFIGS = {"exact", "hybrid-1pct", "hybrid-0.1pct", "model"}
+AGGREGATE_KINDS = {"count", "sum", "area"}
+
+
+def validate_aggregate(doc: dict) -> str:
+    version = expect(doc, "schema_version", int, "top level")
+    if version is not None and version != SCHEMA_VERSION:
+        err(f"top level: schema_version {version} != {SCHEMA_VERSION}")
+    smoke = expect(doc, "smoke", bool, "top level")
+    if smoke:
+        err("top level: the committed aggregate artifact must come from "
+            "a full run (smoke runs write no JSON)")
+
+    field = expect(doc, "field", dict, "top level")
+    if field is not None:
+        cells = expect(field, "cells", int, "field")
+        if cells is not None and cells < 4096:
+            err(f"field: cells {cells} below the 4096-cell "
+                f"acceptance bar")
+
+    workload = expect(doc, "workload", dict, "top level")
+    if workload is not None:
+        queries = expect(workload, "queries", int, "workload")
+        if queries is not None and queries < 24:
+            err(f"workload: queries {queries} below 24")
+        kinds = expect(workload, "kinds", list, "workload")
+        if kinds is not None and AGGREGATE_KINDS - set(kinds):
+            err(f"workload: kinds missing "
+                f"{sorted(AGGREGATE_KINDS - set(kinds))}")
+
+    model = expect(doc, "model", dict, "top level")
+    if model is not None:
+        degree = expect(model, "degree", int, "model")
+        if degree is not None and not 1 <= degree <= 8:
+            err(f"model: degree {degree} outside [1, 8]")
+        subfields = expect(model, "subfields", int, "model")
+        if subfields is not None and subfields < 1:
+            err(f"model: subfields must be >= 1, got {subfields}")
+        expect(model, "nbytes", int, "model")
+        fit = expect(model, "fit_seconds", (int, float), "model")
+        if fit is not None and fit < 0:
+            err(f"model: fit_seconds must be >= 0, got {fit}")
+
+    gate = expect(doc, "gate", dict, "top level")
+    max_slowdown = None
+    if gate is not None:
+        max_slowdown = expect(gate, "max_slowdown", (int, float), "gate")
+        if max_slowdown is not None and max_slowdown <= 1.0:
+            err(f"gate: max_slowdown must be > 1.0, got {max_slowdown}")
+
+    configs = expect(doc, "configs", list, "top level")
+    by_name = {}
+    if configs is not None:
+        for i, entry in enumerate(configs):
+            ctx = f"configs[{i}]"
+            if not isinstance(entry, dict):
+                err(f"{ctx}: must be an object")
+                continue
+            name = expect(entry, "name", str, ctx)
+            if name is not None:
+                by_name[name] = entry
+            wall = expect(entry, "wall_seconds", (int, float), ctx)
+            if wall is not None and wall <= 0:
+                err(f"{ctx}: wall_seconds must be positive, got {wall}")
+            ops = expect(entry, "ops", int, ctx)
+            if ops is not None and ops < 1:
+                err(f"{ctx}: ops must be >= 1, got {ops}")
+            pages = expect(entry, "pages", int, ctx)
+            if pages is not None and pages < 0:
+                err(f"{ctx}: pages must be >= 0, got {pages}")
+            expect(entry, "max_rel_error_pct", (int, float), ctx)
+        missing = AGGREGATE_CONFIGS - set(by_name)
+        if missing:
+            err(f"configs: missing {sorted(missing)}")
+
+    # Semantic checks on the frontier itself.
+    if AGGREGATE_CONFIGS <= set(by_name):
+        exact = by_name["exact"]
+        model_cfg = by_name["model"]
+        hybrid = by_name["hybrid-1pct"]
+        if model_cfg.get("pages", 0) != 0:
+            err(f"configs[model]: a pure-model run must read 0 pages, "
+                f"got {model_cfg.get('pages')}")
+        if exact.get("max_rel_error_pct", 0) != 0:
+            err("configs[exact]: exact error must be 0")
+        if isinstance(exact.get("wall_seconds"), (int, float)) and \
+                isinstance(hybrid.get("wall_seconds"), (int, float)) \
+                and max_slowdown is not None:
+            ratio = hybrid["wall_seconds"] / exact["wall_seconds"]
+            if ratio > max_slowdown:
+                err(f"configs: hybrid-1pct wall {ratio:.2f}x exact "
+                    f"exceeds the {max_slowdown}x gate")
+        if isinstance(model_cfg.get("ops_per_second"), (int, float)) \
+                and isinstance(exact.get("ops_per_second"),
+                               (int, float)) \
+                and model_cfg["ops_per_second"] \
+                <= exact["ops_per_second"]:
+            err("configs: model ops/s not above exact ops/s — the "
+                "frontier collapsed")
+
+    equivalence = expect(doc, "equivalence", dict, "top level")
+    if equivalence is not None:
+        checked = expect(equivalence, "checked", int, "equivalence")
+        if checked is not None and checked < 1:
+            err("equivalence: no tolerance=0 answers checked")
+        mismatches = expect(equivalence, "mismatches", int,
+                            "equivalence")
+        if mismatches:
+            err(f"equivalence: {mismatches} hybrid tolerance=0 answers "
+                f"diverged from exact")
+    n = len(by_name)
+    return f"{n} configs on the accuracy-vs-speed frontier"
+
+
 VALIDATORS = {
     "throughput": validate_throughput,
     "update": validate_update,
     "serve": validate_serve,
     "shard": validate_shard,
     "micro": validate_micro,
+    "aggregate": validate_aggregate,
 }
 
 
